@@ -1,0 +1,7 @@
+//! Ablation study of the reproduction's own modelling choices.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    for table in dcl1_bench::experiments::ablations::run(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Extension: L1-budget scaling under the flagship design.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    for table in dcl1_bench::experiments::ext_scaling::run(scale) {
+        println!("{table}");
+    }
+}

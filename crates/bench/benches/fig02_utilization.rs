@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig02_utilization results. Scale via DCL1_SCALE=full|quarter|smoke.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for table in dcl1_bench::experiments::fig02_utilization::run(scale) {
+        println!("{table}");
+    }
+    eprintln!("[fig02_utilization] completed in {:.1?} at {scale:?} scale", t0.elapsed());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig15_scurve results. Scale via DCL1_SCALE=full|quarter|smoke.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for table in dcl1_bench::experiments::fig15_scurve::run(scale) {
+        println!("{table}");
+    }
+    eprintln!("[fig15_scurve] completed in {:.1?} at {scale:?} scale", t0.elapsed());
+}

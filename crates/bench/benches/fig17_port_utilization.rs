@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig17_port_utilization results. Scale via DCL1_SCALE=full|quarter|smoke.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for table in dcl1_bench::experiments::fig17_port_utilization::run(scale) {
+        println!("{table}");
+    }
+    eprintln!("[fig17_port_utilization] completed in {:.1?} at {scale:?} scale", t0.elapsed());
+}

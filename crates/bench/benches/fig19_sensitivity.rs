@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig19_sensitivity results. Scale via DCL1_SCALE=full|quarter|smoke.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for table in dcl1_bench::experiments::fig19_sensitivity::run(scale) {
+        println!("{table}");
+    }
+    eprintln!("[fig19_sensitivity] completed in {:.1?} at {scale:?} scale", t0.elapsed());
+}

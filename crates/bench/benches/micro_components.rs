@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the simulator's hot components: cache
+//! lookups, crossbar ticks, trace generation, and a short end-to-end
+//! step loop. These guard the simulator's own performance (the figure
+//! benches are wall-clock-bound by it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
+use dcl1_cache::{CacheGeometry, SetAssocCache};
+use dcl1_common::LineAddr;
+use dcl1_gpu::TraceSource;
+use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
+use dcl1_workloads::{by_name, AppTrace};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let geom = CacheGeometry::new(16 * 1024, 4, 128).unwrap();
+    c.bench_function("cache_lookup_fill_mix", |b| {
+        let mut cache = SetAssocCache::new(geom);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            let line = LineAddr::new(i % 4096);
+            if cache.lookup(black_box(line)) == dcl1_cache::LookupResult::Miss {
+                cache.fill(line);
+            }
+        });
+    });
+}
+
+fn bench_crossbar(c: &mut Criterion) {
+    c.bench_function("crossbar_8x4_saturated_tick", |b| {
+        let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).unwrap());
+        let mut n = 0u64;
+        b.iter(|| {
+            for src in 0..8 {
+                if x.can_inject(src) {
+                    n += 1;
+                    let _ = x.try_inject(Packet::new(src, (n % 4) as usize, 32, n));
+                }
+            }
+            x.tick();
+            for out in 0..4 {
+                while x.pop_output(out).is_some() {}
+            }
+        });
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let spec = by_name("T-AlexNet").unwrap();
+    c.bench_function("trace_generation_alexnet", |b| {
+        let mut t = AppTrace::new(spec, 0, 0);
+        b.iter(|| {
+            if matches!(t.next_instr(), dcl1_gpu::WavefrontInstr::Done) {
+                t = AppTrace::new(spec, 0, 0);
+            }
+        });
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    use dcl1_cache::Mshr;
+    c.bench_function("mshr_allocate_complete", |b| {
+        let mut mshr: Mshr<u64> = Mshr::new(64, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr::new(i % 64);
+            if mshr.try_allocate(black_box(line), i).is_err() || i % 8 == 0 {
+                black_box(mshr.complete(line));
+            }
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    use dcl1_mem::{DramConfig, MemoryController};
+    c.bench_function("dram_frfcfs_tick_loaded", |b| {
+        let mut mc: MemoryController<u32> = MemoryController::new(DramConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if mc.can_accept() {
+                let _ = mc.try_enqueue(LineAddr::new(i * 17 % 4096), false, Some(i as u32));
+            }
+            mc.tick();
+            while mc.pop_reply().is_some() {}
+        });
+    });
+}
+
+fn bench_presence(c: &mut Criterion) {
+    use dcl1::PresenceMap;
+    c.bench_function("presence_fill_probe_evict", |b| {
+        let mut p = PresenceMap::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = LineAddr::new(i % 10_000);
+            p.on_fill(line);
+            black_box(p.copies(line));
+            if i % 2 == 0 {
+                p.on_evict(line);
+            }
+        });
+    });
+}
+
+fn bench_system_step(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let app = by_name("T-AlexNet").unwrap();
+    c.bench_function("system_step_sh40c10boost_80core", |b| {
+        let mut sys = GpuSystem::build(
+            &cfg,
+            &Design::flagship(&cfg),
+            &app,
+            SimOptions::default(),
+        )
+        .unwrap();
+        b.iter(|| sys.step());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_crossbar,
+    bench_trace,
+    bench_mshr,
+    bench_dram,
+    bench_presence,
+    bench_system_step
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the paper's tab1_private_configs results. Scale via DCL1_SCALE=full|quarter|smoke.
+fn main() {
+    let scale = dcl1_bench::Scale::from_env();
+    let t0 = std::time::Instant::now();
+    for table in dcl1_bench::experiments::tab1_private_configs::run(scale) {
+        println!("{table}");
+    }
+    eprintln!("[tab1_private_configs] completed in {:.1?} at {scale:?} scale", t0.elapsed());
+}

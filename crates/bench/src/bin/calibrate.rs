@@ -1,0 +1,87 @@
+//! Calibration tool: prints Fig-1-style metrics for every app under the
+//! key designs, so workload parameters can be tuned against the paper's
+//! reported characterizations.
+//!
+//! Usage: `cargo run --release -p dcl1-bench --bin calibrate [app ...]`
+//! Environment: `DCL1_SCALE=full|quarter|smoke` (default quarter).
+
+use dcl1::{Design, GpuConfig, SimOptions};
+use dcl1_bench::{run_apps, RunRequest, Scale, Table};
+use dcl1_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let apps: Vec<_> = if args.is_empty() {
+        all_apps()
+    } else {
+        all_apps().into_iter().filter(|a| args.iter().any(|n| n == a.name)).collect()
+    };
+
+    let designs = [
+        Design::Baseline,
+        Design::BoostedBaseline(dcl1::design::BaselineBoost::Cache2x),
+        Design::IdealSingleL1,
+        Design::Private { nodes: 40 },
+        Design::Shared { nodes: 40 },
+        Design::Clustered { nodes: 40, clusters: 10, boost: false },
+        Design::Clustered { nodes: 40, clusters: 10, boost: true },
+    ];
+
+    // 16x-capacity baseline for the capacity-sensitivity column.
+    let cfg16 = GpuConfig { l1_bytes: 16 * 16 * 1024, ..GpuConfig::default() };
+
+    let mut reqs = Vec::new();
+    for app in &apps {
+        for d in &designs {
+            reqs.push(RunRequest::new(*app, *d));
+        }
+        reqs.push(RunRequest {
+            app: *app,
+            design: Design::Baseline,
+            cfg: cfg16.clone(),
+            opts: SimOptions::default(),
+        });
+    }
+
+    let t0 = std::time::Instant::now();
+    let stats = run_apps(&reqs, scale);
+    let dt = t0.elapsed();
+
+    let per = designs.len() + 1;
+    let mut table = Table::new(
+        format!("Calibration ({scale:?}, {} runs in {dt:.1?})", reqs.len()),
+        &[
+            "app", "repl", "miss", "16x", "util", "ipcB", "Pr40", "Sh40", "C10", "Boost",
+            "Ideal", "replPr40", "missSh40",
+        ],
+    );
+    for (i, app) in apps.iter().enumerate() {
+        let base = &stats[i * per];
+        let ideal = &stats[i * per + 2];
+        let pr40 = &stats[i * per + 3];
+        let sh40 = &stats[i * per + 4];
+        let c10 = &stats[i * per + 5];
+        let boost = &stats[i * per + 6];
+        let b16 = &stats[i * per + 7];
+        let marker = if app.replication_sensitive { "*" } else { " " };
+        table.row(
+            format!("{}{}", marker, app.name),
+            vec![
+                format!("{:.2}", base.replication_ratio()),
+                format!("{:.2}", base.l1_miss_rate()),
+                format!("{:.2}", b16.ipc() / base.ipc()),
+                format!("{:.2}", base.max_port_utilization),
+                format!("{:.2}", base.ipc()),
+                format!("{:.2}", pr40.ipc() / base.ipc()),
+                format!("{:.2}", sh40.ipc() / base.ipc()),
+                format!("{:.2}", c10.ipc() / base.ipc()),
+                format!("{:.2}", boost.ipc() / base.ipc()),
+                format!("{:.2}", ideal.ipc() / base.ipc()),
+                format!("{:.2}", pr40.replication_ratio()),
+                format!("{:.2}", sh40.l1_miss_rate()),
+            ],
+        );
+    }
+    println!("{table}");
+}

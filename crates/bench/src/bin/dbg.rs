@@ -1,0 +1,38 @@
+//! Performance-debugging tool: runs selected (app, design) points and
+//! dumps internal pressure counters.
+//!
+//! Usage: `DCL1_SCALE=smoke cargo run --release -p dcl1-bench --bin dbg [app:design ...]`
+
+use dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
+use dcl1_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (num, den) = scale.ratio();
+    let cap: u64 = std::env::var("DBG_CAP").ok().and_then(|v| v.parse().ok()).unwrap_or(4_000_000);
+    for (app, d, big_l1) in [
+        ("P-2MM", Design::Baseline, false),
+        ("P-2MM", Design::Shared { nodes: 40 }, false),
+    ] {
+        let spec = dcl1_workloads::by_name(app).unwrap().scaled(num, den);
+        let mut cfg = GpuConfig::default();
+        if big_l1 {
+            cfg.l1_bytes *= 16;
+        }
+        let opts = SimOptions {
+            max_cycles: cap,
+            warmup_instructions: spec.total_instructions() / 3,
+            ..SimOptions::default()
+        };
+        let mut sys = GpuSystem::build(&cfg, &d, &spec, opts).unwrap();
+        let t0 = std::time::Instant::now();
+        let s = sys.run();
+        println!(
+            "{app:12}{} {:16} cycles={:9} instr={:9} (expected {:9}) ipc={:5.2} miss={:.2} rtt={:6.1} wall={:?}",
+            if big_l1 { "(16x)" } else { "" }, s.design, s.cycles, s.instructions, spec.total_instructions(),
+            s.ipc(), s.l1_miss_rate(), s.mean_load_rtt, t0.elapsed()
+        );
+        print!("{}", sys.debug_snapshot());
+        println!("---");
+    }
+}

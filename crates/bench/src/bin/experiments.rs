@@ -1,0 +1,46 @@
+//! Runs every experiment module in one process (sharing the memoized
+//! simulation cache across figures) and prints all tables.
+//!
+//! Usage: `DCL1_SCALE=full cargo run --release -p dcl1-bench --bin experiments [figNN ...]`
+
+use dcl1_bench::experiments as ex;
+use dcl1_bench::{Scale, Table};
+
+/// One experiment entry point.
+type Experiment = fn(Scale) -> Vec<Table>;
+
+fn main() {
+    let scale = Scale::from_env();
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let all: Vec<(&str, Experiment)> = vec![
+        ("tab1", ex::tab1_private_configs::run),
+        ("fig01", ex::fig01_motivation::run),
+        ("fig02", ex::fig02_utilization::run),
+        ("fig04", ex::fig04_private::run),
+        ("fig06", ex::fig06_noc_area::run),
+        ("fig08", ex::fig08_shared::run),
+        ("fig09", ex::fig09_shared_insensitive::run),
+        ("fig11", ex::fig11_clustered::run),
+        ("fig12", ex::fig12_clustered_noc::run),
+        ("fig13", ex::fig13_boost::run),
+        ("fig14", ex::fig14_final::run),
+        ("fig15", ex::fig15_scurve::run),
+        ("fig16", ex::fig16_missrate::run),
+        ("fig17", ex::fig17_port_utilization::run),
+        ("fig18", ex::fig18_energy_area::run),
+        ("fig19", ex::fig19_sensitivity::run),
+        ("ablations", ex::ablations::run),
+        ("ext_scaling", ex::ext_scaling::run),
+    ];
+    let t0 = std::time::Instant::now();
+    for (name, run) in all {
+        if !filter.is_empty() && !filter.iter().any(|f| f == name) {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        for table in run(scale) {
+            println!("{table}");
+        }
+        eprintln!("[{name}] done in {:.1?} (total {:.1?})", t.elapsed(), t0.elapsed());
+    }
+}

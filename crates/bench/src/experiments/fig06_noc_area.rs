@@ -1,0 +1,53 @@
+//! **Fig 6 + §V-B**: NoC area and static power of the private DC-L1
+//! designs and Sh40, from the DSENT-like model (analytic).
+
+use crate::runner::Scale;
+use crate::table::Table;
+use dcl1::{Design, GpuConfig};
+use dcl1_power::CrossbarModel;
+
+/// Emits the NoC area/static-power comparison.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = GpuConfig::default();
+    let model = CrossbarModel::default();
+    let designs = [
+        Design::Baseline,
+        Design::Private { nodes: 80 },
+        Design::Private { nodes: 40 },
+        Design::Private { nodes: 20 },
+        Design::Private { nodes: 10 },
+        Design::Shared { nodes: 40 },
+    ];
+    let base_spec = Design::Baseline.topology(&cfg).expect("resolves").noc_spec(&cfg);
+    let base_area = model.noc_area_mm2(&base_spec);
+    let base_pwr = model.noc_static_mw(&base_spec);
+
+    let mut t = Table::new(
+        "Fig 6 / SecV-B: NoC area and static power (normalized to baseline)",
+        &["config", "area_mm2", "area_norm", "static_mw", "static_norm"],
+    );
+    for d in designs {
+        let spec = d.topology(&cfg).expect("resolves").noc_spec(&cfg);
+        let area = model.noc_area_mm2(&spec);
+        let pwr = model.noc_static_mw(&spec);
+        t.row_f64(d.name(), &[area, area / base_area, pwr, pwr / base_pwr]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_ratios() {
+        let t = &run(Scale::Smoke)[0];
+        // Paper: Pr40 −28%, Pr20 −54%, Pr10 −67%, Sh40 +69%.
+        assert!((t.cell_f64("Pr40", "area_norm").unwrap() - 0.72).abs() < 0.03);
+        assert!((t.cell_f64("Pr20", "area_norm").unwrap() - 0.46).abs() < 0.03);
+        assert!((t.cell_f64("Pr10", "area_norm").unwrap() - 0.33).abs() < 0.03);
+        assert!(t.cell_f64("Sh40", "area_norm").unwrap() > 1.5);
+        // Pr40 static power near baseline (paper −4%).
+        assert!((t.cell_f64("Pr40", "static_norm").unwrap() - 0.96).abs() < 0.05);
+    }
+}

@@ -1,0 +1,50 @@
+//! **Fig 12**: NoC area and static power across cluster counts
+//! (analytic, DSENT-like model).
+
+use crate::experiments::cluster_sweep;
+use crate::runner::Scale;
+use crate::table::Table;
+use dcl1::{Design, GpuConfig};
+use dcl1_power::CrossbarModel;
+
+/// Emits the clustered NoC area/power sweep.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = GpuConfig::default();
+    let model = CrossbarModel::default();
+    let base_spec = Design::Baseline.topology(&cfg).expect("resolves").noc_spec(&cfg);
+    let base_area = model.noc_area_mm2(&base_spec);
+    let base_pwr = model.noc_static_mw(&base_spec);
+
+    let mut t = Table::new(
+        "Fig 12: NoC area and static power per cluster count (normalized to baseline)",
+        &["config", "area_norm", "static_norm"],
+    );
+    for (label, d) in cluster_sweep() {
+        let spec = d.topology(&cfg).expect("resolves").noc_spec(&cfg);
+        t.row_f64(
+            label,
+            &[
+                model.noc_area_mm2(&spec) / base_area,
+                model.noc_static_mw(&spec) / base_pwr,
+            ],
+        );
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_savings_match_paper() {
+        let t = &run(Scale::Smoke)[0];
+        // Paper: C5 −45%, C10 −50%, C20 −45% area.
+        assert!((t.cell_f64("C5", "area_norm").unwrap() - 0.55).abs() < 0.04);
+        assert!((t.cell_f64("C10", "area_norm").unwrap() - 0.50).abs() < 0.04);
+        assert!((t.cell_f64("C20", "area_norm").unwrap() - 0.55).abs() < 0.04);
+        // Static power savings for C10 in the paper's direction (−16%).
+        let c10 = t.cell_f64("C10", "static_norm").unwrap();
+        assert!(c10 < 1.0 && c10 > 0.6, "C10 static {c10}");
+    }
+}

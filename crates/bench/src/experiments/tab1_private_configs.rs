@@ -1,0 +1,65 @@
+//! **Table I**: NoC structure and peak L1 bandwidth of the private DC-L1
+//! configurations (analytic; no simulation).
+
+use crate::runner::Scale;
+use crate::table::Table;
+use dcl1::{Design, GpuConfig};
+
+/// Emits Table I.
+pub fn run(_scale: Scale) -> Vec<Table> {
+    let cfg = GpuConfig::default();
+    let designs = [
+        Design::Baseline,
+        Design::Private { nodes: 80 },
+        Design::Private { nodes: 40 },
+        Design::Private { nodes: 20 },
+        Design::Private { nodes: 10 },
+        Design::Clustered { nodes: 40, clusters: 10, boost: true },
+    ];
+    let base_bw = Design::Baseline
+        .topology(&cfg)
+        .expect("baseline resolves")
+        .peak_l1_bandwidth(&cfg);
+
+    let mut t = Table::new(
+        "Table I: NoC configuration and peak L1 bandwidth per private DC-L1 design",
+        &["config", "noc1", "noc2", "peak_bw_B_per_cyc", "bw_drop"],
+    );
+    for d in designs {
+        let topo = d.topology(&cfg).expect("design resolves");
+        let spec = topo.noc_spec(&cfg);
+        let (noc1, noc2) = match spec.xbars.len() {
+            1 => ("-".to_string(), fmt_xbar(&spec.xbars[0])),
+            _ => (fmt_xbar(&spec.xbars[0]), fmt_xbar(&spec.xbars[1])),
+        };
+        let bw = topo.peak_l1_bandwidth(&cfg);
+        t.row(
+            topo.name.clone(),
+            vec![noc1, noc2, format!("{bw:.0}"), format!("{:.1}x", base_bw / bw)],
+        );
+    }
+    vec![t]
+}
+
+fn fmt_xbar(x: &dcl1_power::XbarSpec) -> String {
+    if x.count == 1 {
+        format!("{}x{} @{}MHz", x.inputs, x.outputs, x.freq_mhz)
+    } else {
+        format!("{}x {}x{} @{}MHz", x.count, x.inputs, x.outputs, x.freq_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_drops_match_paper_table_i() {
+        let t = &run(Scale::Smoke)[0];
+        assert_eq!(t.cell("Pr80", "bw_drop"), Some("4.0x"));
+        assert_eq!(t.cell("Pr40", "bw_drop"), Some("8.0x"));
+        assert_eq!(t.cell("Pr20", "bw_drop"), Some("16.0x"));
+        assert_eq!(t.cell("Pr10", "bw_drop"), Some("32.0x"));
+        assert_eq!(t.cell("Sh40+C10+Boost", "bw_drop"), Some("4.0x"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `experiments::figNN` module exposes a `run(scale) -> Vec<Table>`
+//! function that executes the required simulations and returns
+//! paper-style tables; the `benches/` targets (built with
+//! `harness = false`) print them. `scale` shrinks per-wavefront trace
+//! length (grids stay full so occupancy is realistic); EXPERIMENTS.md
+//! records a `Scale::Quarter` pass, and `Scale::Full` reproduces the
+//! same shapes with longer traces.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_app, run_apps, RunRequest, Scale};
+pub use table::Table;

@@ -1,0 +1,147 @@
+//! Simulation execution: single runs and parallel sweeps.
+
+use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimOptions};
+use dcl1_workloads::AppSpec;
+use parking_lot::Mutex;
+
+/// How much of each wavefront's trace to simulate (CTA grids stay full,
+/// so machine occupancy is always realistic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full-length traces.
+    Full,
+    /// Quarter-length traces — what EXPERIMENTS.md records.
+    Quarter,
+    /// Sixteenth-length traces — smoke tests.
+    Smoke,
+}
+
+impl Scale {
+    /// Numerator/denominator applied to the per-wavefront trace length.
+    pub fn ratio(self) -> (u32, u32) {
+        match self {
+            Scale::Full => (1, 1),
+            Scale::Quarter => (1, 4),
+            Scale::Smoke => (1, 16),
+        }
+    }
+
+    /// Reads the scale from the `DCL1_SCALE` environment variable
+    /// (`full` / `quarter` / `smoke`), defaulting to `Quarter` so plain
+    /// `cargo bench` finishes in minutes.
+    pub fn from_env() -> Scale {
+        match std::env::var("DCL1_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("smoke") => Scale::Smoke,
+            _ => Scale::Quarter,
+        }
+    }
+}
+
+/// One (application, design, options) point to simulate.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Application to run.
+    pub app: AppSpec,
+    /// Hierarchy design.
+    pub design: Design,
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// Simulation options.
+    pub opts: SimOptions,
+}
+
+impl RunRequest {
+    /// A request with the default machine and options.
+    pub fn new(app: AppSpec, design: Design) -> Self {
+        RunRequest { app, design, cfg: GpuConfig::default(), opts: SimOptions::default() }
+    }
+}
+
+/// Runs one simulation point at the given scale.
+///
+/// Results are memoized for the lifetime of the process, so experiment
+/// modules that share points (e.g. every figure's baseline runs) pay for
+/// them once.
+///
+/// # Panics
+///
+/// Panics if the design fails to resolve (an experiment-definition bug).
+pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
+    let key = format!("{}|{:?}|{:?}|{:?}|{:?}", req.app.name, req.app, req.design, req.cfg, req.opts);
+    let key = format!("{key}|{scale:?}");
+    if let Some(hit) = cache().lock().get(&key) {
+        return hit.clone();
+    }
+    let (num, den) = scale.ratio();
+    let app = req.app.scaled(num, den);
+    // Warm the caches over the first third of the kernel, then measure —
+    // standard simulation methodology; keeps short scaled runs from being
+    // dominated by cold misses.
+    let mut opts = req.opts;
+    if opts.warmup_instructions == 0 {
+        opts.warmup_instructions = app.total_instructions() / 3;
+    }
+    let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
+        .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
+    let stats = sys.run();
+    cache().lock().insert(key, stats.clone());
+    stats
+}
+
+fn cache() -> &'static Mutex<std::collections::HashMap<String, RunStats>> {
+    static CACHE: std::sync::OnceLock<Mutex<std::collections::HashMap<String, RunStats>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Runs many simulation points across all CPU cores, preserving input
+/// order in the output.
+pub fn run_apps(reqs: &[RunRequest], scale: Scale) -> Vec<RunStats> {
+    let results: Vec<Mutex<Option<RunStats>>> =
+        reqs.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    crossbeam::scope(|s| {
+        for _ in 0..workers.min(reqs.len().max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= reqs.len() {
+                    break;
+                }
+                let stats = run_app(&reqs[i], scale);
+                *results[i].lock() = Some(stats);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every request was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl1_workloads::by_name;
+
+    #[test]
+    fn scale_ratios() {
+        assert_eq!(Scale::Full.ratio(), (1, 1));
+        assert_eq!(Scale::Smoke.ratio(), (1, 16));
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let app = by_name("C-BLK").unwrap();
+        let reqs = vec![
+            RunRequest::new(app, Design::Baseline),
+            RunRequest::new(app, Design::Private { nodes: 40 }),
+        ];
+        let out = run_apps(&reqs, Scale::Smoke);
+        assert_eq!(out[0].design, "Baseline");
+        assert_eq!(out[1].design, "Pr40");
+        assert!(out.iter().all(|s| s.instructions > 0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Miss status holding registers (MSHRs).
+//!
+//! An MSHR file tracks outstanding misses. Concurrent misses to the same
+//! line *merge* into one entry so only a single fill request is sent down
+//! the hierarchy; when the fill returns, every merged requester is woken.
+//! The paper's lite cores drop the per-core L1 **and its MSHRs** — in the
+//! DC-L1 designs the MSHR file lives in the DC-L1 node instead.
+
+use dcl1_common::stats::Counter;
+use dcl1_common::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of a successful MSHR allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// A new entry was created: the caller must send a fill request.
+    Allocated,
+    /// The miss merged into an existing entry: no new fill request needed.
+    Merged,
+}
+
+/// A file of miss status holding registers, generic over the requester
+/// token type `T` (the simulator uses transaction ids).
+///
+/// # Examples
+///
+/// ```
+/// use dcl1_cache::{Mshr, MshrAllocation};
+/// use dcl1_common::LineAddr;
+///
+/// let mut mshr: Mshr<u32> = Mshr::new(2, 4);
+/// let line = LineAddr::new(9);
+/// assert_eq!(mshr.try_allocate(line, 100), Ok(MshrAllocation::Allocated));
+/// assert_eq!(mshr.try_allocate(line, 101), Ok(MshrAllocation::Merged));
+/// assert_eq!(mshr.complete(line), vec![100, 101]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<T> {
+    entries: HashMap<LineAddr, Vec<T>>,
+    max_entries: usize,
+    max_merges: usize,
+    /// Allocation attempts rejected because all entries were in use.
+    pub entry_stalls: Counter,
+    /// Allocation attempts rejected because the target entry was merge-full.
+    pub merge_stalls: Counter,
+    /// Successful merges.
+    pub merges: Counter,
+}
+
+impl<T> Mshr<T> {
+    /// Creates an MSHR file with `max_entries` entries, each accepting up
+    /// to `max_merges` requesters (including the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero.
+    pub fn new(max_entries: usize, max_merges: usize) -> Self {
+        assert!(max_entries > 0, "MSHR entry count must be nonzero");
+        assert!(max_merges > 0, "MSHR merge limit must be nonzero");
+        Mshr {
+            entries: HashMap::with_capacity(max_entries),
+            max_entries,
+            max_merges,
+            entry_stalls: Counter::default(),
+            merge_stalls: Counter::default(),
+            merges: Counter::default(),
+        }
+    }
+
+    /// Attempts to record a miss on `line` for requester `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(token)` — a structural stall, handing the token back —
+    /// when no entry is free (new line) or the entry's merge list is full.
+    pub fn try_allocate(&mut self, line: LineAddr, token: T) -> Result<MshrAllocation, T> {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            if waiters.len() >= self.max_merges {
+                self.merge_stalls.inc();
+                return Err(token);
+            }
+            waiters.push(token);
+            self.merges.inc();
+            return Ok(MshrAllocation::Merged);
+        }
+        if self.entries.len() >= self.max_entries {
+            self.entry_stalls.inc();
+            return Err(token);
+        }
+        self.entries.insert(line, vec![token]);
+        Ok(MshrAllocation::Allocated)
+    }
+
+    /// Whether a fill for `line` is already outstanding.
+    pub fn is_pending(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Whether `try_allocate(line, …)` would succeed right now — i.e. the
+    /// line's entry has merge room, or a free entry exists. Callers that
+    /// cannot afford to lose a request (FIFO heads) must check this
+    /// *before* dequeuing it.
+    pub fn can_accept(&self, line: LineAddr) -> bool {
+        match self.entries.get(&line) {
+            Some(waiters) => waiters.len() < self.max_merges,
+            None => self.entries.len() < self.max_entries,
+        }
+    }
+
+    /// Completes the fill for `line`, returning all waiting tokens in
+    /// arrival order (empty if the line had no entry).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<T> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Number of entries currently in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are in use.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether every entry is in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.max_entries
+    }
+
+    /// The configured entry capacity.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge_then_complete() {
+        let mut m: Mshr<u32> = Mshr::new(4, 4);
+        let l = LineAddr::new(1);
+        assert_eq!(m.try_allocate(l, 1), Ok(MshrAllocation::Allocated));
+        assert!(m.is_pending(l));
+        assert_eq!(m.try_allocate(l, 2), Ok(MshrAllocation::Merged));
+        assert_eq!(m.complete(l), vec![1, 2]);
+        assert!(!m.is_pending(l));
+        assert_eq!(m.merges.get(), 1);
+    }
+
+    #[test]
+    fn entry_exhaustion_stalls() {
+        let mut m: Mshr<u8> = Mshr::new(2, 4);
+        m.try_allocate(LineAddr::new(1), 0).unwrap();
+        m.try_allocate(LineAddr::new(2), 0).unwrap();
+        assert!(m.is_full());
+        assert_eq!(m.try_allocate(LineAddr::new(3), 9), Err(9));
+        assert_eq!(m.entry_stalls.get(), 1);
+        // A merge to an existing line still succeeds when full.
+        assert_eq!(m.try_allocate(LineAddr::new(1), 7), Ok(MshrAllocation::Merged));
+    }
+
+    #[test]
+    fn merge_limit_stalls() {
+        let mut m: Mshr<u8> = Mshr::new(4, 2);
+        let l = LineAddr::new(5);
+        m.try_allocate(l, 0).unwrap();
+        m.try_allocate(l, 1).unwrap();
+        assert_eq!(m.try_allocate(l, 2), Err(2));
+        assert_eq!(m.merge_stalls.get(), 1);
+        assert_eq!(m.complete(l), vec![0, 1]);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: Mshr<u8> = Mshr::new(2, 2);
+        assert!(m.complete(LineAddr::new(42)).is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn freed_entry_is_reusable() {
+        let mut m: Mshr<u8> = Mshr::new(1, 1);
+        let (a, b) = (LineAddr::new(1), LineAddr::new(2));
+        m.try_allocate(a, 0).unwrap();
+        assert_eq!(m.try_allocate(b, 1), Err(1));
+        m.complete(a);
+        assert_eq!(m.try_allocate(b, 1), Ok(MshrAllocation::Allocated));
+    }
+}

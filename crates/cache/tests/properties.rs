@@ -1,0 +1,157 @@
+//! Property-based tests checking the set-associative cache against a naive
+//! reference model, and MSHR structural invariants.
+
+use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache};
+use dcl1_common::LineAddr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A naive per-set LRU model: each set is a Vec ordered LRU→MRU.
+#[derive(Debug, Default)]
+struct RefModel {
+    sets: HashMap<usize, Vec<u64>>,
+    assoc: usize,
+    nsets: usize,
+}
+
+impl RefModel {
+    fn new(nsets: usize, assoc: usize) -> Self {
+        RefModel { sets: HashMap::new(), assoc, nsets }
+    }
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) % self.nsets
+    }
+    fn lookup(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&l| l == line) {
+            let l = v.remove(pos);
+            v.push(l);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, line: u64) -> Option<u64> {
+        let assoc = self.assoc;
+        let set = self.set_of(line);
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&l| l == line) {
+            let l = v.remove(pos);
+            v.push(l);
+            return None;
+        }
+        let evicted = if v.len() >= assoc { Some(v.remove(0)) } else { None };
+        v.push(line);
+        evicted
+    }
+    fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&l| l == line) {
+            v.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Fill(u64),
+    Invalidate(u64),
+}
+
+fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_line).prop_map(Op::Lookup),
+        (0..max_line).prop_map(Op::Fill),
+        (0..max_line).prop_map(Op::Invalidate),
+    ]
+}
+
+proptest! {
+    /// Random op sequences produce identical hit/miss/eviction behaviour in
+    /// the real cache and the reference model.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+        let geom = CacheGeometry::new(4 * 2 * 128, 2, 128).unwrap(); // 4 sets x 2 ways
+        let mut cache = SetAssocCache::new(geom);
+        let mut model = RefModel::new(geom.sets(), geom.assoc());
+        for op in ops {
+            match op {
+                Op::Lookup(l) => {
+                    let got = cache.lookup(LineAddr::new(l)) == LookupResult::Hit;
+                    prop_assert_eq!(got, model.lookup(l));
+                }
+                Op::Fill(l) => {
+                    let got = cache.fill(LineAddr::new(l)).map(|e| e.raw());
+                    prop_assert_eq!(got, model.fill(l));
+                }
+                Op::Invalidate(l) => {
+                    prop_assert_eq!(cache.invalidate(LineAddr::new(l)), model.invalidate(l));
+                }
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity and resident lines are unique.
+    #[test]
+    fn occupancy_bounded_and_lines_unique(fills in proptest::collection::vec(0u64..512, 1..600)) {
+        let geom = CacheGeometry::new(8 * 4 * 128, 4, 128).unwrap();
+        let mut cache = SetAssocCache::new(geom);
+        for l in fills {
+            cache.fill(LineAddr::new(l));
+            prop_assert!(cache.occupancy() <= geom.lines());
+        }
+        let mut lines: Vec<u64> = cache.resident_lines().map(|l| l.raw()).collect();
+        let before = lines.len();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert_eq!(lines.len(), before, "duplicate resident lines");
+        // Everything reported resident must probe as present.
+        for l in lines {
+            prop_assert!(cache.probe(LineAddr::new(l)));
+        }
+    }
+
+    /// The MSHR never exceeds its entry budget, never loses a token, and
+    /// never delivers a token twice.
+    #[test]
+    fn mshr_conserves_tokens(
+        reqs in proptest::collection::vec((0u64..16, 0u32..1000), 1..300),
+        completions in proptest::collection::vec(0u64..16, 0..100),
+    ) {
+        let mut mshr: Mshr<u32> = Mshr::new(4, 3);
+        let mut submitted = Vec::new();
+        let mut delivered = Vec::new();
+        let mut stalled = 0usize;
+        let mut comp_iter = completions.into_iter();
+        for (i, (line, token)) in reqs.into_iter().enumerate() {
+            match mshr.try_allocate(LineAddr::new(line), token) {
+                Ok(_) => submitted.push(token),
+                Err(t) => {
+                    prop_assert_eq!(t, token, "stall must hand the token back");
+                    stalled += 1;
+                }
+            }
+            prop_assert!(mshr.len() <= 4);
+            // Occasionally complete a line.
+            if i % 5 == 4 {
+                if let Some(l) = comp_iter.next() {
+                    delivered.extend(mshr.complete(LineAddr::new(l)));
+                }
+            }
+        }
+        // Drain everything.
+        for line in 0..16u64 {
+            delivered.extend(mshr.complete(LineAddr::new(line)));
+        }
+        prop_assert!(mshr.is_empty());
+        submitted.sort_unstable();
+        delivered.sort_unstable();
+        prop_assert_eq!(submitted, delivered, "tokens lost or duplicated (stalled={})", stalled);
+    }
+}

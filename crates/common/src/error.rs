@@ -1,0 +1,43 @@
+//! Error types for configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid simulator configuration.
+///
+/// Returned by constructors that validate structural constraints the paper's
+/// designs impose (e.g. the DC-L1 node count must divide the core count, the
+/// cluster count must divide the node count, the L2 slice count must be a
+/// multiple of the per-cluster node count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("cores (80) not divisible by nodes (7)");
+        assert!(e.to_string().contains("not divisible"));
+        // Usable as a boxed error.
+        let _boxed: Box<dyn Error> = Box::new(e);
+    }
+}

@@ -1,0 +1,222 @@
+//! A log-bucketed latency histogram.
+//!
+//! The paper's latency analysis (§VIII) argues about *distributions* —
+//! added core↔DC-L1 latency vs reduced queueing — so the simulator records
+//! round-trip times in a histogram cheap enough to update on every load:
+//! power-of-two buckets with four linear sub-buckets each (HdrHistogram-
+//! style, ~1.19× relative error), fixed memory, O(1) record.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS; // linear sub-buckets per octave
+const OCTAVES: usize = 40;
+const BUCKETS: usize = OCTAVES * SUB;
+
+/// Fixed-size log-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use dcl1_common::hist::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.5) >= 20 && h.percentile(0.5) <= 40);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: vec![0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as usize; // ≥ SUB_BITS
+        let sub = (value >> (octave as u32 - SUB_BITS)) as usize & (SUB - 1);
+        let idx = (octave - SUB_BITS as usize + 1) * SUB + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `idx` (the value reported for percentiles).
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let octave = idx / SUB - 1 + SUB_BITS as usize;
+        let sub = (idx % SUB) as u64;
+        (1u64 << octave) + (sub << (octave as u32 - SUB_BITS))
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0,1]`): the floor of the bucket
+    /// containing the q-th sample (≤ ~19% relative error).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples (end-of-warmup reset).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..4u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.01), 0);
+        assert_eq!(h.percentile(1.0), 3);
+    }
+
+    #[test]
+    fn percentiles_are_order_correct() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Within the bucket resolution of the true quantiles.
+        assert!((400..=500).contains(&p50), "p50 {p50}");
+        assert!((768..=950).contains(&p95), "p95 {p95}");
+        assert_eq!(h.mean(), 500.5);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 17, 130, 5000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 250, 100_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.mean(), both.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), both.percentile(q));
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_round_trip_monotone() {
+        // Bucket floors are monotone and every value maps to a bucket
+        // whose floor does not exceed it.
+        let mut prev = 0;
+        for idx in 0..BUCKETS {
+            let f = Histogram::bucket_floor(idx);
+            assert!(f >= prev, "floor not monotone at {idx}");
+            prev = f;
+        }
+        for v in (0..20u64).chain([100, 1000, 12345, 1 << 30]) {
+            let idx = Histogram::bucket_of(v);
+            assert!(Histogram::bucket_floor(idx) <= v, "floor exceeds value {v}");
+        }
+    }
+}

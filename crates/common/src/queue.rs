@@ -1,0 +1,201 @@
+//! Bounded FIFO queues with occupancy and backpressure statistics.
+//!
+//! Every buffering point in the simulator — the four queues of a DC-L1 node
+//! (Q1..Q4 in paper Fig. 3), NoC injection/ejection buffers, MSHR-to-NoC
+//! staging — is a [`BoundedQueue`]. Besides FIFO semantics it records how
+//! often a producer found the queue full, which is the signal the paper's
+//! partition-camping analysis relies on.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO queue.
+///
+/// # Examples
+///
+/// ```
+/// use dcl1_common::queue::BoundedQueue;
+///
+/// let mut q: BoundedQueue<u32> = BoundedQueue::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert_eq!(q.try_push(3), Err(3)); // full: item handed back
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Number of `try_push` calls rejected because the queue was full.
+    rejected: u64,
+    /// Number of items ever accepted.
+    accepted: u64,
+    /// Sum of occupancy observed at each `sample_occupancy` call.
+    occupancy_sum: u64,
+    occupancy_samples: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            rejected: 0,
+            accepted: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+        }
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` (handing the item back to the caller) if the
+    /// queue is full, and counts the rejection as backpressure.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            self.accepted += 1;
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Returns a mutable reference to the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining slots before the queue is full.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the item at `index` (0 = oldest), shifting the
+    /// rest. Used by virtual-channel-style arbitration that may serve a
+    /// non-head packet.
+    pub fn remove_at(&mut self, index: usize) -> Option<T> {
+        self.items.remove(index)
+    }
+
+    /// Records the current occupancy into the running-average statistics.
+    pub fn sample_occupancy(&mut self) {
+        self.occupancy_sum += self.items.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    /// Number of rejected (backpressured) push attempts.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of accepted pushes.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Mean occupancy over all samples, or 0.0 if never sampled.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.occupancy_samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backpressure_counts_rejections() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push('a').unwrap();
+        assert_eq!(q.try_push('b'), Err('b'));
+        assert_eq!(q.try_push('c'), Err('c'));
+        assert_eq!(q.rejected(), 2);
+        assert_eq!(q.accepted(), 1);
+    }
+
+    #[test]
+    fn occupancy_statistics() {
+        let mut q = BoundedQueue::new(8);
+        q.sample_occupancy(); // 0
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.sample_occupancy(); // 2
+        assert!((q.mean_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn front_and_free_slots() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.free_slots(), 2);
+        q.try_push(10).unwrap();
+        assert_eq!(q.front(), Some(&10));
+        *q.front_mut().unwrap() = 11;
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,1093 @@
+//! The full-system cycle-level simulator.
+//!
+//! [`GpuSystem::build`] instantiates a machine from a [`GpuConfig`], a
+//! [`Design`] and a workload's [`TraceFactory`]; [`GpuSystem::run`]
+//! executes the kernel to completion and returns [`RunStats`].
+//!
+//! ## Per-cycle pipeline
+//!
+//! Components communicate only through bounded queues and crossbar ports,
+//! so the tick order below introduces at most single-cycle skews:
+//!
+//! 1. CTA dispatch to cores with free slots;
+//! 2. core issue (one instruction per core per cycle) into per-core
+//!    transaction outboxes;
+//! 3. outbox → NoC#1 injection (or directly into the in-core L1's Q1 for
+//!    baseline designs);
+//! 4. NoC#1 ticks (1× or 2× per core cycle) with ejection into node Q1 /
+//!    completion at cores;
+//! 5. node Q3 → NoC#2 injection; NoC#2 ticks in the 700 MHz domain with
+//!    ejection into L2 input queues / node Q4;
+//! 6. L2 slice ticks; L2 ↔ DRAM moves; DRAM ticks in the 924 MHz domain;
+//! 7. DC-L1 node ticks;
+//! 8. node Q2 → NoC#1 reply injection (or directly back to the core).
+
+use crate::config::GpuConfig;
+use crate::design::{Attachment, Design, Noc2Kind, Topology};
+use crate::node::{Dcl1Node, NodeConfig};
+use crate::presence::PresenceMap;
+use crate::stats::RunStats;
+use crate::txn::Txn;
+use dcl1_common::stats::RunningMean;
+use dcl1_common::{ClockDomain, ConfigError, CoreId, Cycle, Histogram};
+use dcl1_gpu::{Core, CoreConfig, CtaDispatcher, CtaPolicy, MemKind, TraceFactory};
+use dcl1_mem::{DramAccess, L2Reply, L2Request, L2Slice, MemAccessKind, MemoryController};
+use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
+use std::collections::VecDeque;
+
+/// Run-level options orthogonal to the design (the paper's sensitivity
+/// knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Perfect-(DC-)L1 mode: every lookup hits (Fig 4c).
+    pub perfect_l1: bool,
+    /// Overrides the L1/DC-L1 access latency (Fig 19b sweeps 0..64).
+    pub l1_latency_override: Option<u32>,
+    /// CTA scheduling policy (§VIII-A sensitivity).
+    pub cta_policy: CtaPolicy,
+    /// Hard cycle cap (defends against pathological configurations).
+    pub max_cycles: u64,
+    /// Cycles between replica-count samples.
+    pub replica_sample_interval: u64,
+    /// Instructions to retire before statistics start counting
+    /// (cache-warmup fast-forward, as simulation methodology requires;
+    /// 0 = measure from cold).
+    pub warmup_instructions: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            perfect_l1: false,
+            l1_latency_override: None,
+            cta_policy: CtaPolicy::GreedyRoundRobin,
+            max_cycles: 20_000_000,
+            replica_sample_interval: 2048,
+            warmup_instructions: 0,
+        }
+    }
+}
+
+/// NoC#2 instantiation (one direction).
+#[derive(Debug)]
+enum Noc2Net {
+    /// One `sources×slices` crossbar.
+    Single(Crossbar<Txn>),
+    /// One crossbar per home slot (paper Fig 10).
+    Sliced(Vec<Crossbar<Txn>>),
+    /// The hierarchical CDXBar comparator.
+    TwoStage {
+        stage1: Vec<Crossbar<Txn>>,
+        stage2: Crossbar<Txn>,
+    },
+}
+
+impl Noc2Net {
+    fn is_idle(&self) -> bool {
+        match self {
+            Noc2Net::Single(x) => x.is_idle(),
+            Noc2Net::Sliced(v) => v.iter().all(Crossbar::is_idle),
+            Noc2Net::TwoStage { stage1, stage2 } => {
+                stage1.iter().all(Crossbar::is_idle) && stage2.is_idle()
+            }
+        }
+    }
+}
+
+/// The assembled machine.
+#[derive(Debug)]
+pub struct GpuSystem<'w> {
+    cfg: GpuConfig,
+    topo: Topology,
+    opts: SimOptions,
+    factory: &'w dyn TraceFactory,
+    dispatcher: CtaDispatcher,
+
+    cores: Vec<Core>,
+    /// Per-core coalesced transactions awaiting injection.
+    outbox: Vec<VecDeque<Txn>>,
+    nodes: Vec<Dcl1Node>,
+    presence: PresenceMap,
+
+    /// NoC#1 request/reply crossbars, one pair per cluster (empty when
+    /// direct-attached).
+    noc1_req: Vec<Crossbar<Txn>>,
+    noc1_rep: Vec<Crossbar<Txn>>,
+
+    noc2_req: Noc2Net,
+    noc2_rep: Noc2Net,
+    noc2_clock: ClockDomain,
+    /// Stage-1/stage-2 clocks for the CDXBar comparator.
+    cdx_clocks: Option<(ClockDomain, ClockDomain)>,
+
+    l2: Vec<L2Slice<Txn>>,
+    /// Reply popped from a slice but not yet injected into NoC#2.
+    l2_reply_stash: Vec<Option<L2Reply<Txn>>>,
+    /// DRAM access popped from a slice but not yet accepted by its MC.
+    dram_stash: Vec<Option<DramAccess>>,
+    mcs: Vec<MemoryController<usize>>,
+    dram_clock: ClockDomain,
+
+    now: Cycle,
+    /// Cycle at which statistics were last reset (end of warmup).
+    stat_base_cycle: Cycle,
+    warmup_done: bool,
+    txn_counter: u64,
+    load_rtt: RunningMean,
+    rtt_hist: Histogram,
+    hit_rtt: RunningMean,
+    miss_rtt: RunningMean,
+    replica_samples: RunningMean,
+}
+
+impl<'w> GpuSystem<'w> {
+    /// Builds a machine for `design` running `factory`'s kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the design does not resolve against the
+    /// configuration (divisibility constraints, cache geometry).
+    pub fn build(
+        cfg: &GpuConfig,
+        design: &Design,
+        factory: &'w dyn TraceFactory,
+        opts: SimOptions,
+    ) -> Result<Self, ConfigError> {
+        let topo = design.topology(cfg)?;
+        let node_cfg = NodeConfig {
+            size_bytes: topo.node_bytes(cfg),
+            assoc: cfg.l1_assoc,
+            line_bytes: cfg.line_bytes,
+            latency: opts.l1_latency_override.unwrap_or_else(|| topo.node_latency(cfg)),
+            mshr_entries: (cfg.l1_mshr_entries * cfg.cores / topo.nodes).max(1),
+            mshr_merges: cfg.l1_mshr_merges * (cfg.cores / topo.nodes).max(1),
+            queue_entries: if topo.ideal_ports {
+                cfg.node_queue_entries * cfg.cores
+            } else {
+                cfg.node_queue_entries
+            },
+            ports: if topo.ideal_ports { cfg.cores } else { 1 },
+            perfect: opts.perfect_l1,
+        };
+        let nodes = (0..topo.nodes)
+            .map(|_| Dcl1Node::new(node_cfg))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let cores = (0..cfg.cores)
+            .map(|c| {
+                Core::new(
+                    CoreId::new(c),
+                    CoreConfig {
+                        max_wavefronts: cfg.max_wavefronts,
+                        max_ctas: cfg.max_ctas_per_core,
+                        issue_policy: cfg.issue_policy,
+                    },
+                )
+            })
+            .collect();
+
+        // NoC#1.
+        let xcfg = |i: usize, o: usize| -> CrossbarConfig {
+            CrossbarConfig {
+                vc_lookahead: cfg.noc_vcs.max(1),
+                ..CrossbarConfig::new(i, o).expect("nonzero ports")
+            }
+        };
+        let (noc1_req, noc1_rep) = match topo.attachment {
+            Attachment::Direct => (Vec::new(), Vec::new()),
+            Attachment::Noc1 { .. } => {
+                let cpc = topo.cores_per_cluster();
+                let m = topo.nodes_per_cluster();
+                let req = (0..topo.clusters).map(|_| Crossbar::new(xcfg(cpc, m))).collect();
+                let rep = (0..topo.clusters).map(|_| Crossbar::new(xcfg(m, cpc))).collect();
+                (req, rep)
+            }
+        };
+
+        // NoC#2.
+        let l = cfg.l2_slices;
+        let make = |i: usize, o: usize| -> Crossbar<Txn> { Crossbar::new(xcfg(i, o)) };
+        let (noc2_req, noc2_rep, cdx_clocks) = match topo.noc2 {
+            Noc2Kind::Single => {
+                // The ideal single-L1 hypothetical keeps full memory-side
+                // bandwidth (paper §II-A): one NoC#2 port per core.
+                let sources = if topo.ideal_ports { topo.cores } else { topo.nodes };
+                (
+                    Noc2Net::Single(make(sources, l)),
+                    Noc2Net::Single(make(l, sources)),
+                    None,
+                )
+            }
+            Noc2Kind::Sliced { groups } => {
+                let o = l / groups;
+                let req = (0..groups).map(|_| make(topo.clusters, o)).collect();
+                let rep = (0..groups).map(|_| make(o, topo.clusters)).collect();
+                (Noc2Net::Sliced(req), Noc2Net::Sliced(rep), None)
+            }
+            Noc2Kind::TwoStage { groups, uplinks, stage1_mult, stage2_mult } => {
+                let cpg = topo.cores / groups;
+                let req = Noc2Net::TwoStage {
+                    stage1: (0..groups).map(|_| make(cpg, uplinks)).collect(),
+                    stage2: make(groups * uplinks, l),
+                };
+                let rep = Noc2Net::TwoStage {
+                    stage1: (0..groups).map(|_| make(uplinks, cpg)).collect(),
+                    stage2: make(l, groups * uplinks),
+                };
+                let clocks = (
+                    ClockDomain::new(cfg.noc_mhz * stage1_mult, cfg.core_mhz),
+                    ClockDomain::new(cfg.noc_mhz * stage2_mult, cfg.core_mhz),
+                );
+                (req, rep, Some(clocks))
+            }
+        };
+
+        let l2 = (0..l)
+            .map(|_| L2Slice::new(cfg.l2))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mcs = (0..cfg.mcs).map(|_| MemoryController::new(cfg.dram)).collect();
+
+        Ok(GpuSystem {
+            dispatcher: CtaDispatcher::new(opts.cta_policy, factory.total_ctas(), cfg.cores),
+            outbox: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
+            presence: PresenceMap::new(),
+            l2_reply_stash: (0..l).map(|_| None).collect(),
+            dram_stash: (0..l).map(|_| None).collect(),
+            noc2_clock: ClockDomain::new(cfg.noc_mhz * topo.noc2_freq_mult, cfg.core_mhz),
+            dram_clock: ClockDomain::new(cfg.mem_mhz, cfg.core_mhz),
+            cfg: cfg.clone(),
+            topo,
+            opts,
+            factory,
+            cores,
+            nodes,
+            noc1_req,
+            noc1_rep,
+            noc2_req,
+            noc2_rep,
+            cdx_clocks,
+            l2,
+            mcs,
+            now: 0,
+            stat_base_cycle: 0,
+            warmup_done: false,
+            txn_counter: 0,
+            load_rtt: RunningMean::default(),
+            rtt_hist: Histogram::new(),
+            hit_rtt: RunningMean::default(),
+            miss_rtt: RunningMean::default(),
+            replica_samples: RunningMean::default(),
+        })
+    }
+
+    /// The resolved topology this machine implements.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn effective_flit_bytes(&self) -> u32 {
+        self.cfg.flit_bytes * self.topo.flit_mult
+    }
+
+    fn packet(&self, src: usize, dst: usize, data_bytes: u32, txn: Txn) -> Packet<Txn> {
+        let flit = self.effective_flit_bytes();
+        Packet { src, dst, flits: 1 + data_bytes.div_ceil(flit), payload: txn }
+    }
+
+    fn slice_of(&self, line: dcl1_common::LineAddr) -> usize {
+        line.interleave(self.cfg.l2_slices)
+    }
+
+    fn mc_of_slice(&self, slice: usize) -> usize {
+        slice / self.cfg.slices_per_mc()
+    }
+
+    /// Request data bytes on NoC#1/NoC#2 toward the memory side.
+    fn down_bytes(txn: &Txn) -> u32 {
+        match txn.kind {
+            MemKind::Load | MemKind::Aux => 0,
+            MemKind::Store | MemKind::Atomic => txn.bytes,
+        }
+    }
+
+    /// Reply data bytes toward the core.
+    fn up_bytes(txn: &Txn) -> u32 {
+        match txn.kind {
+            MemKind::Load | MemKind::Aux | MemKind::Atomic => txn.bytes,
+            MemKind::Store => 0,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Per-cycle phases
+    // ---------------------------------------------------------------
+
+    fn dispatch_ctas(&mut self) {
+        if self.dispatcher.remaining() == 0 {
+            return;
+        }
+        // Deal CTAs one per core per round (GPGPU-Sim's round-robin issue
+        // order), so small grids spread across all cores instead of
+        // saturating the first few.
+        let wpc = self.factory.wavefronts_per_cta() as usize;
+        loop {
+            let mut progress = false;
+            for c in 0..self.cores.len() {
+                if self.cores[c].can_host_cta(wpc) {
+                    let Some(cta) = self.dispatcher.fetch(CoreId::new(c)) else { continue };
+                    let traces =
+                        (0..wpc as u32).map(|w| self.factory.wavefront_trace(cta, w)).collect();
+                    self.cores[c].add_cta(cta, traces);
+                    progress = true;
+                }
+            }
+            if !progress || self.dispatcher.remaining() == 0 {
+                break;
+            }
+        }
+    }
+
+    fn issue_cores(&mut self) {
+        for c in 0..self.cores.len() {
+            let mem_ready = self.outbox[c].is_empty();
+            if let Some(issued) = self.cores[c].tick(self.now, mem_ready) {
+                for a in &issued.instr.accesses {
+                    self.txn_counter += 1;
+                    self.outbox[c].push_back(Txn {
+                        id: self.txn_counter,
+                        core: issued.core,
+                        wavefront: issued.wavefront,
+                        line: a.line,
+                        bytes: a.bytes,
+                        kind: issued.instr.kind,
+                        issued_at: self.now,
+                        l1_hit: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Moves one transaction per core from its outbox toward the L1 level.
+    fn drain_outboxes(&mut self) {
+        for c in 0..self.outbox.len() {
+            let Some(&txn) = self.outbox[c].front() else { continue };
+            match self.topo.attachment {
+                Attachment::Direct => {
+                    // In-core L1 (node index == core index), or the single
+                    // node of the ideal shared-L1 study.
+                    let node = self.topo.home_node(c, txn.line);
+                    if self.nodes[node].can_accept_request() {
+                        self.outbox[c].pop_front();
+                        self.nodes[node]
+                            .try_push_request(txn)
+                            .unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+                Attachment::Noc1 { .. } => {
+                    let cluster = self.topo.cluster_of_core(c);
+                    let src = c % self.topo.cores_per_cluster();
+                    let node = self.topo.home_node(c, txn.line);
+                    let dst = node % self.topo.nodes_per_cluster();
+                    if self.noc1_req[cluster].can_inject(src) {
+                        self.outbox[c].pop_front();
+                        let pkt = self.packet(src, dst, Self::down_bytes(&txn), txn);
+                        self.noc1_req[cluster]
+                            .try_inject(pkt)
+                            .unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Node Q2 → core (direct) or NoC#1 reply injection.
+    fn drain_node_replies(&mut self) {
+        match self.topo.attachment {
+            Attachment::Direct => {
+                // A direct-attached L1 returns one reply per cycle at full
+                // width; the ideal single L1 has one reply port per core.
+                let pops = if self.topo.ideal_ports { self.cfg.cores } else { 1 };
+                for n in 0..self.nodes.len() {
+                    for _ in 0..pops {
+                        match self.nodes[n].pop_reply() {
+                            Some(txn) => self.complete_at_core(txn),
+                            None => break,
+                        }
+                    }
+                }
+            }
+            Attachment::Noc1 { .. } => {
+                let m = self.topo.nodes_per_cluster();
+                for n in 0..self.nodes.len() {
+                    let cluster = n / m;
+                    let Some(txn) = self.nodes[n].peek_reply() else { continue };
+                    let src = n % m;
+                    let dst = txn.core.index() % self.topo.cores_per_cluster();
+                    if self.noc1_rep[cluster].can_inject(src) {
+                        let txn = self.nodes[n].pop_reply().expect("peeked Some");
+                        let pkt = self.packet(src, dst, Self::up_bytes(&txn), txn);
+                        self.noc1_rep[cluster]
+                            .try_inject(pkt)
+                            .unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick_noc1(&mut self) {
+        let ticks = self.topo.noc1_ticks_per_cycle();
+        let m = self.topo.nodes_per_cluster();
+        let cpc = self.topo.cores_per_cluster();
+        for _ in 0..ticks {
+            for cluster in 0..self.noc1_req.len() {
+                self.noc1_req[cluster].tick();
+                // Eject requests into node Q1 (respecting Q1 room).
+                for slot in 0..m {
+                    let node = cluster * m + slot;
+                    while self.nodes[node].can_accept_request() {
+                        match self.noc1_req[cluster].pop_output(slot) {
+                            Some(pkt) => self.nodes[node]
+                                .try_push_request(pkt.payload)
+                                .unwrap_or_else(|_| unreachable!("checked room")),
+                            None => break,
+                        }
+                    }
+                }
+                self.noc1_rep[cluster].tick();
+                for port in 0..cpc {
+                    while let Some(pkt) = self.noc1_rep[cluster].pop_output(port) {
+                        self.complete_at_core(pkt.payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_at_core(&mut self, txn: Txn) {
+        if txn.kind == MemKind::Load {
+            let rtt = (self.now - txn.issued_at) as f64;
+            self.load_rtt.record(rtt);
+            self.rtt_hist.record(self.now - txn.issued_at);
+            if txn.l1_hit {
+                self.hit_rtt.record(rtt);
+            } else {
+                self.miss_rtt.record(rtt);
+            }
+        }
+        self.cores[txn.core.index()].complete_access(txn.wavefront);
+    }
+
+    /// Node Q3 → NoC#2 request injection.
+    fn inject_noc2_requests(&mut self) {
+        let m = self.topo.nodes_per_cluster();
+        let pops = if self.topo.ideal_ports { self.cfg.cores } else { 1 };
+        for n in 0..self.nodes.len() {
+            for _ in 0..pops {
+            let Some(txn) = self.nodes[n].peek_l2_request().copied() else { break };
+            let slice = self.slice_of(txn.line);
+            let data = Self::down_bytes(&txn);
+            let mut advanced = false;
+            match &mut self.noc2_req {
+                Noc2Net::Single(x) => {
+                    let src = if self.topo.ideal_ports { txn.core.index() } else { n };
+                    if x.can_inject(src) {
+                        self.nodes[n].pop_l2_request();
+                        advanced = true;
+                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
+                        let pkt =
+                            Packet { src, dst: slice, flits: 1 + data.div_ceil(flit), payload: txn };
+                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+                Noc2Net::Sliced(xs) => {
+                    let slot = n % m;
+                    debug_assert_eq!(
+                        slice % xs.len(),
+                        slot % xs.len(),
+                        "home-slot / slice interleaving mismatch"
+                    );
+                    let cluster = n / m;
+                    let dst = slice / xs.len();
+                    let x = &mut xs[slot];
+                    if x.can_inject(cluster) {
+                        self.nodes[n].pop_l2_request();
+                        advanced = true;
+                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
+                        let pkt = Packet {
+                            src: cluster,
+                            dst,
+                            flits: 1 + data.div_ceil(flit),
+                            payload: txn,
+                        };
+                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+                Noc2Net::TwoStage { stage1, .. } => {
+                    // Baseline machine: node index == core index.
+                    let groups = stage1.len();
+                    let cpg = self.topo.cores / groups;
+                    let g = n / cpg;
+                    let src = n % cpg;
+                    let uplinks = stage1[g].config().outputs;
+                    let dst = slice % uplinks;
+                    if stage1[g].can_inject(src) {
+                        self.nodes[n].pop_l2_request();
+                        advanced = true;
+                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
+                        let pkt =
+                            Packet { src, dst, flits: 1 + data.div_ceil(flit), payload: txn };
+                        stage1[g].try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+            }
+        }
+    }
+
+    /// L2 replies → NoC#2 reply injection (via per-slice stashes).
+    fn inject_noc2_replies(&mut self) {
+        let m = self.topo.nodes_per_cluster();
+        for s in 0..self.l2.len() {
+            if self.l2_reply_stash[s].is_none() {
+                self.l2_reply_stash[s] = self.l2.pop_reply_for(s);
+            }
+            let Some(reply) = &self.l2_reply_stash[s] else { continue };
+            let txn = reply.payload;
+            // Full-line fills for loads; acks/small data otherwise.
+            let data = match txn.kind {
+                MemKind::Load => self.cfg.line_bytes as u32,
+                MemKind::Aux | MemKind::Atomic => txn.bytes,
+                MemKind::Store => 0,
+            };
+            let flit = self.effective_flit_bytes();
+            // For baseline machines home_node is the core's own L1; for
+            // the ideal single L1 it is node 0; for DC-L1 designs it is
+            // the home DC-L1 that issued the fill.
+            let node = self.topo.home_node(txn.core.index(), txn.line);
+            match &mut self.noc2_rep {
+                Noc2Net::Single(x) => {
+                    let dst = if self.topo.ideal_ports { txn.core.index() } else { node };
+                    if x.can_inject(s) {
+                        let pkt =
+                            Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
+                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.l2_reply_stash[s] = None;
+                    }
+                }
+                Noc2Net::Sliced(xs) => {
+                    let groups = xs.len();
+                    let slot = node % m;
+                    debug_assert_eq!(s % groups, slot % groups);
+                    let cluster = node / m;
+                    let src = s / groups;
+                    let x = &mut xs[slot];
+                    if x.can_inject(src) {
+                        let pkt = Packet {
+                            src,
+                            dst: cluster,
+                            flits: 1 + data.div_ceil(flit),
+                            payload: txn,
+                        };
+                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.l2_reply_stash[s] = None;
+                    }
+                }
+                Noc2Net::TwoStage { stage2, stage1 } => {
+                    let groups = stage1.len();
+                    let cpg = self.topo.cores / groups;
+                    let g = node / cpg;
+                    let uplinks = stage1[0].config().inputs;
+                    let dst = g * uplinks + s % uplinks;
+                    if stage2.can_inject(s) {
+                        let pkt =
+                            Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
+                        stage2.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.l2_reply_stash[s] = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick_noc2(&mut self) {
+        let ticks = self.noc2_clock.advance();
+        let (s1_ticks, s2_ticks) = match &mut self.cdx_clocks {
+            Some((c1, c2)) => (c1.advance(), c2.advance()),
+            None => (0, 0),
+        };
+        // Request direction.
+        match &mut self.noc2_req {
+            Noc2Net::Single(x) => {
+                for _ in 0..ticks {
+                    x.tick();
+                    Self::eject_into_l2(x, &mut self.l2, None);
+                }
+            }
+            Noc2Net::Sliced(xs) => {
+                for _ in 0..ticks {
+                    let groups = xs.len();
+                    for (slot, x) in xs.iter_mut().enumerate() {
+                        x.tick();
+                        Self::eject_into_l2(x, &mut self.l2, Some((slot, groups)));
+                    }
+                }
+            }
+            Noc2Net::TwoStage { stage1, stage2 } => {
+                for _ in 0..s1_ticks {
+                    for (g, x) in stage1.iter_mut().enumerate() {
+                        x.tick();
+                        // Stage-1 ejects feed stage-2 inputs.
+                        let uplinks = x.config().outputs;
+                        for u in 0..uplinks {
+                            while let Some(_pkt) = x.peek_output(u) {
+                                let input = g * uplinks + u;
+                                if !stage2.can_inject(input) {
+                                    break;
+                                }
+                                let pkt = x.pop_output(u).expect("peeked Some");
+                                let slice = Self::slice_of_static(
+                                    pkt.payload.line,
+                                    stage2.config().outputs,
+                                );
+                                let fwd = Packet {
+                                    src: input,
+                                    dst: slice,
+                                    flits: pkt.flits,
+                                    payload: pkt.payload,
+                                };
+                                stage2
+                                    .try_inject(fwd)
+                                    .unwrap_or_else(|_| unreachable!("checked room"));
+                            }
+                        }
+                    }
+                }
+                for _ in 0..s2_ticks {
+                    stage2.tick();
+                    Self::eject_into_l2(stage2, &mut self.l2, None);
+                }
+            }
+        }
+        // Reply direction.
+        let m = self.topo.nodes_per_cluster();
+        match &mut self.noc2_rep {
+            Noc2Net::Single(x) => {
+                let ideal = self.topo.ideal_ports;
+                for _ in 0..ticks {
+                    x.tick();
+                    for port in 0..x.config().outputs {
+                        let n = if ideal { 0 } else { port };
+                        while self.nodes[n].can_accept_l2_reply() {
+                            match x.pop_output(port) {
+                                Some(pkt) => self.nodes[n]
+                                    .try_push_l2_reply(pkt.payload)
+                                    .unwrap_or_else(|_| unreachable!("checked room")),
+                                None => break,
+                            }
+                        }
+                    }
+                }
+            }
+            Noc2Net::Sliced(xs) => {
+                for _ in 0..ticks {
+                    for (slot, x) in xs.iter_mut().enumerate() {
+                        x.tick();
+                        for cluster in 0..self.topo.clusters {
+                            let node = cluster * m + slot;
+                            while self.nodes[node].can_accept_l2_reply() {
+                                match x.pop_output(cluster) {
+                                    Some(pkt) => self.nodes[node]
+                                        .try_push_l2_reply(pkt.payload)
+                                        .unwrap_or_else(|_| unreachable!("checked room")),
+                                    None => break,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Noc2Net::TwoStage { stage1, stage2 } => {
+                for _ in 0..s2_ticks {
+                    stage2.tick();
+                    // Stage-2 ejects feed per-group stage-1 reply xbars.
+                    let groups = stage1.len();
+                    let cpg = self.topo.cores / groups;
+                    let uplinks = stage1[0].config().inputs;
+                    for port in 0..stage2.config().outputs {
+                        let g = port / uplinks;
+                        let u = port % uplinks;
+                        while let Some(_pkt) = stage2.peek_output(port) {
+                            if !stage1[g].can_inject(u) {
+                                break;
+                            }
+                            let pkt = stage2.pop_output(port).expect("peeked Some");
+                            let dst = pkt.payload.core.index() % cpg;
+                            let fwd =
+                                Packet { src: u, dst, flits: pkt.flits, payload: pkt.payload };
+                            stage1[g]
+                                .try_inject(fwd)
+                                .unwrap_or_else(|_| unreachable!("checked room"));
+                        }
+                    }
+                }
+                for _ in 0..s1_ticks {
+                    for (g, x) in stage1.iter_mut().enumerate() {
+                        x.tick();
+                        let cpg = x.config().outputs;
+                        for port in 0..cpg {
+                            let node = g * cpg + port;
+                            while self.nodes[node].can_accept_l2_reply() {
+                                match x.pop_output(port) {
+                                    Some(pkt) => self.nodes[node]
+                                        .try_push_l2_reply(pkt.payload)
+                                        .unwrap_or_else(|_| unreachable!("checked room")),
+                                    None => break,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn slice_of_static(line: dcl1_common::LineAddr, slices: usize) -> usize {
+        line.interleave(slices)
+    }
+
+    /// Drains a request-direction crossbar's ejection ports into the L2
+    /// slices. `sliced` carries `(slot, groups)` so output port `p` maps
+    /// to slice `p * groups + slot`; `None` means output port == slice.
+    fn eject_into_l2(
+        x: &mut Crossbar<Txn>,
+        l2: &mut [L2Slice<Txn>],
+        sliced: Option<(usize, usize)>,
+    ) {
+        for port in 0..x.config().outputs {
+            let slice = match sliced {
+                Some((slot, groups)) => port * groups + slot,
+                None => port,
+            };
+            while l2[slice].can_accept() {
+                match x.pop_output(port) {
+                    Some(pkt) => {
+                        let txn = pkt.payload;
+                        let kind = match txn.kind {
+                            MemKind::Load | MemKind::Aux => MemAccessKind::Read,
+                            MemKind::Store => MemAccessKind::Write,
+                            MemKind::Atomic => MemAccessKind::Atomic,
+                        };
+                        l2[slice]
+                            .try_enqueue(L2Request { line: txn.line, kind, payload: txn })
+                            .unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn tick_memory_side(&mut self) {
+        // L2 slices run at the core clock.
+        for s in 0..self.l2.len() {
+            self.l2[s].tick();
+            // L2 → DRAM (via stash).
+            if self.dram_stash[s].is_none() {
+                self.dram_stash[s] = self.l2[s].pop_dram();
+            }
+            if let Some(acc) = self.dram_stash[s] {
+                let mc = self.mc_of_slice(s);
+                let payload = if acc.is_write { None } else { Some(s) };
+                if self.mcs[mc].can_accept() {
+                    self.mcs[mc]
+                        .try_enqueue(acc.line, acc.is_write, payload)
+                        .unwrap_or_else(|_| unreachable!("checked room"));
+                    self.dram_stash[s] = None;
+                }
+            }
+        }
+        // DRAM domain.
+        let ticks = self.dram_clock.advance();
+        for _ in 0..ticks {
+            for mc in &mut self.mcs {
+                mc.tick();
+                while let Some((line, slice)) = mc.pop_reply() {
+                    self.l2[slice].dram_fill(line);
+                }
+            }
+        }
+    }
+
+    fn tick_nodes(&mut self) {
+        for node in &mut self.nodes {
+            node.tick(&mut self.presence);
+        }
+    }
+
+    fn all_idle(&self) -> bool {
+        self.dispatcher.remaining() == 0
+            && self.cores.iter().all(Core::is_drained)
+            && self.outbox.iter().all(VecDeque::is_empty)
+            && self.nodes.iter().all(Dcl1Node::is_idle)
+            && self.noc1_req.iter().all(Crossbar::is_idle)
+            && self.noc1_rep.iter().all(Crossbar::is_idle)
+            && self.noc2_req.is_idle()
+            && self.noc2_rep.is_idle()
+            && self.l2.iter().all(L2Slice::is_idle)
+            && self.l2_reply_stash.iter().all(Option::is_none)
+            && self.dram_stash.iter().all(Option::is_none)
+            && self.mcs.iter().all(MemoryController::is_idle)
+    }
+
+    /// Runs the kernel to completion (or the cycle cap) and returns the
+    /// collected statistics.
+    pub fn run(&mut self) -> RunStats {
+        while self.now < self.opts.max_cycles {
+            self.step();
+            if !self.warmup_done && self.opts.warmup_instructions > 0 && self.now.is_multiple_of(64) {
+                let retired: u64 =
+                    self.cores.iter().map(|c| c.stats().instructions.get()).sum();
+                if retired >= self.opts.warmup_instructions {
+                    self.reset_statistics();
+                }
+            }
+            if self.now.is_multiple_of(64) && self.all_idle() {
+                break;
+            }
+        }
+        self.collect_stats()
+    }
+
+    /// Ends the warmup phase: zeroes every statistic while leaving all
+    /// architectural state (cache contents, queues, in-flight traffic)
+    /// intact, so the measured phase starts from a warm machine.
+    pub fn reset_statistics(&mut self) {
+        self.warmup_done = true;
+        self.stat_base_cycle = self.now;
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        for n in &mut self.nodes {
+            n.reset_stats();
+        }
+        for x in self.noc1_req.iter_mut().chain(self.noc1_rep.iter_mut()) {
+            x.reset_stats();
+        }
+        for net in [&mut self.noc2_req, &mut self.noc2_rep] {
+            match net {
+                Noc2Net::Single(x) => x.reset_stats(),
+                Noc2Net::Sliced(v) => v.iter_mut().for_each(Crossbar::reset_stats),
+                Noc2Net::TwoStage { stage1, stage2 } => {
+                    stage1.iter_mut().for_each(Crossbar::reset_stats);
+                    stage2.reset_stats();
+                }
+            }
+        }
+        for l2 in &mut self.l2 {
+            l2.reset_stats();
+        }
+        for mc in &mut self.mcs {
+            mc.reset_stats();
+        }
+        self.load_rtt = RunningMean::default();
+        self.rtt_hist.reset();
+        self.hit_rtt = RunningMean::default();
+        self.miss_rtt = RunningMean::default();
+        self.replica_samples = RunningMean::default();
+    }
+
+    /// Advances exactly one core cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.dispatch_ctas();
+        self.issue_cores();
+        self.drain_outboxes();
+        self.tick_noc1();
+        self.inject_noc2_requests();
+        self.inject_noc2_replies();
+        self.tick_noc2();
+        self.tick_memory_side();
+        self.tick_nodes();
+        self.drain_node_replies();
+        if self.now.is_multiple_of(self.opts.replica_sample_interval)
+            && self.presence.distinct_lines() > 0
+        {
+            self.replica_samples.record(self.presence.mean_replicas());
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// A human-readable dump of internal pressure points (stall counters,
+    /// queue rejections, in-flight packets) for performance debugging.
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let idle: u64 = self.cores.iter().map(|c| c.stats().idle_cycles.get()).sum();
+        let mstall: u64 = self.cores.iter().map(|c| c.stats().mem_stall_cycles.get()).sum();
+        let instr: u64 = self.cores.iter().map(|c| c.stats().instructions.get()).sum();
+        writeln!(s, "cycle={} instr={} core_idle={} core_mem_stall={}", self.now, instr, idle, mstall).ok();
+        let nstall: u64 = self.nodes.iter().map(|n| n.stats().stall_cycles.get()).sum();
+        let nacc: u64 = self.nodes.iter().map(|n| n.stats().accesses.get()).sum();
+        writeln!(s, "node_accesses={} node_stalls={} outbox_pending={}", nacc, nstall,
+            self.outbox.iter().map(VecDeque::len).sum::<usize>()).ok();
+        let n1r: usize = self.noc1_req.iter().map(Crossbar::in_flight).sum();
+        let n1p: usize = self.noc1_rep.iter().map(Crossbar::in_flight).sum();
+        writeln!(s, "noc1_req_inflight={} noc1_rep_inflight={}", n1r, n1p).ok();
+        let n2 = |net: &Noc2Net| -> usize {
+            match net {
+                Noc2Net::Single(x) => x.in_flight(),
+                Noc2Net::Sliced(v) => v.iter().map(Crossbar::in_flight).sum(),
+                Noc2Net::TwoStage { stage1, stage2 } => {
+                    stage1.iter().map(Crossbar::in_flight).sum::<usize>() + stage2.in_flight()
+                }
+            }
+        };
+        writeln!(s, "noc2_req_inflight={} noc2_rep_inflight={}", n2(&self.noc2_req), n2(&self.noc2_rep)).ok();
+        let l2acc: u64 = self.l2.iter().map(|x| x.stats().accesses.get()).sum();
+        let l2miss: u64 = self.l2.iter().map(|x| x.stats().misses.get()).sum();
+        writeln!(s, "l2_accesses={} l2_misses={} reply_stash={} dram_stash={}", l2acc, l2miss,
+            self.l2_reply_stash.iter().filter(|o| o.is_some()).count(),
+            self.dram_stash.iter().filter(|o| o.is_some()).count()).ok();
+        let l2q: usize = self.l2.iter().map(|x| x.input_len()).sum();
+        let l2m: usize = self.l2.iter().map(|x| x.mshr_len()).sum();
+        let l2d: usize = self.l2.iter().map(|x| x.dram_out_len()).sum();
+        let l2p: usize = self.l2.iter().map(|x| x.replies_pending()).sum();
+        let dq: usize = self.mcs.iter().map(|m| m.queue_len()).sum();
+        let dp: usize = self.mcs.iter().map(|m| m.replies_pending()).sum();
+        writeln!(s, "l2_input={} l2_mshr={} l2_dram_out={} l2_replies={} dram_q={} dram_replies={}",
+            l2q, l2m, l2d, l2p, dq, dp).ok();
+        let nodeq: usize = 0;
+        let _ = nodeq;
+        let dr: u64 = self.mcs.iter().map(|m| m.stats().reads.get() + m.stats().writes.get()).sum();
+        writeln!(
+            s,
+            "dram_reqs={} mean_load_rtt={:.1} hit_rtt={:.1}({}) miss_rtt={:.1}({})",
+            dr,
+            self.load_rtt.mean(),
+            self.hit_rtt.mean(),
+            self.hit_rtt.count(),
+            self.miss_rtt.mean(),
+            self.miss_rtt.count()
+        )
+        .ok();
+        s
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let cycles = self.now - self.stat_base_cycle;
+        let instructions =
+            self.cores.iter().map(|c| c.stats().instructions.get()).sum::<u64>();
+        let l1_accesses = self.nodes.iter().map(|n| n.stats().accesses.get()).sum();
+        let l1_hits = self.nodes.iter().map(|n| n.stats().hits.get()).sum();
+        let l1_misses = self.nodes.iter().map(|n| n.stats().misses.get()).sum();
+        let l1_replicated_misses =
+            self.nodes.iter().map(|n| n.stats().replicated_misses.get()).sum();
+        let per_node_accesses: Vec<u64> =
+            self.nodes.iter().map(|n| n.stats().accesses.get()).collect();
+        let utils: Vec<f64> = per_node_accesses
+            .iter()
+            .map(|&a| if cycles == 0 { 0.0 } else { a as f64 / cycles as f64 })
+            .collect();
+        let max_port_utilization = utils.iter().copied().fold(0.0, f64::max);
+        let mean_port_utilization = dcl1_common::stats::mean(&utils);
+
+        // Reply-link utilization toward the L1 level (Fig 2 / Fig 17).
+        let max_reply_link_utilization = match &self.noc2_rep {
+            Noc2Net::Single(x) => x.stats().max_link_utilization(),
+            Noc2Net::Sliced(xs) => {
+                xs.iter().map(|x| x.stats().max_link_utilization()).fold(0.0, f64::max)
+            }
+            Noc2Net::TwoStage { stage1, .. } => {
+                stage1.iter().map(|x| x.stats().max_link_utilization()).fold(0.0, f64::max)
+            }
+        };
+
+        let l2_accesses = self.l2.iter().map(|s| s.stats().accesses.get()).sum();
+        let l2_misses = self.l2.iter().map(|s| s.stats().misses.get()).sum();
+        let dram_requests = self
+            .mcs
+            .iter()
+            .map(|m| m.stats().reads.get() + m.stats().writes.get())
+            .sum();
+        let dram_hits: u64 = self.mcs.iter().map(|m| m.stats().row_hits.get()).sum();
+        let dram_row_hit_rate =
+            if dram_requests == 0 { 0.0 } else { dram_hits as f64 / dram_requests as f64 };
+
+        // Flit counts aligned with Topology::noc_spec entry order.
+        let mut noc_flits = Vec::new();
+        if !self.noc1_req.is_empty() {
+            let f: u64 = self
+                .noc1_req
+                .iter()
+                .chain(self.noc1_rep.iter())
+                .map(|x| x.stats().total_flits())
+                .sum();
+            noc_flits.push(f);
+        }
+        match (&self.noc2_req, &self.noc2_rep) {
+            (Noc2Net::Single(a), Noc2Net::Single(b)) => {
+                noc_flits.push(a.stats().total_flits() + b.stats().total_flits());
+            }
+            (Noc2Net::Sliced(a), Noc2Net::Sliced(b)) => {
+                noc_flits.push(
+                    a.iter().chain(b.iter()).map(|x| x.stats().total_flits()).sum::<u64>(),
+                );
+            }
+            (
+                Noc2Net::TwoStage { stage1: s1a, stage2: s2a },
+                Noc2Net::TwoStage { stage1: s1b, stage2: s2b },
+            ) => {
+                noc_flits.push(
+                    s1a.iter().chain(s1b.iter()).map(|x| x.stats().total_flits()).sum::<u64>(),
+                );
+                noc_flits.push(s2a.stats().total_flits() + s2b.stats().total_flits());
+            }
+            _ => unreachable!("request and reply NoC#2 always share a shape"),
+        }
+
+        RunStats {
+            design: self.topo.name.clone(),
+            cycles,
+            instructions,
+            l1_accesses,
+            l1_hits,
+            l1_misses,
+            l1_replicated_misses,
+            mean_replicas: self.replica_samples.mean(),
+            max_port_utilization,
+            mean_port_utilization,
+            max_reply_link_utilization,
+            mean_load_rtt: self.load_rtt.mean(),
+            p50_load_rtt: self.rtt_hist.percentile(0.5),
+            p95_load_rtt: self.rtt_hist.percentile(0.95),
+            p99_load_rtt: self.rtt_hist.percentile(0.99),
+            l2_accesses,
+            l2_misses,
+            dram_requests,
+            dram_row_hit_rate,
+            noc_flits,
+            per_node_accesses,
+        }
+    }
+}
+
+/// Helper extension: pop a reply from slice `s` (kept out of the main impl
+/// so the borrow in `inject_noc2_replies` stays local).
+trait SlicePop {
+    fn pop_reply_for(&mut self, s: usize) -> Option<L2Reply<Txn>>;
+}
+
+impl SlicePop for Vec<L2Slice<Txn>> {
+    fn pop_reply_for(&mut self, s: usize) -> Option<L2Reply<Txn>> {
+        self[s].pop_reply()
+    }
+}

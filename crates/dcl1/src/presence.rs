@@ -1,0 +1,96 @@
+//! Cross-cache line-presence instrumentation.
+//!
+//! Tracks how many same-level caches currently hold each line. This is
+//! measurement machinery, not hardware: the paper's replication ratio
+//! (Fig 1) is "L1 misses that could have been found in another L1 / total
+//! L1 misses", and Fig 16's replica counts are the mean number of copies
+//! per distinct resident line. Both fall out of this map.
+
+use dcl1_common::LineAddr;
+use std::collections::HashMap;
+
+/// Reference-counting presence map over all caches of one level.
+#[derive(Debug, Default, Clone)]
+pub struct PresenceMap {
+    counts: HashMap<LineAddr, u32>,
+}
+
+impl PresenceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PresenceMap::default()
+    }
+
+    /// Records that some cache filled `line`.
+    pub fn on_fill(&mut self, line: LineAddr) {
+        *self.counts.entry(line).or_insert(0) += 1;
+    }
+
+    /// Records that some cache dropped `line` (eviction or write-evict).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line was not present (an
+    /// instrumentation bug in the caller).
+    pub fn on_evict(&mut self, line: LineAddr) {
+        match self.counts.get_mut(&line) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(&line);
+            }
+            None => debug_assert!(false, "evict of untracked line {line}"),
+        }
+    }
+
+    /// Copies of `line` currently resident across the level.
+    pub fn copies(&self, line: LineAddr) -> u32 {
+        self.counts.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct lines resident anywhere in the level.
+    pub fn distinct_lines(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Mean copies per distinct resident line (Fig 16's replica count);
+    /// 0.0 when the level is empty.
+    pub fn mean_replicas(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.counts.values().map(|&c| c as u64).sum();
+        total as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_evict_round_trip() {
+        let mut p = PresenceMap::new();
+        let l = LineAddr::new(9);
+        assert_eq!(p.copies(l), 0);
+        p.on_fill(l);
+        p.on_fill(l);
+        assert_eq!(p.copies(l), 2);
+        p.on_evict(l);
+        assert_eq!(p.copies(l), 1);
+        p.on_evict(l);
+        assert_eq!(p.copies(l), 0);
+        assert_eq!(p.distinct_lines(), 0);
+    }
+
+    #[test]
+    fn mean_replicas() {
+        let mut p = PresenceMap::new();
+        assert_eq!(p.mean_replicas(), 0.0);
+        for _ in 0..3 {
+            p.on_fill(LineAddr::new(1));
+        }
+        p.on_fill(LineAddr::new(2));
+        assert!((p.mean_replicas() - 2.0).abs() < 1e-12);
+        assert_eq!(p.distinct_lines(), 2);
+    }
+}

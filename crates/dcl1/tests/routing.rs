@@ -1,0 +1,88 @@
+//! Property tests for home-node selection and the sliced NoC#2 port
+//! mapping (paper Fig 10): the invariants the machine's routing relies on.
+
+use dcl1::{Design, GpuConfig, Noc2Kind};
+use dcl1_common::LineAddr;
+use proptest::prelude::*;
+
+fn valid_clustered() -> impl Strategy<Value = (usize, usize)> {
+    // (nodes, clusters) combos valid on the 80-core / 32-slice machine.
+    prop_oneof![
+        Just((40usize, 1usize)),
+        Just((40, 2)),
+        Just((40, 5)),
+        Just((40, 10)),
+        Just((40, 20)),
+        Just((40, 40)),
+        Just((80, 10)),
+        Just((20, 10)),
+        Just((16, 4)),
+    ]
+}
+
+proptest! {
+    /// The home node always lies inside the requesting core's cluster,
+    /// and within a cluster the mapping depends only on the line.
+    #[test]
+    fn home_node_stays_in_cluster(
+        (nodes, clusters) in valid_clustered(),
+        core in 0usize..80,
+        line in 0u64..1_000_000,
+    ) {
+        let cfg = GpuConfig::default();
+        let design = if clusters == 1 {
+            Design::Shared { nodes }
+        } else if clusters == nodes {
+            Design::Private { nodes }
+        } else {
+            Design::Clustered { nodes, clusters, boost: false }
+        };
+        let topo = design.topology(&cfg).unwrap();
+        let line = LineAddr::new(line);
+        let home = topo.home_node(core, line);
+        prop_assert!(home < nodes);
+        let cluster = topo.cluster_of_core(core);
+        let m = topo.nodes_per_cluster();
+        prop_assert_eq!(home / m, cluster, "home escaped the cluster");
+        // Every core of the same cluster maps the line identically.
+        let buddy = cluster * topo.cores_per_cluster();
+        prop_assert_eq!(topo.home_node(buddy, line), home);
+    }
+
+    /// Under a sliced NoC#2, a node's home slot and a line's L2 slice are
+    /// congruent modulo the group count — the property that lets each
+    /// address-range crossbar connect only `Z × (L/M)` ports (Fig 10).
+    #[test]
+    fn sliced_noc2_slot_slice_congruence(
+        (nodes, clusters) in valid_clustered(),
+        core in 0usize..80,
+        line in 0u64..1_000_000,
+    ) {
+        let cfg = GpuConfig::default();
+        let design = if clusters == 1 {
+            Design::Shared { nodes }
+        } else if clusters == nodes {
+            Design::Private { nodes }
+        } else {
+            Design::Clustered { nodes, clusters, boost: false }
+        };
+        let topo = design.topology(&cfg).unwrap();
+        if let Noc2Kind::Sliced { groups } = topo.noc2 {
+            let line = LineAddr::new(line);
+            // Only lines this node actually owns matter: route from a core.
+            let home = topo.home_node(core, line);
+            let slot = home % topo.nodes_per_cluster();
+            let slice = line.interleave(cfg.l2_slices);
+            if topo.shared_within_cluster {
+                prop_assert_eq!(
+                    slice % groups,
+                    slot % groups,
+                    "slot/slice congruence broken: slot {} slice {} groups {}",
+                    slot, slice, groups
+                );
+            }
+            // The per-group crossbar output port is always in range.
+            prop_assert!(slice / groups < cfg.l2_slices / groups);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Memory-access coalescing.
+//!
+//! A 32-lane wavefront issues up to 32 per-lane byte addresses; the
+//! coalescer merges them into per-line transactions, counting how many
+//! distinct 32 B sectors of each line are touched. A fully coalesced
+//! unit-stride float access becomes one 128 B transaction; a scattered
+//! access degenerates into up to 32 separate transactions — exactly the
+//! behaviour that differentiates regular (P-GEMM-like) from irregular
+//! (C-BFS-like) workloads.
+
+use crate::instr::MemAccess;
+use dcl1_common::addr::{Address, SECTOR_SIZE};
+use dcl1_common::LineAddr;
+
+/// Coalesces per-lane addresses into per-line transactions.
+///
+/// The returned accesses are ordered by first appearance; `bytes` is the
+/// number of distinct sectors touched × 32.
+///
+/// # Examples
+///
+/// ```
+/// use dcl1_gpu::coalesce;
+/// use dcl1_common::addr::Address;
+///
+/// // 32 lanes × 4 B, unit stride: one 128 B transaction.
+/// let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 4)).collect();
+/// let txns = coalesce(&addrs);
+/// assert_eq!(txns.len(), 1);
+/// assert_eq!(txns[0].bytes, 128);
+/// ```
+pub fn coalesce(addrs: &[Address]) -> Vec<MemAccess> {
+    let mut order: Vec<LineAddr> = Vec::new();
+    let mut sectors: Vec<u8> = Vec::new(); // bitmask of touched sectors per line
+    for &a in addrs {
+        let line = a.line();
+        let bit = 1u8 << a.sector();
+        match order.iter().position(|&l| l == line) {
+            Some(i) => sectors[i] |= bit,
+            None => {
+                order.push(line);
+                sectors.push(bit);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .zip(sectors)
+        .map(|(line, mask)| MemAccess {
+            line,
+            bytes: mask.count_ones() * SECTOR_SIZE as u32,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcl1_common::addr::LINE_SIZE;
+
+    #[test]
+    fn unit_stride_coalesces_to_one_line() {
+        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 4)).collect();
+        let t = coalesce(&addrs);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].bytes, 128);
+    }
+
+    #[test]
+    fn partial_line_counts_touched_sectors_only() {
+        // 8 lanes × 4 B in the first sector only.
+        let addrs: Vec<Address> = (0..8).map(|i| Address::new(i * 4)).collect();
+        let t = coalesce(&addrs);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].bytes, 32);
+    }
+
+    #[test]
+    fn stride_two_lines() {
+        // 32 lanes × 8 B stride: touches two consecutive lines fully.
+        let addrs: Vec<Address> = (0..32).map(|i| Address::new(i * 8)).collect();
+        let t = coalesce(&addrs);
+        assert_eq!(t.len(), 2);
+        assert!(t.iter().all(|a| a.bytes == 128));
+    }
+
+    #[test]
+    fn scattered_access_explodes() {
+        // Each lane on its own line.
+        let addrs: Vec<Address> =
+            (0..32).map(|i| Address::new(i * LINE_SIZE as u64 * 3)).collect();
+        let t = coalesce(&addrs);
+        assert_eq!(t.len(), 32);
+        assert!(t.iter().all(|a| a.bytes == 32));
+    }
+
+    #[test]
+    fn duplicate_lanes_merge() {
+        let addrs = vec![Address::new(0), Address::new(0), Address::new(4)];
+        let t = coalesce(&addrs);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].bytes, 32);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(coalesce(&[]).is_empty());
+    }
+
+    #[test]
+    fn order_is_first_appearance() {
+        let addrs = vec![
+            Address::new(5 * LINE_SIZE as u64),
+            Address::new(0),
+            Address::new(5 * LINE_SIZE as u64 + 64),
+        ];
+        let t = coalesce(&addrs);
+        assert_eq!(t[0].line, LineAddr::new(5));
+        assert_eq!(t[1].line, LineAddr::new(0));
+        assert_eq!(t[0].bytes, 64);
+    }
+}

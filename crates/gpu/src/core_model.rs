@@ -1,0 +1,465 @@
+//! A GPU core (compute unit).
+//!
+//! In the baseline each core owns a private L1; in the paper's designs the
+//! same core becomes a **lite core** — no L1 data cache, no MSHRs — and
+//! every memory instruction leaves through NoC#1. Both variants share this
+//! model: the distinction lives entirely in where the enclosing simulator
+//! routes [`IssuedMem`] transactions, which is the point of the paper's
+//! decoupling.
+
+use crate::instr::{MemInstr, WavefrontInstr};
+use crate::trace::TraceSource;
+use crate::wavefront::{Wavefront, WavefrontState};
+use dcl1_common::stats::Counter;
+use dcl1_common::{CoreId, Cycle, WavefrontId};
+use serde::{Deserialize, Serialize};
+
+/// Wavefront issue-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IssuePolicy {
+    /// Greedy round-robin: resume scanning after the last issuer.
+    #[default]
+    GreedyRoundRobin,
+    /// Greedy-then-oldest (GPGPU-Sim's default "GTO"): keep issuing from
+    /// the same wavefront while it is ready, otherwise pick the oldest
+    /// ready wavefront. Concentrates locality in few wavefronts.
+    GreedyThenOldest,
+}
+
+/// Static configuration of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Maximum resident wavefronts (paper Table II: 48).
+    pub max_wavefronts: usize,
+    /// Maximum concurrently resident CTAs.
+    pub max_ctas: usize,
+    /// Wavefront selection policy.
+    pub issue_policy: IssuePolicy,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            max_wavefronts: 48,
+            max_ctas: 6,
+            issue_policy: IssuePolicy::GreedyRoundRobin,
+        }
+    }
+}
+
+/// Per-core statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Wavefront instructions issued.
+    pub instructions: Counter,
+    /// Memory instructions among them.
+    pub mem_instructions: Counter,
+    /// Cycles where nothing could issue.
+    pub idle_cycles: Counter,
+    /// Cycles where a memory instruction was ready but the memory port
+    /// was backpressured.
+    pub mem_stall_cycles: Counter,
+}
+
+/// A memory instruction leaving the core this cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssuedMem {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Issuing wavefront (index within the core).
+    pub wavefront: WavefrontId,
+    /// The coalesced instruction.
+    pub instr: MemInstr,
+}
+
+/// One GPU core: wavefront contexts plus a greedy round-robin issue stage.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    config: CoreConfig,
+    /// Slot-indexed wavefronts; `None` = free slot.
+    slots: Vec<Option<Wavefront>>,
+    /// CTA id owning each slot (for accounting).
+    slot_cta: Vec<Option<u32>>,
+    /// Assignment age per slot (monotone counter; GTO picks the oldest).
+    slot_age: Vec<u64>,
+    age_counter: u64,
+    /// Slot that issued most recently (GTO greediness).
+    last_issued: Option<usize>,
+    resident_ctas: usize,
+    rr: usize,
+    /// Reusable scratch buffer for GTO ordering (avoids per-tick allocs).
+    order_buf: Vec<usize>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates an empty core.
+    pub fn new(id: CoreId, config: CoreConfig) -> Self {
+        Core {
+            id,
+            config,
+            slots: (0..config.max_wavefronts).map(|_| None).collect(),
+            slot_cta: vec![None; config.max_wavefronts],
+            slot_age: vec![0; config.max_wavefronts],
+            age_counter: 0,
+            last_issued: None,
+            resident_ctas: 0,
+            rr: 0,
+            order_buf: Vec::with_capacity(config.max_wavefronts),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// This core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (end-of-warmup measurement reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+
+    /// Whether another CTA of `wavefronts` wavefronts fits.
+    pub fn can_host_cta(&self, wavefronts: usize) -> bool {
+        self.resident_ctas < self.config.max_ctas
+            && self.slots.iter().filter(|s| s.is_none()).count() >= wavefronts
+    }
+
+    /// Installs a CTA's wavefronts into free slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA does not fit (callers check
+    /// [`can_host_cta`](Core::can_host_cta) first).
+    pub fn add_cta(&mut self, cta: u32, traces: Vec<Box<dyn TraceSource>>) {
+        assert!(self.can_host_cta(traces.len()), "CTA does not fit");
+        self.resident_ctas += 1;
+        let mut traces = traces.into_iter();
+        for (i, (slot, owner)) in self.slots.iter_mut().zip(&mut self.slot_cta).enumerate() {
+            if slot.is_none() {
+                match traces.next() {
+                    Some(t) => {
+                        *slot = Some(Wavefront::new(t));
+                        *owner = Some(cta);
+                        self.age_counter += 1;
+                        self.slot_age[i] = self.age_counter;
+                    }
+                    None => break,
+                }
+            }
+        }
+        assert!(traces.next().is_none(), "ran out of slots mid-CTA");
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident_ctas(&self) -> usize {
+        self.resident_ctas
+    }
+
+    /// Whether every slot is empty.
+    pub fn is_drained(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Advances one cycle. `mem_ready` tells the core whether its memory
+    /// port (local L1 queue or NoC#1 injection port) can accept an
+    /// instruction this cycle.
+    ///
+    /// Returns the memory instruction issued this cycle, if any. At most
+    /// one instruction (ALU or memory) issues per cycle.
+    pub fn tick(&mut self, now: Cycle, mem_ready: bool) -> Option<IssuedMem> {
+        let n = self.slots.len();
+        let mut issued: Option<IssuedMem> = None;
+        let mut mem_blocked = false;
+        let mut any_ready = false;
+
+        // Build the scan order for this cycle.
+        if self.config.issue_policy == IssuePolicy::GreedyThenOldest {
+            self.order_buf.clear();
+            if let Some(last) = self.last_issued {
+                if self.slots[last].is_some() {
+                    self.order_buf.push(last);
+                }
+            }
+            let last = self.last_issued;
+            let mut rest: Vec<usize> = (0..n)
+                .filter(|&i| Some(i) != last && self.slots[i].is_some())
+                .collect();
+            rest.sort_by_key(|&i| self.slot_age[i]);
+            self.order_buf.extend(rest);
+        }
+
+        for k in 0..n {
+            let idx = match self.config.issue_policy {
+                IssuePolicy::GreedyRoundRobin => (self.rr + k) % n,
+                IssuePolicy::GreedyThenOldest => match self.order_buf.get(k) {
+                    Some(&i) => i,
+                    None => break,
+                },
+            };
+            let Some(wf) = self.slots[idx].as_mut() else { continue };
+            if wf.state(now) != WavefrontState::Ready {
+                continue;
+            }
+            match wf.peek() {
+                WavefrontInstr::Done => {
+                    wf.set_finished();
+                    self.retire_slot(idx);
+                    continue;
+                }
+                WavefrontInstr::Alu { .. } => {
+                    let WavefrontInstr::Alu { latency } = wf.take() else { unreachable!() };
+                    wf.set_busy(now + 1 + latency as Cycle);
+                    self.stats.instructions.inc();
+                    self.rr = (idx + 1) % n;
+                    self.last_issued = Some(idx);
+                    return None;
+                }
+                WavefrontInstr::Mem(_) => {
+                    any_ready = true;
+                    if !mem_ready {
+                        // Port busy: remember the stall, try other
+                        // wavefronts for ALU work.
+                        mem_blocked = true;
+                        continue;
+                    }
+                    let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
+                    debug_assert!(!instr.accesses.is_empty(), "memory instruction with no accesses");
+                    wf.set_waiting(instr.accesses.len() as u32);
+                    self.stats.instructions.inc();
+                    self.stats.mem_instructions.inc();
+                    issued = Some(IssuedMem {
+                        core: self.id,
+                        wavefront: WavefrontId::new(idx),
+                        instr,
+                    });
+                    self.rr = (idx + 1) % n;
+                    self.last_issued = Some(idx);
+                    return issued;
+                }
+            }
+        }
+
+        if mem_blocked {
+            self.stats.mem_stall_cycles.inc();
+        } else if !any_ready {
+            self.stats.idle_cycles.inc();
+        }
+        issued
+    }
+
+    fn retire_slot(&mut self, idx: usize) {
+        self.slots[idx] = None;
+        if self.last_issued == Some(idx) {
+            self.last_issued = None;
+        }
+        let cta = self.slot_cta[idx].take();
+        // When the last wavefront of a CTA retires, free the CTA slot.
+        if let Some(cta) = cta {
+            if !self.slot_cta.contains(&Some(cta)) {
+                self.resident_ctas -= 1;
+            }
+        }
+    }
+
+    /// Completes one memory transaction for `wavefront`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or not waiting on memory (a routing bug
+    /// in the enclosing simulator).
+    pub fn complete_access(&mut self, wavefront: WavefrontId) {
+        let wf = self.slots[wavefront.index()]
+            .as_mut()
+            .expect("memory completion for an empty wavefront slot");
+        wf.complete_access();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{MemAccess, MemInstr, MemKind};
+    use crate::trace::VecTrace;
+    use dcl1_common::LineAddr;
+
+    fn load(lines: &[u64]) -> WavefrontInstr {
+        WavefrontInstr::Mem(MemInstr {
+            kind: MemKind::Load,
+            accesses: lines.iter().map(|&l| MemAccess { line: LineAddr::new(l), bytes: 128 }).collect(),
+        })
+    }
+
+    fn core_with(traces: Vec<Vec<WavefrontInstr>>) -> Core {
+        let mut c = Core::new(CoreId::new(0), CoreConfig { max_wavefronts: 8, max_ctas: 4, ..CoreConfig::default() });
+        c.add_cta(
+            0,
+            traces.into_iter().map(|t| Box::new(VecTrace::new(t)) as Box<dyn TraceSource>).collect(),
+        );
+        c
+    }
+
+    #[test]
+    fn issues_one_instr_per_cycle() {
+        let mut c = core_with(vec![vec![
+            WavefrontInstr::Alu { latency: 0 },
+            WavefrontInstr::Alu { latency: 0 },
+        ]]);
+        assert!(c.tick(0, true).is_none());
+        assert_eq!(c.stats().instructions.get(), 1);
+        assert!(c.tick(1, true).is_none());
+        assert_eq!(c.stats().instructions.get(), 2);
+    }
+
+    #[test]
+    fn alu_latency_blocks_wavefront() {
+        let mut c = core_with(vec![vec![
+            WavefrontInstr::Alu { latency: 3 },
+            WavefrontInstr::Alu { latency: 0 },
+        ]]);
+        c.tick(0, true);
+        // Busy until cycle 4: nothing to issue at 1..3.
+        for now in 1..4 {
+            c.tick(now, true);
+        }
+        assert_eq!(c.stats().instructions.get(), 1);
+        assert_eq!(c.stats().idle_cycles.get(), 3);
+        c.tick(4, true);
+        assert_eq!(c.stats().instructions.get(), 2);
+    }
+
+    #[test]
+    fn mem_blocks_until_completion() {
+        let mut c = core_with(vec![vec![load(&[1, 2]), WavefrontInstr::Alu { latency: 0 }]]);
+        let m = c.tick(0, true).expect("mem issues");
+        assert_eq!(m.instr.accesses.len(), 2);
+        let wf = m.wavefront;
+        assert!(c.tick(1, true).is_none());
+        c.complete_access(wf);
+        assert!(c.tick(2, true).is_none(), "still one access outstanding");
+        c.complete_access(wf);
+        c.tick(3, true);
+        assert_eq!(c.stats().instructions.get(), 2);
+    }
+
+    #[test]
+    fn latency_hiding_across_wavefronts() {
+        // Two wavefronts: while one waits on memory the other issues ALU.
+        let mut c = core_with(vec![
+            vec![load(&[1])],
+            vec![WavefrontInstr::Alu { latency: 0 }, WavefrontInstr::Alu { latency: 0 }],
+        ]);
+        let m = c.tick(0, true).expect("wf0 mem");
+        assert!(c.tick(1, true).is_none()); // wf1 ALU issues
+        assert_eq!(c.stats().instructions.get(), 2);
+        c.complete_access(m.wavefront);
+        c.tick(2, true);
+        assert_eq!(c.stats().instructions.get(), 3);
+        assert_eq!(c.stats().idle_cycles.get(), 0);
+    }
+
+    #[test]
+    fn mem_backpressure_counts_stall_and_tries_alu() {
+        let mut c = core_with(vec![vec![load(&[1])], vec![WavefrontInstr::Alu { latency: 0 }]]);
+        // Port blocked: the load can't go, the ALU wavefront must issue.
+        assert!(c.tick(0, false).is_none());
+        assert_eq!(c.stats().instructions.get(), 1);
+        // Next cycle only the load remains and the port is still blocked.
+        assert!(c.tick(1, false).is_none());
+        assert_eq!(c.stats().mem_stall_cycles.get(), 1);
+        // Port opens.
+        assert!(c.tick(2, true).is_some());
+    }
+
+    #[test]
+    fn cta_accounting_frees_slots() {
+        let mut c = Core::new(CoreId::new(1), CoreConfig { max_wavefronts: 4, max_ctas: 2, ..CoreConfig::default() });
+        assert!(c.can_host_cta(2));
+        c.add_cta(7, vec![
+            Box::new(VecTrace::new(vec![])) as Box<dyn TraceSource>,
+            Box::new(VecTrace::new(vec![])) as Box<dyn TraceSource>,
+        ]);
+        assert_eq!(c.resident_ctas(), 1);
+        // Both wavefronts retire on first tick (empty traces).
+        c.tick(0, true);
+        assert_eq!(c.resident_ctas(), 0);
+        assert!(c.is_drained());
+    }
+
+    #[test]
+    fn gto_sticks_with_the_same_wavefront() {
+        // Two wavefronts with ALU work: GTO should drain the first one
+        // completely before touching the second.
+        let mut c = Core::new(
+            CoreId::new(0),
+            CoreConfig {
+                max_wavefronts: 4,
+                max_ctas: 2,
+                issue_policy: IssuePolicy::GreedyThenOldest,
+            },
+        );
+        c.add_cta(
+            0,
+            vec![
+                Box::new(VecTrace::new(vec![load(&[1]), WavefrontInstr::Alu { latency: 0 }]))
+                    as Box<dyn TraceSource>,
+                Box::new(VecTrace::new(vec![WavefrontInstr::Alu { latency: 0 }; 3]))
+                    as Box<dyn TraceSource>,
+            ],
+        );
+        // wf0 issues its load first (oldest), then blocks; wf1 runs.
+        let m = c.tick(0, true).expect("wf0 load");
+        assert_eq!(m.wavefront.index(), 0);
+        for now in 1..4 {
+            assert!(c.tick(now, true).is_none()); // wf1 ALU
+        }
+        assert_eq!(c.stats().instructions.get(), 4);
+        // Completing wf0 makes it ready; GTO picks it by age.
+        c.complete_access(m.wavefront);
+        c.tick(5, true);
+        assert_eq!(c.stats().instructions.get(), 5);
+    }
+
+    #[test]
+    fn gto_and_rr_issue_the_same_total_work() {
+        for policy in [IssuePolicy::GreedyRoundRobin, IssuePolicy::GreedyThenOldest] {
+            let mut c = Core::new(
+                CoreId::new(0),
+                CoreConfig { max_wavefronts: 8, max_ctas: 4, issue_policy: policy },
+            );
+            c.add_cta(
+                0,
+                (0..4)
+                    .map(|_| {
+                        Box::new(VecTrace::new(vec![WavefrontInstr::Alu { latency: 1 }; 5]))
+                            as Box<dyn TraceSource>
+                    })
+                    .collect(),
+            );
+            let mut now = 0;
+            while !c.is_drained() {
+                now += 1;
+                c.tick(now, true);
+                assert!(now < 10_000);
+            }
+            assert_eq!(c.stats().instructions.get(), 20, "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overfull_cta_panics() {
+        let mut c = Core::new(CoreId::new(0), CoreConfig { max_wavefronts: 1, max_ctas: 1, ..CoreConfig::default() });
+        c.add_cta(0, vec![
+            Box::new(VecTrace::new(vec![])) as Box<dyn TraceSource>,
+            Box::new(VecTrace::new(vec![])) as Box<dyn TraceSource>,
+        ]);
+    }
+}

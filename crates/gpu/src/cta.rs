@@ -1,0 +1,140 @@
+//! CTA (cooperative thread array) dispatch.
+//!
+//! GPGPU-Sim's default scheduler deals CTAs to cores greedily in issue
+//! order — effectively round-robin under uniform CTA lengths, with natural
+//! imbalance when CTA lengths differ (the paper's R-SC observation). The
+//! *distributed* policy of the paper's sensitivity study instead gives
+//! each core a contiguous block of CTA ids, mapping nearby CTAs to the
+//! same core, which improves intra-core locality and reduces cross-core
+//! replication.
+
+use dcl1_common::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// CTA-to-core assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtaPolicy {
+    /// Hand out the next CTA id to whichever core asks first.
+    GreedyRoundRobin,
+    /// Pre-partition CTA ids into contiguous per-core blocks.
+    DistributedBlocks,
+}
+
+/// Dispenses CTA ids to cores on demand.
+#[derive(Debug, Clone)]
+pub struct CtaDispatcher {
+    policy: CtaPolicy,
+    total: u32,
+    cores: usize,
+    next_global: u32,
+    /// Per-core cursor and block end for the distributed policy.
+    blocks: Vec<(u32, u32)>,
+}
+
+impl CtaDispatcher {
+    /// Creates a dispatcher for `total` CTAs over `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(policy: CtaPolicy, total: u32, cores: usize) -> Self {
+        assert!(cores > 0, "core count must be nonzero");
+        let per = total.div_ceil(cores as u32);
+        let blocks = (0..cores as u32)
+            .map(|c| (per * c, (per * (c + 1)).min(total)))
+            .collect();
+        CtaDispatcher { policy, total, cores, next_global: 0, blocks }
+    }
+
+    /// Fetches the next CTA for `core`, or `None` if this core has no more
+    /// work under the active policy.
+    pub fn fetch(&mut self, core: CoreId) -> Option<u32> {
+        match self.policy {
+            CtaPolicy::GreedyRoundRobin => {
+                if self.next_global < self.total {
+                    let id = self.next_global;
+                    self.next_global += 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+            CtaPolicy::DistributedBlocks => {
+                let (cursor, end) = &mut self.blocks[core.index() % self.cores];
+                if cursor < end {
+                    let id = *cursor;
+                    *cursor += 1;
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// CTAs not yet dispatched.
+    pub fn remaining(&self) -> u32 {
+        match self.policy {
+            CtaPolicy::GreedyRoundRobin => self.total - self.next_global,
+            CtaPolicy::DistributedBlocks => {
+                self.blocks.iter().map(|(c, e)| e - c).sum()
+            }
+        }
+    }
+
+    /// Total CTAs in the grid.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_hands_out_in_order() {
+        let mut d = CtaDispatcher::new(CtaPolicy::GreedyRoundRobin, 5, 2);
+        assert_eq!(d.fetch(CoreId::new(0)), Some(0));
+        assert_eq!(d.fetch(CoreId::new(1)), Some(1));
+        assert_eq!(d.fetch(CoreId::new(0)), Some(2));
+        assert_eq!(d.remaining(), 2);
+        assert_eq!(d.fetch(CoreId::new(1)), Some(3));
+        assert_eq!(d.fetch(CoreId::new(1)), Some(4));
+        assert_eq!(d.fetch(CoreId::new(0)), None);
+    }
+
+    #[test]
+    fn distributed_gives_contiguous_blocks() {
+        let mut d = CtaDispatcher::new(CtaPolicy::DistributedBlocks, 8, 2);
+        assert_eq!(d.fetch(CoreId::new(0)), Some(0));
+        assert_eq!(d.fetch(CoreId::new(0)), Some(1));
+        assert_eq!(d.fetch(CoreId::new(1)), Some(4));
+        assert_eq!(d.fetch(CoreId::new(1)), Some(5));
+        assert_eq!(d.remaining(), 4);
+    }
+
+    #[test]
+    fn distributed_handles_uneven_totals() {
+        let mut d = CtaDispatcher::new(CtaPolicy::DistributedBlocks, 5, 2);
+        // Blocks: core0 = [0,3), core1 = [3,5).
+        let mut all = Vec::new();
+        while let Some(c) = d.fetch(CoreId::new(0)) {
+            all.push(c);
+        }
+        while let Some(c) = d.fetch(CoreId::new(1)) {
+            all.push(c);
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_core_in_distributed_gets_none_despite_global_work() {
+        let mut d = CtaDispatcher::new(CtaPolicy::DistributedBlocks, 4, 4);
+        assert_eq!(d.fetch(CoreId::new(0)), Some(0));
+        assert_eq!(d.fetch(CoreId::new(0)), None, "block exhausted");
+        assert_eq!(d.remaining(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Instruction-stream sources.
+
+use crate::instr::WavefrontInstr;
+use std::fmt;
+
+/// A stream of wavefront instructions.
+///
+/// Implementations must be infinite-safe: after yielding
+/// [`WavefrontInstr::Done`] they keep yielding it.
+pub trait TraceSource: fmt::Debug + Send {
+    /// Produces the next instruction of this wavefront.
+    fn next_instr(&mut self) -> WavefrontInstr;
+}
+
+/// The factory a workload exposes: one trace per (CTA, wavefront) pair.
+///
+/// The same `(cta, wf)` pair must always produce an identical stream, so a
+/// kernel behaves the same no matter which core the CTA lands on — CTA
+/// *placement* (the CTA scheduler) is what changes locality, exactly as in
+/// the paper's sensitivity study.
+pub trait TraceFactory: fmt::Debug + Sync {
+    /// Creates the instruction stream of wavefront `wf` of CTA `cta`.
+    fn wavefront_trace(&self, cta: u32, wf: u32) -> Box<dyn TraceSource>;
+    /// Total CTAs in the grid.
+    fn total_ctas(&self) -> u32;
+    /// Wavefronts per CTA.
+    fn wavefronts_per_cta(&self) -> u32;
+}
+
+/// A trace backed by a vector of instructions (tests and examples).
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    instrs: std::vec::IntoIter<WavefrontInstr>,
+}
+
+impl VecTrace {
+    /// Creates a trace that yields `instrs` then `Done` forever.
+    pub fn new(instrs: Vec<WavefrontInstr>) -> Self {
+        VecTrace { instrs: instrs.into_iter() }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_instr(&mut self) -> WavefrontInstr {
+        self.instrs.next().unwrap_or(WavefrontInstr::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_yields_then_done_forever() {
+        let mut t = VecTrace::new(vec![WavefrontInstr::Alu { latency: 1 }]);
+        assert_eq!(t.next_instr(), WavefrontInstr::Alu { latency: 1 });
+        assert_eq!(t.next_instr(), WavefrontInstr::Done);
+        assert_eq!(t.next_instr(), WavefrontInstr::Done);
+    }
+}

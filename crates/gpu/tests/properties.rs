@@ -1,0 +1,111 @@
+//! Property tests for the GPU core model: instruction conservation, issue
+//! bandwidth, and CTA accounting under randomized traces and completion
+//! orders.
+
+use dcl1_common::{CoreId, LineAddr, SplitMix64};
+use dcl1_gpu::{
+    Core, CoreConfig, MemAccess, MemInstr, MemKind, TraceSource, VecTrace, WavefrontInstr,
+};
+use proptest::prelude::*;
+
+fn random_trace(seed: u64, len: usize) -> Vec<WavefrontInstr> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|i| {
+            if rng.chance(0.5) {
+                WavefrontInstr::Alu { latency: rng.next_below(4) as u32 }
+            } else {
+                let n = 1 + rng.next_below(3);
+                WavefrontInstr::Mem(MemInstr {
+                    kind: if rng.chance(0.2) { MemKind::Store } else { MemKind::Load },
+                    accesses: (0..n)
+                        .map(|k| MemAccess {
+                            line: LineAddr::new(i as u64 * 8 + k),
+                            bytes: 32,
+                        })
+                        .collect(),
+                })
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every generated instruction is issued exactly once, at most one per
+    /// cycle, and the core drains, regardless of trace contents and memory
+    /// completion timing.
+    #[test]
+    fn core_issues_every_instruction_exactly_once(
+        seed in any::<u64>(),
+        wf_count in 1usize..6,
+        len in 1usize..40,
+        completion_lag in 1u64..50,
+        mem_ready_mask in any::<u64>(),
+    ) {
+        let mut core = Core::new(
+            CoreId::new(0),
+            CoreConfig { max_wavefronts: 8, max_ctas: 4, ..CoreConfig::default() },
+        );
+        let traces: Vec<Box<dyn TraceSource>> = (0..wf_count)
+            .map(|w| {
+                Box::new(VecTrace::new(random_trace(seed ^ w as u64, len))) as Box<dyn TraceSource>
+            })
+            .collect();
+        core.add_cta(0, traces);
+
+        let expected: u64 = (wf_count * len) as u64;
+        // (wavefront slot, remaining accesses, completion due cycle)
+        let mut pending: Vec<(usize, u32, u64)> = Vec::new();
+        let mut now = 0u64;
+        let mut last_count = 0;
+        while !core.is_drained() {
+            now += 1;
+            prop_assert!(now < 1_000_000, "core wedged at {now}");
+            // Complete due memory transactions.
+            let mut still = Vec::new();
+            for (wf, n, due) in pending.drain(..) {
+                if due <= now {
+                    for _ in 0..n {
+                        core.complete_access(dcl1_common::WavefrontId::new(wf));
+                    }
+                } else {
+                    still.push((wf, n, due));
+                }
+            }
+            pending = still;
+            let mem_ready = (mem_ready_mask >> (now % 64)) & 1 == 1;
+            if let Some(m) = core.tick(now, mem_ready) {
+                prop_assert!(mem_ready, "issued memory with port closed");
+                pending.push((
+                    m.wavefront.index(),
+                    m.instr.accesses.len() as u32,
+                    now + completion_lag,
+                ));
+            }
+            // Issue bandwidth: at most one instruction per cycle.
+            let count = core.stats().instructions.get();
+            prop_assert!(count <= last_count + 1, "issued more than 1/cycle");
+            last_count = count;
+        }
+        // Drain leftover completions.
+        for (wf, n, _) in pending {
+            for _ in 0..n {
+                core.complete_access(dcl1_common::WavefrontId::new(wf));
+            }
+        }
+        prop_assert_eq!(core.stats().instructions.get(), expected);
+        prop_assert_eq!(core.resident_ctas(), 0);
+    }
+
+    /// Clock domains produce exactly ⌊n·f/c⌋ ticks after n advances — no
+    /// drift for any frequency pair.
+    #[test]
+    fn clock_domain_is_exact(f in 1u64..4000, c in 1u64..4000, n in 1u64..10_000) {
+        let mut d = dcl1_common::ClockDomain::new(f, c);
+        let total: u64 = (0..n).map(|_| d.advance() as u64).sum();
+        prop_assert_eq!(total, n * f / c);
+        prop_assert_eq!(d.total_ticks(), n * f / c);
+    }
+}

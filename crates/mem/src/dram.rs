@@ -1,0 +1,514 @@
+//! GDDR5-like memory controller with FR-FCFS scheduling.
+//!
+//! One [`MemoryController`] models one memory channel: a request queue, a
+//! set of banks with open-row state, and a shared data bus. Scheduling is
+//! first-ready first-come-first-served (paper Table II): among queued
+//! requests whose bank is ready, row hits win; ties break by age.
+//!
+//! The controller runs in the 924 MHz memory clock domain — callers tick
+//! it through a [`ClockDomain`](dcl1_common::ClockDomain). All timing
+//! constants below are in memory-clock ticks.
+
+use dcl1_common::stats::Counter;
+use dcl1_common::LineAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Timing and geometry of one GDDR5-like channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Banks per channel (paper: 16 banks, 4 bank groups).
+    pub banks: usize,
+    /// Bank groups per channel (GDDR5: column commands to the *same*
+    /// group must be spaced tCCD_L apart; different groups only tCCD_S).
+    pub bank_groups: usize,
+    /// Row (page) size in bytes; consecutive lines share a row.
+    pub row_bytes: usize,
+    /// Activate-to-read delay (tRCD), memory ticks.
+    pub t_rcd: u64,
+    /// Precharge delay (tRP), memory ticks.
+    pub t_rp: u64,
+    /// Read/write CAS latency (tCL/tCWL), memory ticks.
+    pub t_cas: u64,
+    /// Data burst length on the bus for one 128 B line, memory ticks.
+    pub t_burst: u64,
+    /// Column-to-column delay within one bank group, memory ticks.
+    pub t_ccd_l: u64,
+    /// Column-to-column delay across bank groups, memory ticks.
+    pub t_ccd_s: u64,
+    /// Request queue depth.
+    pub queue_depth: usize,
+    /// Starvation cap in memory ticks: once the oldest request has waited
+    /// this long, first-come-first-served overrides row-hit priority
+    /// (real FR-FCFS controllers age-cap exactly this way).
+    pub t_starvation: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // Hynix GDDR5-flavoured timings at 924 MHz command clock.
+        DramConfig {
+            banks: 16,
+            bank_groups: 4,
+            row_bytes: 2048,
+            t_rcd: 12,
+            t_rp: 12,
+            t_cas: 12,
+            t_burst: 4,
+            t_ccd_l: 6,
+            t_ccd_s: 4,
+            queue_depth: 32,
+            t_starvation: 64,
+        }
+    }
+}
+
+/// Statistics for one channel.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Reads serviced.
+    pub reads: Counter,
+    /// Writes serviced.
+    pub writes: Counter,
+    /// Row-buffer hits among all serviced requests.
+    pub row_hits: Counter,
+    /// Ticks the data bus was busy.
+    pub bus_busy_ticks: Counter,
+}
+
+impl DramStats {
+    /// Row-hit rate over all serviced requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.row_hits.ratio_of(self.reads.get() + self.writes.get())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    ready_at: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending<T> {
+    line: LineAddr,
+    is_write: bool,
+    payload: Option<T>,
+    arrived: u64,
+}
+
+/// One memory channel. Enqueue with
+/// [`try_enqueue`](MemoryController::try_enqueue), tick once per *memory*
+/// clock, and drain read completions with
+/// [`pop_reply`](MemoryController::pop_reply) (writes complete silently).
+#[derive(Debug)]
+pub struct MemoryController<T> {
+    config: DramConfig,
+    banks: Vec<BankState>,
+    queue: VecDeque<Pending<T>>,
+    /// Read completions: (ready_tick, line, payload), kept sorted by
+    /// ready time (pushes are monotone per bus reservation).
+    replies: VecDeque<(u64, LineAddr, T)>,
+    bus_free_at: u64,
+    /// Tick of the last column command and its bank group (tCCD gating).
+    last_col: u64,
+    last_group: Option<usize>,
+    now: u64,
+    stats: DramStats,
+}
+
+impl<T> MemoryController<T> {
+    /// Creates an idle channel.
+    pub fn new(config: DramConfig) -> Self {
+        MemoryController {
+            banks: vec![BankState { open_row: None, ready_at: 0 }; config.banks],
+            queue: VecDeque::with_capacity(config.queue_depth),
+            replies: VecDeque::new(),
+            bus_free_at: 0,
+            last_col: 0,
+            last_group: None,
+            now: 0,
+            stats: DramStats::default(),
+            config,
+        }
+    }
+
+    /// Returns channel statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (end-of-warmup measurement reset).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    /// Whether the request queue has room.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.config.queue_depth
+    }
+
+    /// Enqueues a read (with `payload` to return) or a write
+    /// (`payload = None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(payload)` when the queue is full.
+    pub fn try_enqueue(
+        &mut self,
+        line: LineAddr,
+        is_write: bool,
+        payload: Option<T>,
+    ) -> Result<(), Option<T>> {
+        if !self.can_accept() {
+            return Err(payload);
+        }
+        self.queue.push_back(Pending { line, is_write, payload, arrived: self.now });
+        Ok(())
+    }
+
+    fn row_of(&self, line: LineAddr) -> u64 {
+        line.base().raw() / self.config.row_bytes as u64
+    }
+
+    fn bank_of(&self, line: LineAddr) -> usize {
+        (self.row_of(line) as usize) % self.config.banks
+    }
+
+    /// Advances one memory-clock tick: FR-FCFS selects at most one request
+    /// to issue.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        if self.queue.is_empty() {
+            return;
+        }
+
+        // FR-FCFS: first pass looks for the oldest row hit on a ready
+        // bank; second pass takes the oldest request on a ready bank.
+        // Once the oldest request has starved past the age cap, skip the
+        // row-hit pass so it cannot be bypassed forever.
+        let starved = self
+            .queue
+            .front()
+            .is_some_and(|r| self.now.saturating_sub(r.arrived) > self.config.t_starvation);
+        let mut choice: Option<usize> = None;
+        let first_pass = if starved { 1 } else { 0 };
+        for pass in first_pass..2 {
+            for (i, req) in self.queue.iter().enumerate() {
+                let bank = self.bank_of(req.line);
+                let st = &self.banks[bank];
+                if st.ready_at > self.now {
+                    continue;
+                }
+                let row_hit = st.open_row == Some(self.row_of(req.line));
+                if pass == 0 && !row_hit {
+                    continue;
+                }
+                choice = Some(i);
+                break;
+            }
+            if choice.is_some() {
+                break;
+            }
+        }
+        let Some(idx) = choice else { return };
+        let req = self.queue.remove(idx).expect("index from scan");
+        let bank = self.bank_of(req.line);
+        let row = self.row_of(req.line);
+
+        let st = &mut self.banks[bank];
+        let mut access_ready = self.now;
+        match st.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits.inc();
+            }
+            Some(_) => {
+                access_ready += self.config.t_rp + self.config.t_rcd;
+            }
+            None => {
+                access_ready += self.config.t_rcd;
+            }
+        }
+        st.open_row = Some(row);
+
+        // CAS, then the burst occupies the shared data bus. Column
+        // commands are additionally gated by tCCD_L within a bank group
+        // and tCCD_S across groups (GDDR5 bank-group architecture).
+        let group = bank / (self.config.banks / self.config.bank_groups).max(1);
+        let ccd = if self.last_group == Some(group) {
+            self.config.t_ccd_l
+        } else {
+            self.config.t_ccd_s
+        };
+        let col_gate = self.last_col + ccd;
+        let data_start =
+            (access_ready + self.config.t_cas).max(self.bus_free_at).max(col_gate);
+        self.last_col = data_start;
+        self.last_group = Some(group);
+        let done = data_start + self.config.t_burst;
+        self.bus_free_at = done;
+        st.ready_at = access_ready + self.config.t_burst; // bank busy through the burst
+        self.stats.bus_busy_ticks.add(self.config.t_burst);
+
+        if req.is_write {
+            self.stats.writes.inc();
+        } else {
+            self.stats.reads.inc();
+            let payload = req.payload.expect("reads carry a payload");
+            // Keep replies sorted by completion time.
+            let pos = self.replies.partition_point(|(t, _, _)| *t <= done);
+            self.replies.insert(pos, (done, req.line, payload));
+        }
+    }
+
+    /// Pops the next completed read, if its data burst has finished.
+    pub fn pop_reply(&mut self) -> Option<(LineAddr, T)> {
+        match self.replies.front() {
+            Some((ready, _, _)) if *ready <= self.now => {
+                self.replies.pop_front().map(|(_, l, p)| (l, p))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the channel has no queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.replies.is_empty()
+    }
+
+    /// Requests currently queued (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Read completions awaiting pickup (diagnostics).
+    pub fn replies_pending(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Achieved data bandwidth in bytes per memory tick so far.
+    pub fn bandwidth_bytes_per_tick(&self, line_bytes: usize) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        let serviced = self.stats.reads.get() + self.stats.writes.get();
+        (serviced as usize * line_bytes) as f64 / self.now as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MemoryController<u32> {
+        MemoryController::new(DramConfig::default())
+    }
+
+    fn run_until_reply(m: &mut MemoryController<u32>, max: u64) -> Option<(LineAddr, u32)> {
+        for _ in 0..max {
+            m.tick();
+            if let Some(r) = m.pop_reply() {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn read_completes_with_closed_row_latency() {
+        let mut m = mc();
+        m.try_enqueue(LineAddr::new(0), false, Some(7)).unwrap();
+        // Issue on tick 1; tRCD 12 + tCAS 12 + burst 4 → done at 29.
+        let r = run_until_reply(&mut m, 100).expect("read completes");
+        assert_eq!(r.1, 7);
+        assert_eq!(m.stats().reads.get(), 1);
+        assert_eq!(m.stats().row_hits.get(), 0);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        // Two reads in the same row vs two in conflicting rows of the same
+        // bank: the former must finish sooner.
+        let cfg = DramConfig::default();
+        let lines_per_row = (cfg.row_bytes / 128) as u64;
+
+        let mut same = mc();
+        same.try_enqueue(LineAddr::new(0), false, Some(0)).unwrap();
+        same.try_enqueue(LineAddr::new(1), false, Some(1)).unwrap();
+        let mut t_same = 0u64;
+        let mut done = 0;
+        while done < 2 {
+            same.tick();
+            t_same += 1;
+            while same.pop_reply().is_some() {
+                done += 1;
+            }
+            assert!(t_same < 1000);
+        }
+
+        let mut conflict = mc();
+        // Same bank: rows r and r+banks.
+        conflict.try_enqueue(LineAddr::new(0), false, Some(0)).unwrap();
+        conflict
+            .try_enqueue(LineAddr::new(lines_per_row * cfg.banks as u64), false, Some(1))
+            .unwrap();
+        let mut t_conf = 0u64;
+        done = 0;
+        while done < 2 {
+            conflict.tick();
+            t_conf += 1;
+            while conflict.pop_reply().is_some() {
+                done += 1;
+            }
+            assert!(t_conf < 1000);
+        }
+        assert!(t_same < t_conf, "row hit {t_same} !< conflict {t_conf}");
+        assert_eq!(same.stats().row_hits.get(), 1);
+        assert_eq!(conflict.stats().row_hits.get(), 0);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit_over_older_conflict() {
+        let cfg = DramConfig::default();
+        let lines_per_row = (cfg.row_bytes / 128) as u64;
+        let mut m = mc();
+        // Open row 0 in bank 0.
+        m.try_enqueue(LineAddr::new(0), false, Some(0)).unwrap();
+        let _ = run_until_reply(&mut m, 100).unwrap();
+        // Older conflicting request to bank 0, then a younger row hit.
+        m.try_enqueue(LineAddr::new(lines_per_row * cfg.banks as u64), false, Some(1)).unwrap();
+        m.try_enqueue(LineAddr::new(1), false, Some(2)).unwrap();
+        let first = run_until_reply(&mut m, 200).unwrap();
+        assert_eq!(first.1, 2, "row hit must be serviced first");
+        let second = run_until_reply(&mut m, 200).unwrap();
+        assert_eq!(second.1, 1);
+    }
+
+    #[test]
+    fn writes_complete_without_reply() {
+        let mut m = mc();
+        m.try_enqueue(LineAddr::new(5), true, None).unwrap();
+        for _ in 0..100 {
+            m.tick();
+            assert!(m.pop_reply().is_none());
+        }
+        assert_eq!(m.stats().writes.get(), 1);
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let mut m: MemoryController<u32> =
+            MemoryController::new(DramConfig { queue_depth: 2, ..DramConfig::default() });
+        m.try_enqueue(LineAddr::new(0), false, Some(0)).unwrap();
+        m.try_enqueue(LineAddr::new(1), false, Some(1)).unwrap();
+        assert!(!m.can_accept());
+        assert!(m.try_enqueue(LineAddr::new(2), false, Some(2)).is_err());
+    }
+
+    #[test]
+    fn same_bank_group_column_commands_are_slower() {
+        // Back-to-back row hits: alternating bank groups should finish
+        // sooner than hammering one group (tCCD_S < tCCD_L).
+        let cfg = DramConfig::default();
+        let lines_per_row = (cfg.row_bytes / 128) as u64;
+        let banks_per_group = (cfg.banks / cfg.bank_groups) as u64;
+
+        let run = |lines: Vec<u64>| -> u64 {
+            let mut m: MemoryController<u32> = MemoryController::new(cfg);
+            for (i, l) in lines.iter().enumerate() {
+                m.try_enqueue(LineAddr::new(*l), false, Some(i as u32)).unwrap();
+            }
+            let mut done = 0;
+            let mut t = 0;
+            while done < lines.len() {
+                m.tick();
+                t += 1;
+                while m.pop_reply().is_some() {
+                    done += 1;
+                }
+                assert!(t < 10_000);
+            }
+            t
+        };
+        // 8 requests to banks 0 and 1 (same group 0) vs banks 0 and
+        // `banks_per_group` (groups 0 and 1), all distinct rows warmed by
+        // padding with row hits... keep it simple: single access each to
+        // alternating banks, many times over the same rows (row hits).
+        let same_group: Vec<u64> = (0..8)
+            .map(|i| (i % 2) * lines_per_row * cfg.banks as u64 * 0 + (i % 2) * lines_per_row + i / 2)
+            .collect();
+        let cross_group: Vec<u64> = (0..8)
+            .map(|i| (i % 2) * banks_per_group * lines_per_row + i / 2)
+            .collect();
+        let t_same = run(same_group);
+        let t_cross = run(cross_group);
+        assert!(
+            t_cross <= t_same,
+            "cross-group ({t_cross}) should not be slower than same-group ({t_same})"
+        );
+    }
+
+    #[test]
+    fn starvation_cap_bounds_row_miss_wait() {
+        // A continuous row-hit stream must not starve a row-miss request
+        // beyond the age cap.
+        let cfg = DramConfig::default();
+        let lines_per_row = (cfg.row_bytes / 128) as u64;
+        let mut m = mc();
+        // Open row 0, then keep row-hitting it while a conflicting
+        // request (same bank, different row) waits.
+        m.try_enqueue(LineAddr::new(0), false, Some(0)).unwrap();
+        let _ = run_until_reply(&mut m, 100).unwrap();
+        m.try_enqueue(LineAddr::new(lines_per_row * cfg.banks as u64), false, Some(99)).unwrap();
+        let mut hits = 1u64;
+        let mut got_victim_at = None;
+        for t in 0..3_000u64 {
+            // Keep feeding row hits to row 0.
+            if m.can_accept() {
+                m.try_enqueue(LineAddr::new(hits % lines_per_row), false, Some(1)).unwrap();
+                hits += 1;
+            }
+            m.tick();
+            while let Some((_, p)) = m.pop_reply() {
+                if p == 99 {
+                    got_victim_at = Some(t);
+                }
+            }
+            if got_victim_at.is_some() {
+                break;
+            }
+        }
+        let t = got_victim_at.expect("victim starved forever");
+        assert!(t < 500, "victim waited {t} ticks despite the age cap");
+    }
+
+    #[test]
+    fn bus_serializes_bursts_across_banks() {
+        // Saturate with row hits across different banks: throughput is
+        // bounded by the shared bus at one line per t_burst ticks.
+        let mut m = mc();
+        let cfg = DramConfig::default();
+        let lines_per_row = (cfg.row_bytes / 128) as u64;
+        let mut issued = 0u32;
+        let mut done = 0u32;
+        for t in 0..2_000u64 {
+            if t % 2 == 0 && m.can_accept() && issued < 200 {
+                // Spread across banks.
+                let bank = (issued as u64) % cfg.banks as u64;
+                let line = bank * lines_per_row + (issued as u64 / cfg.banks as u64);
+                m.try_enqueue(LineAddr::new(line), false, Some(issued)).unwrap();
+                issued += 1;
+            }
+            m.tick();
+            while m.pop_reply().is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 200);
+        // 200 lines × 4-tick bursts = 800 busy ticks minimum.
+        assert!(m.stats().bus_busy_ticks.get() >= 800);
+        let bw = m.bandwidth_bytes_per_tick(128);
+        assert!(bw <= 32.0 + 1e-9, "bus overdriven: {bw} B/tick");
+    }
+}

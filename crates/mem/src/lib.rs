@@ -1,0 +1,26 @@
+//! Memory-side model: address-sliced L2 cache banks and GDDR5-like memory
+//! controllers.
+//!
+//! The paper keeps the L2 and memory system **unchanged** across all DC-L1
+//! designs (Table II): 32 address-sliced L2 banks in front of 16 GDDR5
+//! memory controllers with FR-FCFS scheduling. This crate provides both:
+//!
+//! * [`L2Slice`] — one banked L2 slice: an input queue, a set-associative
+//!   tag array, MSHRs, a fixed access latency, dirty-line tracking with
+//!   write-back on eviction, and a DRAM request port;
+//! * [`MemoryController`] — one GDDR5 channel: per-bank row state,
+//!   first-ready first-come-first-served (FR-FCFS) scheduling, and a
+//!   shared data bus, clocked in its own 924 MHz domain by the caller.
+//!
+//! Both components are generic over a payload type `T` that rides along
+//! with each request and returns with its reply, so the full-system
+//! simulator can route replies without global tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dram;
+mod l2;
+
+pub use dram::{DramConfig, DramStats, MemoryController};
+pub use l2::{DramAccess, L2Config, L2Reply, L2Request, L2Slice, L2Stats, MemAccessKind};

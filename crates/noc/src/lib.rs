@@ -1,0 +1,33 @@
+//! Crossbar network-on-chip model.
+//!
+//! Every network in the paper — the baseline 80×32 crossbar, the per-node
+//! N×1 crossbars of the private DC-L1 designs, the 80×40 crossbar of the
+//! fully-shared design, the small 8×4 / 10×8 crossbars of the clustered
+//! design, and both stages of the hierarchical CDXBar comparator — is an
+//! instance of [`Crossbar`].
+//!
+//! The model is flit-accurate at the level the paper's arguments need:
+//!
+//! * packets serialize over 32-byte-flit links, one flit per output per
+//!   tick, so a 128 B data reply occupies a link for 4+ ticks;
+//! * each input feeds at most one output at a time and vice versa
+//!   (head-of-line blocking included);
+//! * arbitration is per-output round-robin (a single-iteration
+//!   iSLIP-style allocator);
+//! * injection buffers are bounded and push backpressure to producers;
+//! * per-link flit counts feed the utilization figures (paper Figs 2, 17)
+//!   and the dynamic-power model.
+//!
+//! Frequency domains are handled by the *caller*: a crossbar has no clock
+//! of its own and is simply ticked the right number of times per core
+//! cycle (twice for the `+Boost` NoC#1, once per two core cycles for the
+//! 700 MHz NoC#2).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod crossbar;
+mod packet;
+
+pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
+pub use packet::Packet;

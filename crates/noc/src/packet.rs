@@ -1,0 +1,45 @@
+//! The unit of NoC transfer.
+
+use dcl1_common::addr::SECTOR_SIZE;
+
+/// A packet traversing a [`Crossbar`](crate::Crossbar), generic over the
+/// payload type carried end-to-end.
+///
+/// `flits` is the serialization length on a 32-byte link: one control flit
+/// plus one flit per 32 data bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T> {
+    /// Input port the packet enters through.
+    pub src: usize,
+    /// Output port the packet must leave through.
+    pub dst: usize,
+    /// Number of flits this packet occupies on a link (≥ 1).
+    pub flits: u32,
+    /// Caller-defined payload (the simulator carries memory transactions).
+    pub payload: T,
+}
+
+impl<T> Packet<T> {
+    /// Creates a packet carrying `data_bytes` of payload data.
+    ///
+    /// The flit count is one header/control flit plus ⌈data/32⌉ data flits,
+    /// matching the paper's 32 B flit size. A pure control packet (read
+    /// request, write ACK) has `data_bytes == 0` and occupies one flit.
+    pub fn new(src: usize, dst: usize, data_bytes: u32, payload: T) -> Self {
+        let data_flits = data_bytes.div_ceil(SECTOR_SIZE as u32);
+        Packet { src, dst, flits: 1 + data_flits, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_count_includes_header() {
+        assert_eq!(Packet::new(0, 0, 0, ()).flits, 1);
+        assert_eq!(Packet::new(0, 0, 32, ()).flits, 2);
+        assert_eq!(Packet::new(0, 0, 33, ()).flits, 3);
+        assert_eq!(Packet::new(0, 0, 128, ()).flits, 5);
+    }
+}

@@ -1,0 +1,102 @@
+//! CACTI-like SRAM area model.
+//!
+//! The paper uses CACTI 6.5 for two claims (Fig 18b):
+//!
+//! 1. the four 4-entry × 128 B queues added per DC-L1 node cost **6.25%**
+//!    of the total baseline L1 cache area — which is exactly the storage
+//!    ratio (40 nodes × 2 KB of queues over 80 × 16 KB of L1), so queue
+//!    cells are modelled at cache-cell density;
+//! 2. merging 80 small L1 banks into 40 double-size DC-L1 banks saves
+//!    **8%** of cache area because half the peripheral/port overhead is
+//!    paid — which pins the per-bank overhead coefficient.
+//!
+//! Model: `area(bank) = cap_bytes · A_CELL + A_BANK`, with `A_BANK` fit so
+//! 80→40 banks at constant capacity saves 8%.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytical SRAM area model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Cell-array area per byte, mm².
+    pub cell_mm2_per_byte: f64,
+    /// Fixed per-bank overhead (decoders, sense amps, the data port), mm².
+    pub bank_overhead_mm2: f64,
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        // 22 nm-ish density: ~0.30 mm² per 16 KB array. The per-bank
+        // overhead is fit to the paper's 8% saving for 80 → 40 banks at
+        // constant total capacity (see `fits_paper_bank_saving`).
+        let cell = 0.30 / (16.0 * 1024.0);
+        SramModel {
+            cell_mm2_per_byte: cell,
+            // Derivation: saving = 40·h / (C·a + 80·h) = 0.08 with
+            // C·a = total array area → h = 0.08·C·a / (40 − 0.08·80).
+            // For C = 1.28 MB: h ≈ 0.00238 · C·a.
+            bank_overhead_mm2: 0.00238 * (1280.0 * 1024.0) * cell,
+        }
+    }
+}
+
+impl SramModel {
+    /// Area of `banks` SRAM banks of `bytes_per_bank` each, in mm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero.
+    pub fn area_mm2(&self, banks: usize, bytes_per_bank: usize) -> f64 {
+        assert!(banks > 0, "bank count must be nonzero");
+        banks as f64 * (bytes_per_bank as f64 * self.cell_mm2_per_byte + self.bank_overhead_mm2)
+    }
+
+    /// Area of the four bounded queues in one DC-L1 node (paper Fig 3):
+    /// 4 queues × `entries` × `entry_bytes`, modelled at cell density with
+    /// no bank overhead (they are small latch/SRAM FIFOs).
+    pub fn node_queues_mm2(&self, entries: usize, entry_bytes: usize) -> f64 {
+        4.0 * (entries * entry_bytes) as f64 * self.cell_mm2_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOTAL_L1: usize = 80 * 16 * 1024;
+
+    #[test]
+    fn fits_paper_bank_saving() {
+        let m = SramModel::default();
+        let base = m.area_mm2(80, TOTAL_L1 / 80);
+        let dcl1 = m.area_mm2(40, TOTAL_L1 / 40);
+        let saving = 1.0 - dcl1 / base;
+        assert!((saving - 0.08).abs() < 0.005, "bank saving {saving}");
+    }
+
+    #[test]
+    fn fits_paper_queue_overhead() {
+        let m = SramModel::default();
+        let base = m.area_mm2(80, TOTAL_L1 / 80);
+        // 40 nodes, each with 4 queues of 4 × 128 B entries.
+        let queues = 40.0 * m.node_queues_mm2(4, 128);
+        let overhead = queues / base;
+        // Paper: 6.25% of the baseline L1 cache area. Our baseline area
+        // includes bank overhead, so the ratio lands slightly below the
+        // pure storage ratio.
+        assert!((0.05..0.07).contains(&overhead), "queue overhead {overhead}");
+    }
+
+    #[test]
+    fn area_monotonic_in_capacity_and_banks() {
+        let m = SramModel::default();
+        assert!(m.area_mm2(1, 32 * 1024) > m.area_mm2(1, 16 * 1024));
+        assert!(m.area_mm2(2, 16 * 1024) > m.area_mm2(1, 32 * 1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_banks_panics() {
+        SramModel::default().area_mm2(0, 1024);
+    }
+}

@@ -1,0 +1,118 @@
+//! Whole-run energy roll-up (paper Fig 18a).
+//!
+//! Combines the DSENT-like static and dynamic NoC power with a runtime to
+//! produce the paper's reported metrics: total NoC power, NoC energy,
+//! performance-per-watt and performance-per-energy (energy efficiency).
+
+use crate::dsent::{CrossbarModel, NocSpec};
+use serde::{Deserialize, Serialize};
+
+/// NoC power decomposed as in Fig 18a.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocPowerBreakdown {
+    /// Static (leakage + clock) power, mW.
+    pub static_mw: f64,
+    /// Dynamic (traffic-proportional) power, mW.
+    pub dynamic_mw: f64,
+}
+
+impl NocPowerBreakdown {
+    /// Total NoC power, mW.
+    pub fn total_mw(&self) -> f64 {
+        self.static_mw + self.dynamic_mw
+    }
+}
+
+/// Energy metrics for one simulated run of one design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Power breakdown.
+    pub power: NocPowerBreakdown,
+    /// Run length in seconds.
+    pub seconds: f64,
+    /// Instructions retired (for perf/W and perf/energy).
+    pub instructions: u64,
+    /// NoC energy in millijoules.
+    pub energy_mj: f64,
+}
+
+impl EnergyReport {
+    /// Builds a report from a design's NoC spec, its per-crossbar flit
+    /// traffic, the run length and the retired instruction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` does not align with `spec.xbars` or
+    /// `seconds <= 0` (propagated from the crossbar model).
+    pub fn new(
+        model: &CrossbarModel,
+        spec: &NocSpec,
+        flits: &[u64],
+        seconds: f64,
+        instructions: u64,
+    ) -> Self {
+        let power = NocPowerBreakdown {
+            static_mw: model.noc_static_mw(spec),
+            dynamic_mw: model.noc_dynamic_mw(spec, flits, seconds),
+        };
+        EnergyReport {
+            power,
+            seconds,
+            instructions,
+            energy_mj: power.total_mw() * seconds, // mW · s = mJ… (mW*s = µJ*1e3 = mJ)
+        }
+    }
+
+    /// Instructions per second (raw performance).
+    pub fn perf(&self) -> f64 {
+        self.instructions as f64 / self.seconds
+    }
+
+    /// Performance per watt: instructions / second / W.
+    pub fn perf_per_watt(&self) -> f64 {
+        self.perf() / (self.power.total_mw() / 1000.0)
+    }
+
+    /// Performance per energy (energy efficiency): instructions / mJ.
+    pub fn perf_per_energy(&self) -> f64 {
+        self.instructions as f64 / self.energy_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsent::XbarSpec;
+
+    fn spec() -> NocSpec {
+        NocSpec::new("t", vec![XbarSpec::new(8, 4, 10, 3.3, 1400.0)])
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = CrossbarModel::default();
+        let r = EnergyReport::new(&m, &spec(), &[1_000_000], 1e-3, 500_000);
+        assert!((r.energy_mj - r.power.total_mw() * 1e-3).abs() < 1e-12);
+        assert!(r.power.static_mw > 0.0 && r.power.dynamic_mw > 0.0);
+    }
+
+    #[test]
+    fn faster_run_improves_energy_not_power() {
+        let m = CrossbarModel::default();
+        // Same work done in half the time: static energy halves.
+        let slow = EnergyReport::new(&m, &spec(), &[1_000_000], 2e-3, 1_000_000);
+        let fast = EnergyReport::new(&m, &spec(), &[1_000_000], 1e-3, 1_000_000);
+        assert!(fast.energy_mj < slow.energy_mj);
+        assert!(fast.perf_per_energy() > slow.perf_per_energy());
+        assert!(fast.perf() > slow.perf());
+    }
+
+    #[test]
+    fn perf_metrics_consistent() {
+        let m = CrossbarModel::default();
+        let r = EnergyReport::new(&m, &spec(), &[0], 1.0, 1_000);
+        assert!((r.perf() - 1_000.0).abs() < 1e-9);
+        let watts = r.power.total_mw() / 1000.0;
+        assert!((r.perf_per_watt() - 1_000.0 / watts).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,287 @@
+//! Recording and replaying instruction traces.
+//!
+//! The simulator is trace-driven: any [`TraceFactory`] works. This module
+//! adds a compact binary on-disk format so workloads can be *recorded*
+//! once (from the synthetic generators, or converted from real GPU
+//! traces) and *replayed* bit-identically — the route by which real
+//! GPGPU-Sim/NVBit traces can be plugged into this reproduction.
+//!
+//! # Format (`DCL1TRC1`)
+//!
+//! ```text
+//! magic "DCL1TRC1" | u32 ctas | u32 wavefronts_per_cta
+//! per wavefront (CTA-major order):
+//!   u32 instruction_count
+//!   per instruction:
+//!     0x00 u8 latency                  -- ALU
+//!     0x01..=0x04 u8 n, n × (u64 line, u8 sectors)  -- Load/Store/Atomic/Aux
+//! ```
+//!
+//! All integers are little-endian; `sectors` is `bytes / 32`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dcl1_workloads::{by_name, record_trace, FileTraceFactory};
+//!
+//! let app = by_name("C-BFS").unwrap().scaled(1, 16);
+//! record_trace(&app, "c-bfs.dcl1trc")?;
+//! let replay = FileTraceFactory::load("c-bfs.dcl1trc")?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use dcl1_common::addr::SECTOR_SIZE;
+use dcl1_common::LineAddr;
+use dcl1_gpu::{MemAccess, MemInstr, MemKind, TraceFactory, TraceSource, VecTrace, WavefrontInstr};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DCL1TRC1";
+
+fn kind_tag(kind: MemKind) -> u8 {
+    match kind {
+        MemKind::Load => 0x01,
+        MemKind::Store => 0x02,
+        MemKind::Atomic => 0x03,
+        MemKind::Aux => 0x04,
+    }
+}
+
+fn tag_kind(tag: u8) -> Option<MemKind> {
+    Some(match tag {
+        0x01 => MemKind::Load,
+        0x02 => MemKind::Store,
+        0x03 => MemKind::Atomic,
+        0x04 => MemKind::Aux,
+        _ => return None,
+    })
+}
+
+/// Records every wavefront of `factory` into the binary trace file at
+/// `path`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn record_trace(factory: &dyn TraceFactory, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&factory.total_ctas().to_le_bytes())?;
+    w.write_all(&factory.wavefronts_per_cta().to_le_bytes())?;
+    for cta in 0..factory.total_ctas() {
+        for wf in 0..factory.wavefronts_per_cta() {
+            let mut src = factory.wavefront_trace(cta, wf);
+            let mut instrs = Vec::new();
+            loop {
+                match src.next_instr() {
+                    WavefrontInstr::Done => break,
+                    i => instrs.push(i),
+                }
+            }
+            w.write_all(&(instrs.len() as u32).to_le_bytes())?;
+            for instr in &instrs {
+                match instr {
+                    WavefrontInstr::Alu { latency } => {
+                        w.write_all(&[0x00, (*latency).min(255) as u8])?;
+                    }
+                    WavefrontInstr::Mem(m) => {
+                        w.write_all(&[kind_tag(m.kind), m.accesses.len() as u8])?;
+                        for a in &m.accesses {
+                            w.write_all(&a.line.raw().to_le_bytes())?;
+                            w.write_all(&[(a.bytes / SECTOR_SIZE as u32).max(1) as u8])?;
+                        }
+                    }
+                    WavefrontInstr::Done => unreachable!("loop breaks on Done"),
+                }
+            }
+        }
+    }
+    w.flush()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// A [`TraceFactory`] replaying a recorded trace file from memory.
+#[derive(Debug)]
+pub struct FileTraceFactory {
+    ctas: u32,
+    wavefronts_per_cta: u32,
+    /// Wavefront traces in CTA-major order.
+    traces: Vec<Vec<WavefrontInstr>>,
+}
+
+impl FileTraceFactory {
+    /// Loads a trace file into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on read failure, or `InvalidData` if the file
+    /// is not a well-formed `DCL1TRC1` trace.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a DCL1TRC1 trace file"));
+        }
+        let ctas = read_u32(&mut r)?;
+        let wavefronts_per_cta = read_u32(&mut r)?;
+        let total = (ctas as usize)
+            .checked_mul(wavefronts_per_cta as usize)
+            .ok_or_else(|| bad("wavefront count overflows"))?;
+        let mut traces = Vec::with_capacity(total);
+        for _ in 0..total {
+            let n = read_u32(&mut r)? as usize;
+            let mut instrs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tag = read_u8(&mut r)?;
+                if tag == 0x00 {
+                    instrs.push(WavefrontInstr::Alu { latency: read_u8(&mut r)? as u32 });
+                } else {
+                    let kind = tag_kind(tag).ok_or_else(|| bad("unknown instruction tag"))?;
+                    let count = read_u8(&mut r)? as usize;
+                    if count == 0 {
+                        return Err(bad("memory instruction with zero accesses"));
+                    }
+                    let mut accesses = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let line = read_u64(&mut r)?;
+                        let sectors = read_u8(&mut r)? as u32;
+                        accesses.push(MemAccess {
+                            line: LineAddr::new(line),
+                            bytes: sectors.max(1) * SECTOR_SIZE as u32,
+                        });
+                    }
+                    instrs.push(WavefrontInstr::Mem(MemInstr { kind, accesses }));
+                }
+            }
+            traces.push(instrs);
+        }
+        Ok(FileTraceFactory { ctas, wavefronts_per_cta, traces })
+    }
+
+    /// Total instructions across all wavefronts.
+    pub fn total_instructions(&self) -> u64 {
+        self.traces.iter().map(|t| t.len() as u64).sum()
+    }
+}
+
+impl TraceFactory for FileTraceFactory {
+    fn wavefront_trace(&self, cta: u32, wf: u32) -> Box<dyn TraceSource> {
+        let idx = cta as usize * self.wavefronts_per_cta as usize + wf as usize;
+        Box::new(VecTrace::new(self.traces[idx].clone()))
+    }
+
+    fn total_ctas(&self) -> u32 {
+        self.ctas
+    }
+
+    fn wavefronts_per_cta(&self) -> u32 {
+        self.wavefronts_per_cta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    fn drain(mut t: Box<dyn TraceSource>) -> Vec<WavefrontInstr> {
+        let mut v = Vec::new();
+        loop {
+            match t.next_instr() {
+                WavefrontInstr::Done => break,
+                i => v.push(i),
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn round_trip_preserves_every_instruction() {
+        let app = by_name("C-BFS").unwrap().scaled(1, 64);
+        let mut small = app;
+        small.ctas = 3;
+        let dir = std::env::temp_dir().join("dcl1trc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.dcl1trc");
+        record_trace(&small, &path).unwrap();
+        let replay = FileTraceFactory::load(&path).unwrap();
+        assert_eq!(replay.total_ctas(), small.ctas);
+        assert_eq!(replay.wavefronts_per_cta(), small.wavefronts_per_cta);
+        for cta in 0..small.ctas {
+            for wf in 0..small.wavefronts_per_cta {
+                let orig = drain(small.wavefront_trace(cta, wf));
+                let got = drain(replay.wavefront_trace(cta, wf));
+                assert_eq!(orig, got, "cta {cta} wf {wf} diverged");
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("dcl1trc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.dcl1trc");
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        let err = FileTraceFactory::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let app = by_name("C-BLK").unwrap().scaled(1, 64);
+        let mut small = app;
+        small.ctas = 2;
+        let dir = std::env::temp_dir().join("dcl1trc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.dcl1trc");
+        record_trace(&small, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(FileTraceFactory::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn replayed_factory_drives_a_simulation() {
+        // The replay must be usable anywhere an AppSpec is.
+        let app = by_name("C-HIST").unwrap().scaled(1, 64);
+        let mut small = app;
+        small.ctas = 2;
+        let dir = std::env::temp_dir().join("dcl1trc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.dcl1trc");
+        record_trace(&small, &path).unwrap();
+        let replay = FileTraceFactory::load(&path).unwrap();
+        assert_eq!(
+            replay.total_instructions(),
+            small.total_instructions(),
+            "replay must carry the full kernel"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

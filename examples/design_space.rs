@@ -1,0 +1,55 @@
+//! Design-space exploration: sweep the cluster count Z of the clustered
+//! shared DC-L1 organization (paper Section VI) for one application and
+//! report the three axes the paper trades off — performance, replication,
+//! and NoC area/power.
+//!
+//! Run with: `cargo run --release --example design_space [APP]`
+//! (default APP = R-KMN)
+
+use dcl1_repro::bench::Table;
+use dcl1_repro::dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
+use dcl1_repro::power::CrossbarModel;
+use dcl1_repro::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "R-KMN".into());
+    let app = by_name(&name).ok_or("unknown application")?.scaled(1, 4);
+    let cfg = GpuConfig::default();
+    let model = CrossbarModel::default();
+
+    let base_design = Design::Baseline;
+    let mut base_sys = GpuSystem::build(&cfg, &base_design, &app, SimOptions::default())?;
+    let base = base_sys.run();
+    let base_spec = base_design.topology(&cfg)?.noc_spec(&cfg);
+    let base_area = model.noc_area_mm2(&base_spec);
+    let base_static = model.noc_static_mw(&base_spec);
+
+    let mut t = Table::new(
+        format!("{name}: cluster-count sweep (normalized to private baseline)"),
+        &["design", "IPC", "miss_rate", "mean_replicas", "noc_area", "noc_static"],
+    );
+    for z in [1usize, 2, 5, 10, 20, 40] {
+        let design = match z {
+            1 => Design::Shared { nodes: 40 },
+            40 => Design::Private { nodes: 40 },
+            z => Design::Clustered { nodes: 40, clusters: z, boost: false },
+        };
+        let mut sys = GpuSystem::build(&cfg, &design, &app, SimOptions::default())?;
+        let stats = sys.run();
+        let spec = design.topology(&cfg)?.noc_spec(&cfg);
+        t.row(
+            format!("C{z} ({})", stats.design),
+            vec![
+                format!("{:.2}x", stats.ipc() / base.ipc()),
+                format!("{:.2}", stats.l1_miss_rate()),
+                format!("{:.1}", stats.mean_replicas),
+                format!("{:.2}x", model.noc_area_mm2(&spec) / base_area),
+                format!("{:.2}x", model.noc_static_mw(&spec) / base_static),
+            ],
+        );
+    }
+    println!("{t}");
+    println!("Fewer clusters → less replication but bigger crossbars; the paper picks");
+    println!("C10 as the knee of this trade-off (Section VI-B).");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Replication analysis of one application (paper Fig 1 methodology).
+//!
+//! Reports the three classification inputs the paper uses — replication
+//! ratio, raw L1 miss rate, and speedup under a 16× L1 — plus the
+//! hypothetical no-replication upper bound of §II-A, and says whether the
+//! app classifies as replication-sensitive under the paper's criteria.
+//!
+//! Run with: `cargo run --release --example replication_analysis [APP]`
+//! (default APP = C-BFS)
+
+use dcl1_repro::dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
+use dcl1_repro::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "C-BFS".into());
+    let app = by_name(&name).ok_or("unknown application")?.scaled(1, 2);
+    let cfg = GpuConfig::default();
+
+    let run = |design: &Design, cfg: &GpuConfig| -> Result<_, Box<dyn std::error::Error>> {
+        let mut sys = GpuSystem::build(cfg, design, &app, SimOptions::default())?;
+        Ok(sys.run())
+    };
+
+    let base = run(&Design::Baseline, &cfg)?;
+    let cfg16 = GpuConfig { l1_bytes: 16 * cfg.l1_bytes, ..cfg.clone() };
+    let big = run(&Design::Baseline, &cfg16)?;
+    let ideal = run(&Design::IdealSingleL1, &cfg)?;
+
+    let repl = base.replication_ratio();
+    let miss = base.l1_miss_rate();
+    let speedup16 = big.ipc() / base.ipc();
+
+    println!("== {name}: replication analysis (paper Fig 1 / SecII-A) ==");
+    println!("replication ratio          : {:5.1}%  (misses found in another L1)", 100.0 * repl);
+    println!("raw L1 miss rate           : {:5.1}%", 100.0 * miss);
+    println!("IPC with 16x L1 capacity   : {speedup16:5.2}x");
+    println!("mean replicas per line     : {:5.1}", base.mean_replicas);
+    println!("ideal single L1 (SecII-A)  : {:5.2}x IPC, {:4.1}% miss rate",
+        ideal.ipc() / base.ipc(), 100.0 * ideal.l1_miss_rate());
+
+    // The paper's classification criteria (Section II-A).
+    let sensitive = repl > 0.25 && miss > 0.50 && speedup16 > 1.05;
+    println!(
+        "classification             : replication-{}",
+        if sensitive { "SENSITIVE (repl>25%, miss>50%, 16x speedup>5%)" } else { "insensitive" }
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the DC-L1 reproduction: re-exports every workspace
+//! crate under one roof so the repository-level `examples/` and `tests/`
+//! can exercise the whole system.
+//!
+//! * [`dcl1`] — the paper's contribution: DC-L1 designs + full simulator;
+//! * [`workloads`] — the 28 calibrated GPGPU applications;
+//! * [`bench`](crate::bench) — the experiment harness regenerating every figure/table;
+//! * [`cache`] / [`noc`] / [`mem`] / [`gpu`] / [`power`] / [`common`] —
+//!   the substrates.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl1_repro::dcl1::{Design, GpuConfig};
+//!
+//! let cfg = GpuConfig::default();
+//! let flagship = Design::flagship(&cfg);
+//! assert_eq!(flagship.name(), "Sh40+C10+Boost");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dcl1;
+pub use dcl1_bench as bench;
+pub use dcl1_cache as cache;
+pub use dcl1_common as common;
+pub use dcl1_gpu as gpu;
+pub use dcl1_mem as mem;
+pub use dcl1_noc as noc;
+pub use dcl1_power as power;
+pub use dcl1_workloads as workloads;

@@ -1,0 +1,167 @@
+//! Repository-level integration tests: every crate working together on
+//! the small test machine.
+
+use dcl1_repro::dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
+use dcl1_repro::gpu::{
+    MemAccess, MemInstr, MemKind, TraceFactory, TraceSource, WavefrontInstr,
+};
+use dcl1_repro::common::{LineAddr, SplitMix64};
+
+/// A moderately mixed kernel exercising loads, stores, atomics and aux
+/// traffic over shared and streaming regions.
+#[derive(Debug)]
+struct MixedKernel;
+
+#[derive(Debug)]
+struct MixedTrace {
+    rng: SplitMix64,
+    uid: u64,
+    i: u32,
+    cursor: u64,
+}
+
+impl TraceSource for MixedTrace {
+    fn next_instr(&mut self) -> WavefrontInstr {
+        self.i += 1;
+        if self.i > 48 {
+            return WavefrontInstr::Done;
+        }
+        if self.rng.chance(0.5) {
+            return WavefrontInstr::Alu { latency: 2 };
+        }
+        let r = self.rng.next_f64();
+        let (kind, line) = if r < 0.05 {
+            (MemKind::Aux, 900_000 + self.rng.next_below(64))
+        } else if r < 0.10 {
+            (MemKind::Atomic, 910_000 + self.rng.next_below(8))
+        } else if r < 0.25 {
+            (MemKind::Store, self.rng.next_below(192))
+        } else if r < 0.70 {
+            (MemKind::Load, self.rng.next_below(192)) // shared region
+        } else {
+            self.cursor += 1;
+            (MemKind::Load, 1_000_000 + self.uid * 977 + self.cursor)
+        };
+        WavefrontInstr::Mem(MemInstr {
+            kind,
+            accesses: vec![MemAccess { line: LineAddr::new(line), bytes: 64 }],
+        })
+    }
+}
+
+impl TraceFactory for MixedKernel {
+    fn wavefront_trace(&self, cta: u32, wf: u32) -> Box<dyn TraceSource> {
+        let uid = cta as u64 * 2 + wf as u64;
+        Box::new(MixedTrace { rng: SplitMix64::new(17).split(uid), uid, i: 0, cursor: 0 })
+    }
+    fn total_ctas(&self) -> u32 {
+        24
+    }
+    fn wavefronts_per_cta(&self) -> u32 {
+        2
+    }
+}
+
+const EXPECTED_INSTRS: u64 = 24 * 2 * 48;
+
+fn run(design: Design, opts: SimOptions) -> dcl1_repro::dcl1::RunStats {
+    let cfg = GpuConfig::small_test();
+    let mut sys = GpuSystem::build(&cfg, &design, &MixedKernel, opts).expect("build");
+    let stats = sys.run();
+    assert!(stats.cycles < opts.max_cycles, "{} did not drain", stats.design);
+    stats
+}
+
+#[test]
+fn mixed_traffic_flows_through_the_flagship_design() {
+    let stats = run(
+        Design::Clustered { nodes: 4, clusters: 2, boost: true },
+        SimOptions { max_cycles: 1_000_000, ..SimOptions::default() },
+    );
+    assert_eq!(stats.instructions, EXPECTED_INSTRS);
+    assert!(stats.l1_accesses > 0);
+    assert!(stats.l2_accesses > 0);
+    assert!(stats.dram_requests > 0);
+    assert!(stats.mean_load_rtt > 0.0);
+    assert!(!stats.noc_flits.is_empty());
+    assert!(stats.noc_flits.iter().all(|&f| f > 0), "both NoCs must carry traffic");
+}
+
+#[test]
+fn warmup_reset_preserves_work_but_shrinks_measured_window() {
+    let cold = run(
+        Design::Baseline,
+        SimOptions { max_cycles: 1_000_000, ..SimOptions::default() },
+    );
+    let warm = run(
+        Design::Baseline,
+        SimOptions {
+            max_cycles: 1_000_000,
+            warmup_instructions: EXPECTED_INSTRS / 2,
+            ..SimOptions::default()
+        },
+    );
+    // The warm run measures only the post-warmup window.
+    assert!(warm.instructions < cold.instructions);
+    assert!(warm.instructions > 0);
+    assert!(warm.cycles < cold.cycles);
+    // Warm measurement can only improve the apparent hit rate.
+    assert!(warm.l1_miss_rate() <= cold.l1_miss_rate() + 0.05);
+}
+
+#[test]
+fn boost_never_hurts() {
+    let plain = run(
+        Design::Clustered { nodes: 4, clusters: 2, boost: false },
+        SimOptions { max_cycles: 1_000_000, ..SimOptions::default() },
+    );
+    let boosted = run(
+        Design::Clustered { nodes: 4, clusters: 2, boost: true },
+        SimOptions { max_cycles: 1_000_000, ..SimOptions::default() },
+    );
+    assert!(
+        boosted.cycles <= plain.cycles + plain.cycles / 20,
+        "boost made things worse: {} vs {}",
+        boosted.cycles,
+        plain.cycles
+    );
+}
+
+#[test]
+fn run_stats_are_internally_consistent() {
+    let stats = run(
+        Design::Shared { nodes: 4 },
+        SimOptions { max_cycles: 1_000_000, ..SimOptions::default() },
+    );
+    assert_eq!(stats.l1_hits + stats.l1_misses, stats.l1_accesses);
+    assert!(stats.l1_replicated_misses <= stats.l1_misses);
+    assert!(stats.l2_misses <= stats.l2_accesses);
+    assert_eq!(
+        stats.per_node_accesses.iter().sum::<u64>(),
+        stats.l1_accesses,
+        "per-node accesses must sum to the total"
+    );
+    assert!((0.0..=1.0).contains(&stats.dram_row_hit_rate));
+    assert!(stats.max_port_utilization >= stats.mean_port_utilization);
+}
+
+#[test]
+fn power_model_composes_with_simulation_output() {
+    use dcl1_repro::power::{CrossbarModel, EnergyReport};
+    let cfg = GpuConfig::small_test();
+    let design = Design::Clustered { nodes: 4, clusters: 2, boost: true };
+    let mut sys = GpuSystem::build(&cfg, &design, &MixedKernel, SimOptions::default()).unwrap();
+    let stats = sys.run();
+    let spec = design.topology(&cfg).unwrap().noc_spec(&cfg);
+    assert_eq!(spec.xbars.len(), stats.noc_flits.len(), "flit groups align with the NoC spec");
+    let report = EnergyReport::new(
+        &CrossbarModel::default(),
+        &spec,
+        &stats.noc_flits,
+        stats.seconds(cfg.core_mhz),
+        stats.instructions,
+    );
+    assert!(report.power.static_mw > 0.0);
+    assert!(report.power.dynamic_mw > 0.0);
+    assert!(report.perf_per_watt() > 0.0);
+}

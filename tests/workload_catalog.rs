@@ -1,0 +1,120 @@
+//! Cheap (no-simulation) checks that the workload catalog encodes the
+//! paper's application taxonomy and that it composes with the design and
+//! power crates.
+
+use dcl1_repro::dcl1::{Design, GpuConfig};
+use dcl1_repro::power::CrossbarModel;
+use dcl1_repro::workloads::{all_apps, poor_performing, replication_sensitive, STRIPE_LINES};
+
+#[test]
+fn suite_prefixes_match_suites() {
+    use dcl1_repro::workloads::Suite;
+    for app in all_apps() {
+        let expect = match app.suite {
+            Suite::CudaSdk => "C-",
+            Suite::Rodinia => "R-",
+            Suite::Shoc => "S-",
+            Suite::PolyBench => "P-",
+            Suite::Tango => "T-",
+        };
+        assert!(app.name.starts_with(expect), "{} vs {:?}", app.name, app.suite);
+    }
+}
+
+#[test]
+fn capacity_taxonomy_against_machine_capacities() {
+    // Machine capacities in lines on the default config.
+    let cfg = GpuConfig::default();
+    let l1_lines = (cfg.l1_bytes / cfg.line_bytes) as u64; // 128
+    let flagship = Design::flagship(&cfg).topology(&cfg).unwrap();
+    let cluster_lines = (flagship.node_bytes(&cfg) / cfg.line_bytes) as u64
+        * flagship.nodes_per_cluster() as u64; // 1024
+    let total_lines = (cfg.total_l1_bytes() / cfg.line_bytes) as u64; // 10240
+
+    // Every replication-sensitive app's shared region must exceed one L1
+    // (otherwise replication wouldn't cost capacity) yet fit in the total
+    // budget (otherwise sharing couldn't recover it).
+    for app in replication_sensitive() {
+        assert!(app.shared_lines > l1_lines, "{}: region fits one L1", app.name);
+        assert!(app.shared_lines <= total_lines, "{}: region exceeds budget", app.name);
+    }
+    // The paper's "Sh40-only" winners exceed a cluster's reach.
+    for name in ["S-Reduction", "P-SYRK"] {
+        let app = all_apps().into_iter().find(|a| a.name == name).unwrap();
+        assert!(app.shared_lines > cluster_lines, "{name} must exceed a cluster");
+    }
+    // The Tango CNNs fit within a cluster (they win under Sh40+C10 too).
+    for name in ["T-AlexNet", "T-ResNet", "T-SqueezeNet"] {
+        let app = all_apps().into_iter().find(|a| a.name == name).unwrap();
+        assert!(app.shared_lines <= cluster_lines, "{name} must fit a cluster");
+    }
+}
+
+#[test]
+fn camping_stripe_is_consistent_with_all_interleaves() {
+    let cfg = GpuConfig::default();
+    // The stripe stride must be a multiple of every home/slice interleave
+    // of the evaluated designs so camped lines share a home everywhere.
+    for d in [
+        Design::Shared { nodes: 40 },
+        Design::Clustered { nodes: 40, clusters: 10, boost: false },
+        Design::Clustered { nodes: 40, clusters: 5, boost: false },
+        Design::Clustered { nodes: 40, clusters: 20, boost: false },
+    ] {
+        let topo = d.topology(&cfg).unwrap();
+        assert_eq!(
+            STRIPE_LINES % topo.nodes_per_cluster() as u64,
+            0,
+            "{}: stripe not aligned to home interleave",
+            d.name()
+        );
+    }
+    assert_eq!(STRIPE_LINES % cfg.l2_slices as u64, 0, "stripe vs L2 slices");
+}
+
+#[test]
+fn poor_performers_have_a_modelled_cause() {
+    // Each of the five Fig 9 poor performers must carry at least one of
+    // the mechanisms the paper names: camping, bandwidth pressure, or
+    // latency sensitivity (low occupancy).
+    for app in poor_performing() {
+        let camped = app.striped_private || app.home_skew > 0.0;
+        let bandwidth = app.mem_fraction >= 0.6 && app.private_hot_fraction >= 0.8;
+        let latency = (app.wavefronts_per_cta * 6) < 48 / 2 + 1; // low occupancy
+        assert!(
+            camped || bandwidth || latency,
+            "{}: no poor-performance mechanism modelled",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn every_design_used_by_the_paper_resolves_and_prices() {
+    let cfg = GpuConfig::default();
+    let model = CrossbarModel::default();
+    let designs = [
+        Design::Baseline,
+        Design::IdealSingleL1,
+        Design::Private { nodes: 80 },
+        Design::Private { nodes: 40 },
+        Design::Private { nodes: 20 },
+        Design::Private { nodes: 10 },
+        Design::Shared { nodes: 40 },
+        Design::Clustered { nodes: 40, clusters: 5, boost: false },
+        Design::Clustered { nodes: 40, clusters: 10, boost: false },
+        Design::Clustered { nodes: 40, clusters: 10, boost: true },
+        Design::Clustered { nodes: 40, clusters: 20, boost: false },
+        Design::CdXbar { stage1_mult: 1, stage2_mult: 1 },
+    ];
+    for d in designs {
+        let topo = d.topology(&cfg).unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        let spec = topo.noc_spec(&cfg);
+        assert!(!spec.xbars.is_empty() || matches!(d, Design::IdealSingleL1));
+        let area = model.noc_area_mm2(&spec);
+        assert!(area >= 0.0 && area.is_finite(), "{}: bad area", d.name());
+    }
+    // And the 120-core scaling config.
+    let cfg120 = GpuConfig::scaled_120();
+    Design::flagship(&cfg120).topology(&cfg120).unwrap();
+}
