@@ -1,9 +1,12 @@
-//! Criterion micro-benchmarks for the simulator's hot components: cache
-//! lookups, crossbar ticks, trace generation, and a short end-to-end
-//! step loop. These guard the simulator's own performance (the figure
-//! benches are wall-clock-bound by it).
+//! Micro-benchmarks for the simulator's hot components: cache lookups,
+//! crossbar ticks, trace generation, and a short end-to-end step loop.
+//! These guard the simulator's own performance (the figure benches are
+//! wall-clock-bound by it).
+//!
+//! Hand-rolled timing harness (no external bench framework): each
+//! benchmark is warmed up, then run in batches until ~0.5 s of samples
+//! accumulate, reporting the median per-iteration time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
 use dcl1_cache::{CacheGeometry, SetAssocCache};
 use dcl1_common::LineAddr;
@@ -11,124 +14,138 @@ use dcl1_gpu::TraceSource;
 use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
 use dcl1_workloads::{by_name, AppTrace};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_cache(c: &mut Criterion) {
+/// Runs `f` repeatedly in timed batches and prints the median ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const BATCH: u32 = 10_000;
+    // Warm-up: one batch, untimed.
+    for _ in 0..BATCH {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::new();
+    let budget = Duration::from_millis(500);
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / f64::from(BATCH));
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<36} {median:>10.1} ns/iter   (min {lo:.1}, max {hi:.1}, n={})", samples.len());
+}
+
+fn bench_cache() {
     let geom = CacheGeometry::new(16 * 1024, 4, 128).unwrap();
-    c.bench_function("cache_lookup_fill_mix", |b| {
-        let mut cache = SetAssocCache::new(geom);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            let line = LineAddr::new(i % 4096);
-            if cache.lookup(black_box(line)) == dcl1_cache::LookupResult::Miss {
-                cache.fill(line);
-            }
-        });
+    let mut cache = SetAssocCache::new(geom);
+    let mut i = 0u64;
+    bench("cache_lookup_fill_mix", || {
+        i = i.wrapping_add(0x9E37_79B9);
+        let line = LineAddr::new(i % 4096);
+        if cache.lookup(black_box(line)) == dcl1_cache::LookupResult::Miss {
+            cache.fill(line);
+        }
     });
 }
 
-fn bench_crossbar(c: &mut Criterion) {
-    c.bench_function("crossbar_8x4_saturated_tick", |b| {
-        let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).unwrap());
-        let mut n = 0u64;
-        b.iter(|| {
-            for src in 0..8 {
-                if x.can_inject(src) {
-                    n += 1;
-                    let _ = x.try_inject(Packet::new(src, (n % 4) as usize, 32, n));
-                }
+fn bench_crossbar() {
+    let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).unwrap());
+    let mut n = 0u64;
+    bench("crossbar_8x4_saturated_tick", || {
+        for src in 0..8 {
+            if x.can_inject(src) {
+                n += 1;
+                let _ = x.try_inject(Packet::new(src, (n % 4) as usize, 32, n));
             }
-            x.tick();
-            for out in 0..4 {
-                while x.pop_output(out).is_some() {}
-            }
-        });
+        }
+        x.tick();
+        for out in 0..4 {
+            while x.pop_output(out).is_some() {}
+        }
     });
 }
 
-fn bench_trace(c: &mut Criterion) {
+fn bench_crossbar_idle() {
+    let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).unwrap());
+    bench("crossbar_8x4_idle_tick", || {
+        x.tick();
+    });
+}
+
+fn bench_trace() {
     let spec = by_name("T-AlexNet").unwrap();
-    c.bench_function("trace_generation_alexnet", |b| {
-        let mut t = AppTrace::new(spec, 0, 0);
-        b.iter(|| {
-            if matches!(t.next_instr(), dcl1_gpu::WavefrontInstr::Done) {
-                t = AppTrace::new(spec, 0, 0);
-            }
-        });
+    let mut t = AppTrace::new(spec, 0, 0);
+    bench("trace_generation_alexnet", || {
+        if matches!(t.next_instr(), dcl1_gpu::WavefrontInstr::Done) {
+            t = AppTrace::new(spec, 0, 0);
+        }
     });
 }
 
-fn bench_mshr(c: &mut Criterion) {
+fn bench_mshr() {
     use dcl1_cache::Mshr;
-    c.bench_function("mshr_allocate_complete", |b| {
-        let mut mshr: Mshr<u64> = Mshr::new(64, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let line = LineAddr::new(i % 64);
-            if mshr.try_allocate(black_box(line), i).is_err() || i % 8 == 0 {
-                black_box(mshr.complete(line));
-            }
-        });
+    let mut mshr: Mshr<u64> = Mshr::new(64, 8);
+    let mut i = 0u64;
+    bench("mshr_allocate_complete", || {
+        i += 1;
+        let line = LineAddr::new(i % 64);
+        if mshr.try_allocate(black_box(line), i).is_err() || i.is_multiple_of(8) {
+            black_box(mshr.complete(line));
+        }
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     use dcl1_mem::{DramConfig, MemoryController};
-    c.bench_function("dram_frfcfs_tick_loaded", |b| {
-        let mut mc: MemoryController<u32> = MemoryController::new(DramConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            if mc.can_accept() {
-                let _ = mc.try_enqueue(LineAddr::new(i * 17 % 4096), false, Some(i as u32));
-            }
-            mc.tick();
-            while mc.pop_reply().is_some() {}
-        });
+    let mut mc: MemoryController<u32> = MemoryController::new(DramConfig::default());
+    let mut i = 0u64;
+    bench("dram_frfcfs_tick_loaded", || {
+        i += 1;
+        if mc.can_accept() {
+            let _ = mc.try_enqueue(LineAddr::new(i * 17 % 4096), false, Some(i as u32));
+        }
+        mc.tick();
+        while mc.pop_reply().is_some() {}
     });
 }
 
-fn bench_presence(c: &mut Criterion) {
+fn bench_presence() {
     use dcl1::PresenceMap;
-    c.bench_function("presence_fill_probe_evict", |b| {
-        let mut p = PresenceMap::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let line = LineAddr::new(i % 10_000);
-            p.on_fill(line);
-            black_box(p.copies(line));
-            if i % 2 == 0 {
-                p.on_evict(line);
-            }
-        });
+    let mut p = PresenceMap::new();
+    let mut i = 0u64;
+    bench("presence_fill_probe_evict", || {
+        i += 1;
+        let line = LineAddr::new(i % 10_000);
+        p.on_fill(line);
+        black_box(p.copies(line));
+        if i.is_multiple_of(2) {
+            p.on_evict(line);
+        }
     });
 }
 
-fn bench_system_step(c: &mut Criterion) {
+fn bench_system_step() {
     let cfg = GpuConfig::default();
     let app = by_name("T-AlexNet").unwrap();
-    c.bench_function("system_step_sh40c10boost_80core", |b| {
-        let mut sys = GpuSystem::build(
-            &cfg,
-            &Design::flagship(&cfg),
-            &app,
-            SimOptions::default(),
-        )
-        .unwrap();
-        b.iter(|| sys.step());
+    let mut sys =
+        GpuSystem::build(&cfg, &Design::flagship(&cfg), &app, SimOptions::default()).unwrap();
+    bench("system_step_sh40c10boost_80core", || {
+        sys.step();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_crossbar,
-    bench_trace,
-    bench_mshr,
-    bench_dram,
-    bench_presence,
-    bench_system_step
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-component benchmarks (median of ~0.5s batched samples)\n");
+    bench_cache();
+    bench_crossbar();
+    bench_crossbar_idle();
+    bench_trace();
+    bench_mshr();
+    bench_dram();
+    bench_presence();
+    bench_system_step();
+}

@@ -43,4 +43,5 @@ fn main() {
         }
         eprintln!("[{name}] done in {:.1?} (total {:.1?})", t.elapsed(), t0.elapsed());
     }
+    println!("{}", dcl1_bench::runner::throughput_summary());
 }

@@ -1,0 +1,67 @@
+//! Cold-cache throughput benchmark: the all-apps × four-design sweep used
+//! to score simulator performance work.
+//!
+//! Clears the on-disk memo first so every point is actually simulated,
+//! then prints per-point timings and the aggregate throughput table.
+//!
+//! Usage:
+//!   DCL1_SCALE=smoke cargo run --release -p dcl1-bench --bin perf_sweep
+//!   ... --no-fast-forward   # disable the idle fast-forward (A/B baseline)
+//!   ... --keep-cache        # skip the cache clear (measure warm behavior)
+
+use dcl1::{Design, GpuConfig, SimOptions};
+use dcl1_bench::runner::{self, RunRequest};
+use dcl1_bench::{Scale, Table};
+use dcl1_workloads::all_apps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
+    let keep_cache = args.iter().any(|a| a == "--keep-cache");
+    let scale = Scale::from_env();
+
+    if !keep_cache {
+        runner::clear_disk_cache();
+    }
+    let cfg = GpuConfig::default();
+    let designs = [
+        Design::Baseline,
+        Design::Private { nodes: 40 },
+        Design::Shared { nodes: 40 },
+        Design::flagship(&cfg),
+    ];
+    let opts = SimOptions { fast_forward, ..SimOptions::default() };
+    let mut reqs: Vec<RunRequest> = Vec::new();
+    for app in all_apps() {
+        for design in designs {
+            reqs.push(RunRequest { app, design, cfg: cfg.clone(), opts });
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let stats = runner::run_apps(&reqs, scale);
+    let wall = t0.elapsed();
+
+    let mut per_point = Table::new(
+        format!("Per-point timings ({scale:?}, fast_forward={fast_forward})"),
+        &["point", "sim-cycles", "wall s", "KHz"],
+    );
+    for t in runner::point_timings() {
+        per_point.row(
+            format!("{}/{}", t.app, t.design),
+            vec![
+                t.sim_cycles.to_string(),
+                format!("{:.3}", t.wall_seconds),
+                format!("{:.0}", t.khz()),
+            ],
+        );
+    }
+    println!("{per_point}");
+    println!("{}", runner::throughput_summary());
+    let total: u64 = stats.iter().map(|s| s.cycles).sum();
+    println!(
+        "sweep: {} points, {total} sim-cycles, {:.2} s end-to-end wall",
+        stats.len(),
+        wall.as_secs_f64()
+    );
+}

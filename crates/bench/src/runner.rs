@@ -1,12 +1,24 @@
 //! Simulation execution: single runs and parallel sweeps.
+//!
+//! Results are memoized twice: in-process (a `HashMap` behind a mutex) and
+//! on disk under `target/dcl1-cache/`, keyed by a structured hash of the
+//! full (app, design, config, options, scale) point. Experiment modules
+//! that share points (e.g. every figure's baseline runs) pay for them once
+//! per machine, not once per process.
 
 use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimOptions};
 use dcl1_workloads::AppSpec;
-use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// How much of each wavefront's trace to simulate (CTA grids stay full,
 /// so machine occupancy is always realistic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Full-length traces.
     Full,
@@ -58,20 +70,328 @@ impl RunRequest {
     }
 }
 
-/// Runs one simulation point at the given scale.
-///
-/// Results are memoized for the lifetime of the process, so experiment
-/// modules that share points (e.g. every figure's baseline runs) pay for
-/// them once.
+// ---------------------------------------------------------------------------
+// Memo key
+// ---------------------------------------------------------------------------
+
+/// Bump when the meaning of cached results changes (simulator semantics,
+/// `RunStats` fields, trace generation, …) so stale on-disk entries are
+/// never read back. The version is part of the cache directory name.
+const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// 128-bit FNV-1a, used instead of `DefaultHasher` because the on-disk
+/// cache needs a hash that is stable across processes and Rust releases.
+struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Self {
+        Fnv128 { state: Self::OFFSET }
+    }
+
+    fn value(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state as u64
+    }
+}
+
+/// The full structured identity of a simulation point.
+#[derive(Hash)]
+struct MemoKey<'a> {
+    schema: u32,
+    app: &'a AppSpec,
+    design: &'a Design,
+    cfg: &'a GpuConfig,
+    opts: &'a SimOptions,
+    scale: Scale,
+}
+
+fn memo_key(req: &RunRequest, scale: Scale) -> u128 {
+    let key = MemoKey {
+        schema: CACHE_SCHEMA_VERSION,
+        app: &req.app,
+        design: &req.design,
+        cfg: &req.cfg,
+        opts: &req.opts,
+        scale,
+    };
+    let mut h = Fnv128::new();
+    key.hash(&mut h);
+    h.value()
+}
+
+// ---------------------------------------------------------------------------
+// On-disk cache
+// ---------------------------------------------------------------------------
+
+/// Directory holding persisted results: `$DCL1_CACHE_DIR` if set, else
+/// `target/dcl1-cache/v<schema>/` in the workspace.
+pub fn disk_cache_dir() -> PathBuf {
+    let base = std::env::var_os("DCL1_CACHE_DIR").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target"))
+            })
+            .join("dcl1-cache")
+    });
+    base.join(format!("v{CACHE_SCHEMA_VERSION}"))
+}
+
+/// Deletes every persisted result (all schema versions).
+pub fn clear_disk_cache() {
+    if let Some(parent) = disk_cache_dir().parent() {
+        let _ = std::fs::remove_dir_all(parent);
+    }
+}
+
+/// Serializes `f64` as its exact bit pattern so a disk round-trip is
+/// bit-identical (decimal formatting would not be).
+fn fmt_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn fmt_vec(v: &[u64]) -> String {
+    v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn parse_vec(s: &str) -> Option<Vec<u64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|x| x.parse().ok()).collect()
+}
+
+fn serialize_stats(s: &RunStats) -> String {
+    let mut out = String::new();
+    let mut kv = |k: &str, v: String| {
+        out.push_str(k);
+        out.push(' ');
+        out.push_str(&v);
+        out.push('\n');
+    };
+    kv("cycles", s.cycles.to_string());
+    kv("instructions", s.instructions.to_string());
+    kv("l1_accesses", s.l1_accesses.to_string());
+    kv("l1_hits", s.l1_hits.to_string());
+    kv("l1_misses", s.l1_misses.to_string());
+    kv("l1_replicated_misses", s.l1_replicated_misses.to_string());
+    kv("mean_replicas", fmt_f64(s.mean_replicas));
+    kv("max_port_utilization", fmt_f64(s.max_port_utilization));
+    kv("mean_port_utilization", fmt_f64(s.mean_port_utilization));
+    kv("max_reply_link_utilization", fmt_f64(s.max_reply_link_utilization));
+    kv("mean_load_rtt", fmt_f64(s.mean_load_rtt));
+    kv("p50_load_rtt", s.p50_load_rtt.to_string());
+    kv("p95_load_rtt", s.p95_load_rtt.to_string());
+    kv("p99_load_rtt", s.p99_load_rtt.to_string());
+    kv("l2_accesses", s.l2_accesses.to_string());
+    kv("l2_misses", s.l2_misses.to_string());
+    kv("dram_requests", s.dram_requests.to_string());
+    kv("dram_row_hit_rate", fmt_f64(s.dram_row_hit_rate));
+    kv("noc_flits", fmt_vec(&s.noc_flits));
+    kv("per_node_accesses", fmt_vec(&s.per_node_accesses));
+    // Last because the free-form design name is rest-of-line.
+    kv("design", s.design.clone());
+    out
+}
+
+fn deserialize_stats(text: &str) -> Option<RunStats> {
+    let mut s = RunStats::default();
+    let mut seen = 0usize;
+    for line in text.lines() {
+        let (k, v) = line.split_once(' ')?;
+        match k {
+            "cycles" => s.cycles = v.parse().ok()?,
+            "instructions" => s.instructions = v.parse().ok()?,
+            "l1_accesses" => s.l1_accesses = v.parse().ok()?,
+            "l1_hits" => s.l1_hits = v.parse().ok()?,
+            "l1_misses" => s.l1_misses = v.parse().ok()?,
+            "l1_replicated_misses" => s.l1_replicated_misses = v.parse().ok()?,
+            "mean_replicas" => s.mean_replicas = parse_f64(v)?,
+            "max_port_utilization" => s.max_port_utilization = parse_f64(v)?,
+            "mean_port_utilization" => s.mean_port_utilization = parse_f64(v)?,
+            "max_reply_link_utilization" => s.max_reply_link_utilization = parse_f64(v)?,
+            "mean_load_rtt" => s.mean_load_rtt = parse_f64(v)?,
+            "p50_load_rtt" => s.p50_load_rtt = v.parse().ok()?,
+            "p95_load_rtt" => s.p95_load_rtt = v.parse().ok()?,
+            "p99_load_rtt" => s.p99_load_rtt = v.parse().ok()?,
+            "l2_accesses" => s.l2_accesses = v.parse().ok()?,
+            "l2_misses" => s.l2_misses = v.parse().ok()?,
+            "dram_requests" => s.dram_requests = v.parse().ok()?,
+            "dram_row_hit_rate" => s.dram_row_hit_rate = parse_f64(v)?,
+            "noc_flits" => s.noc_flits = parse_vec(v)?,
+            "per_node_accesses" => s.per_node_accesses = parse_vec(v)?,
+            "design" => s.design = v.to_string(),
+            _ => return None,
+        }
+        seen += 1;
+    }
+    // A truncated file (e.g. interrupted write) must not parse.
+    if seen == 21 {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+fn disk_load(key: u128) -> Option<RunStats> {
+    let path = disk_cache_dir().join(format!("{key:032x}.stats"));
+    let text = std::fs::read_to_string(path).ok()?;
+    deserialize_stats(&text)
+}
+
+fn disk_store(key: u128, stats: &RunStats) {
+    let dir = disk_cache_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    // Temp-file + rename so concurrent writers never expose a torn file.
+    let tmp = dir.join(format!("{key:032x}.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, serialize_stats(stats)).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(format!("{key:032x}.stats")));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+/// Wall-time/throughput record for one actually-simulated point.
+#[derive(Debug, Clone)]
+pub struct PointTiming {
+    /// Application name.
+    pub app: &'static str,
+    /// Design name.
+    pub design: String,
+    /// Core cycles the run simulated.
+    pub sim_cycles: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_seconds: f64,
+}
+
+impl PointTiming {
+    /// Simulated kilo-cycles per wall second.
+    pub fn khz(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.wall_seconds / 1e3
+        }
+    }
+}
+
+/// Aggregate sweep-throughput counters for this process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoStats {
+    /// Points served from the in-process memo.
+    pub memory_hits: u64,
+    /// Points served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Points actually simulated.
+    pub simulated: u64,
+    /// Core cycles across simulated points.
+    pub sim_cycles: u64,
+    /// Wall nanoseconds across simulated points.
+    pub wall_nanos: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups served without simulating.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memory_hits + self.disk_hits + self.simulated;
+        if total == 0 {
+            0.0
+        } else {
+            (self.memory_hits + self.disk_hits) as f64 / total as f64
+        }
+    }
+}
+
+static MEMORY_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static SIMULATED: AtomicU64 = AtomicU64::new(0);
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns this process's sweep-throughput counters.
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        memory_hits: MEMORY_HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        simulated: SIMULATED.load(Ordering::Relaxed),
+        sim_cycles: SIM_CYCLES.load(Ordering::Relaxed),
+        wall_nanos: WALL_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-point timing records for every point simulated by this process.
+pub fn point_timings() -> Vec<PointTiming> {
+    timings().lock().expect("timings lock").clone()
+}
+
+/// Builds the end-of-sweep throughput table the `experiments` binary
+/// prints: total simulated cycles, wall time, aggregate simulation speed,
+/// and how many points the memo layers absorbed.
+pub fn throughput_summary() -> crate::Table {
+    let m = memo_stats();
+    let wall = m.wall_nanos as f64 / 1e9;
+    let khz = if wall > 0.0 { m.sim_cycles as f64 / wall / 1e3 } else { 0.0 };
+    let mut t = crate::Table::new("Sweep throughput", &["metric", "value"]);
+    t.row("points simulated", vec![m.simulated.to_string()]);
+    t.row("points from memo (RAM)", vec![m.memory_hits.to_string()]);
+    t.row("points from memo (disk)", vec![m.disk_hits.to_string()]);
+    t.row("memo hit rate", vec![format!("{:.1}%", 100.0 * m.hit_rate())]);
+    t.row("sim-cycles", vec![m.sim_cycles.to_string()]);
+    t.row("sim wall seconds", vec![format!("{wall:.2}")]);
+    t.row("sim speed (KHz)", vec![format!("{khz:.0}")]);
+    t
+}
+
+fn timings() -> &'static Mutex<Vec<PointTiming>> {
+    static TIMINGS: std::sync::OnceLock<Mutex<Vec<PointTiming>>> = std::sync::OnceLock::new();
+    TIMINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Runs one simulation point at the given scale, memoized in-process and
+/// on disk (see the module docs).
 ///
 /// # Panics
 ///
 /// Panics if the design fails to resolve (an experiment-definition bug).
 pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
-    let key = format!("{}|{:?}|{:?}|{:?}|{:?}", req.app.name, req.app, req.design, req.cfg, req.opts);
-    let key = format!("{key}|{scale:?}");
-    if let Some(hit) = cache().lock().get(&key) {
+    let key = memo_key(req, scale);
+    if let Some(hit) = cache().lock().expect("memo lock").get(&key) {
+        MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
+    }
+    if let Some(hit) = disk_load(key) {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        cache().lock().expect("memo lock").insert(key, hit.clone());
+        return hit;
     }
     let (num, den) = scale.ratio();
     let app = req.app.scaled(num, den);
@@ -82,43 +402,98 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
     if opts.warmup_instructions == 0 {
         opts.warmup_instructions = app.total_instructions() / 3;
     }
+    let start = Instant::now();
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
         .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
     let stats = sys.run();
-    cache().lock().insert(key, stats.clone());
+    let wall = start.elapsed();
+
+    SIMULATED.fetch_add(1, Ordering::Relaxed);
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    timings().lock().expect("timings lock").push(PointTiming {
+        app: req.app.name,
+        design: stats.design.clone(),
+        sim_cycles: stats.cycles,
+        wall_seconds: wall.as_secs_f64(),
+    });
+
+    disk_store(key, &stats);
+    cache().lock().expect("memo lock").insert(key, stats.clone());
     stats
 }
 
-fn cache() -> &'static Mutex<std::collections::HashMap<String, RunStats>> {
-    static CACHE: std::sync::OnceLock<Mutex<std::collections::HashMap<String, RunStats>>> =
-        std::sync::OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()))
+fn cache() -> &'static Mutex<HashMap<u128, RunStats>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<u128, RunStats>>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs many simulation points across `workers` threads, preserving input
+/// order in the output.
+///
+/// # Panics
+///
+/// Re-panics with the failing request's app/design name if any worker
+/// panics.
+pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) -> Vec<RunStats> {
+    let results: Vec<Mutex<Option<RunStats>>> = reqs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1).min(reqs.len().max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= reqs.len() {
+                    break;
+                }
+                let req = &reqs[i];
+                match catch_unwind(AssertUnwindSafe(|| run_app(req, scale))) {
+                    Ok(stats) => {
+                        *results[i].lock().expect("result lock") = Some(stats);
+                    }
+                    Err(payload) => {
+                        let msg = format!(
+                            "simulation of app {} on design {} panicked: {}",
+                            req.app.name,
+                            req.design.name(),
+                            panic_message(payload.as_ref())
+                        );
+                        failure.lock().expect("failure lock").get_or_insert(msg);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(msg) = failure.into_inner().expect("failure lock") {
+        panic!("{msg}");
+    }
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("every request was processed"))
+        .collect()
 }
 
 /// Runs many simulation points across all CPU cores, preserving input
 /// order in the output.
+///
+/// # Panics
+///
+/// Re-panics with the failing request's app/design name if any worker
+/// panics.
 pub fn run_apps(reqs: &[RunRequest], scale: Scale) -> Vec<RunStats> {
-    let results: Vec<Mutex<Option<RunStats>>> =
-        reqs.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::scope(|s| {
-        for _ in 0..workers.min(reqs.len().max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= reqs.len() {
-                    break;
-                }
-                let stats = run_app(&reqs[i], scale);
-                *results[i].lock() = Some(stats);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every request was processed"))
-        .collect()
+    run_apps_with_workers(reqs, scale, workers)
 }
 
 #[cfg(test)]
@@ -143,5 +518,60 @@ mod tests {
         assert_eq!(out[0].design, "Baseline");
         assert_eq!(out[1].design, "Pr40");
         assert!(out.iter().all(|s| s.instructions > 0));
+    }
+
+    #[test]
+    fn worker_panic_names_the_failing_point() {
+        let app = by_name("C-BLK").unwrap();
+        // An invalid node count fails Design::topology at build time.
+        let bad = RunRequest::new(app, Design::Shared { nodes: 77 });
+        let err = catch_unwind(AssertUnwindSafe(|| run_apps(&[bad], Scale::Smoke)))
+            .expect_err("must propagate the worker panic");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("C-BLK"), "missing app name: {msg}");
+        assert!(msg.contains("Sh77"), "missing design name: {msg}");
+    }
+
+    #[test]
+    fn memo_key_distinguishes_points() {
+        let app = by_name("C-BLK").unwrap();
+        let a = RunRequest::new(app, Design::Baseline);
+        let b = RunRequest::new(app, Design::Private { nodes: 40 });
+        assert_ne!(memo_key(&a, Scale::Smoke), memo_key(&b, Scale::Smoke));
+        assert_ne!(memo_key(&a, Scale::Smoke), memo_key(&a, Scale::Quarter));
+        assert_eq!(memo_key(&a, Scale::Smoke), memo_key(&a, Scale::Smoke));
+    }
+
+    #[test]
+    fn stats_roundtrip_is_bit_identical() {
+        let s = RunStats {
+            design: "Sh40+C10+Boost".to_string(),
+            cycles: 123_456,
+            instructions: 789,
+            l1_accesses: 10,
+            l1_hits: 7,
+            l1_misses: 3,
+            l1_replicated_misses: 1,
+            mean_replicas: 1.234_567_890_123,
+            max_port_utilization: 0.1 + 0.2, // deliberately non-representable
+            mean_port_utilization: f64::MIN_POSITIVE,
+            max_reply_link_utilization: 0.999,
+            mean_load_rtt: 312.25,
+            p50_load_rtt: 300,
+            p95_load_rtt: 400,
+            p99_load_rtt: 500,
+            l2_accesses: 9,
+            l2_misses: 4,
+            dram_requests: 4,
+            dram_row_hit_rate: 0.75,
+            noc_flits: vec![1, 2, 3],
+            per_node_accesses: vec![4, 5],
+        };
+        let back = deserialize_stats(&serialize_stats(&s)).expect("parse");
+        assert_eq!(back, s);
+        // Truncated files are rejected, not half-parsed.
+        let text = serialize_stats(&s);
+        let truncated = &text[..text.len() / 2];
+        assert!(deserialize_stats(truncated).is_none());
     }
 }

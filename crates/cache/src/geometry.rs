@@ -1,10 +1,9 @@
 //! Cache geometry: size, associativity and derived set count.
 
 use dcl1_common::{ConfigError, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// How line addresses map to sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetIndexing {
     /// Plain modulo (low line bits). Strided address patterns conflict.
     Modulo,
@@ -16,7 +15,7 @@ pub enum SetIndexing {
 }
 
 /// The physical shape of a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     size_bytes: usize,
     assoc: usize,

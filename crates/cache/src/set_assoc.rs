@@ -3,7 +3,6 @@
 use crate::CacheGeometry;
 use dcl1_common::stats::Counter;
 use dcl1_common::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,7 +14,7 @@ pub enum LookupResult {
 }
 
 /// Aggregate statistics for one cache instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found the line.
     pub hits: Counter,

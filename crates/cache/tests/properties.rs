@@ -1,9 +1,11 @@
-//! Property-based tests checking the set-associative cache against a naive
-//! reference model, and MSHR structural invariants.
+//! Randomized-but-deterministic tests checking the set-associative cache
+//! against a naive reference model, and MSHR structural invariants.
+//!
+//! Each test drives many seeded `SplitMix64` episodes, so coverage is
+//! property-test-like while staying fully reproducible and dependency-free.
 
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache};
-use dcl1_common::LineAddr;
-use proptest::prelude::*;
+use dcl1_common::{LineAddr, SplitMix64};
 use std::collections::HashMap;
 
 /// A naive per-set LRU model: each set is a Vec ordered LRU→MRU.
@@ -57,101 +59,101 @@ impl RefModel {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Op {
-    Lookup(u64),
-    Fill(u64),
-    Invalidate(u64),
-}
-
-fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..max_line).prop_map(Op::Lookup),
-        (0..max_line).prop_map(Op::Fill),
-        (0..max_line).prop_map(Op::Invalidate),
-    ]
-}
-
-proptest! {
-    /// Random op sequences produce identical hit/miss/eviction behaviour in
-    /// the real cache and the reference model.
-    #[test]
-    fn cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+/// Random op sequences produce identical hit/miss/eviction behaviour in
+/// the real cache and the reference model.
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xCAC4E ^ seed);
         let geom = CacheGeometry::new(4 * 2 * 128, 2, 128).unwrap(); // 4 sets x 2 ways
         let mut cache = SetAssocCache::new(geom);
         let mut model = RefModel::new(geom.sets(), geom.assoc());
-        for op in ops {
-            match op {
-                Op::Lookup(l) => {
+        let ops = 1 + rng.next_below(400);
+        for _ in 0..ops {
+            let l = rng.next_below(64);
+            match rng.next_below(3) {
+                0 => {
                     let got = cache.lookup(LineAddr::new(l)) == LookupResult::Hit;
-                    prop_assert_eq!(got, model.lookup(l));
+                    assert_eq!(got, model.lookup(l), "lookup mismatch (seed {seed}, line {l})");
                 }
-                Op::Fill(l) => {
+                1 => {
                     let got = cache.fill(LineAddr::new(l)).map(|e| e.raw());
-                    prop_assert_eq!(got, model.fill(l));
+                    assert_eq!(got, model.fill(l), "fill mismatch (seed {seed}, line {l})");
                 }
-                Op::Invalidate(l) => {
-                    prop_assert_eq!(cache.invalidate(LineAddr::new(l)), model.invalidate(l));
+                _ => {
+                    assert_eq!(
+                        cache.invalidate(LineAddr::new(l)),
+                        model.invalidate(l),
+                        "invalidate mismatch (seed {seed}, line {l})"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Occupancy never exceeds capacity and resident lines are unique.
-    #[test]
-    fn occupancy_bounded_and_lines_unique(fills in proptest::collection::vec(0u64..512, 1..600)) {
+/// Occupancy never exceeds capacity and resident lines are unique.
+#[test]
+fn occupancy_bounded_and_lines_unique() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0x0CC ^ seed.wrapping_mul(0x9E37));
         let geom = CacheGeometry::new(8 * 4 * 128, 4, 128).unwrap();
         let mut cache = SetAssocCache::new(geom);
-        for l in fills {
-            cache.fill(LineAddr::new(l));
-            prop_assert!(cache.occupancy() <= geom.lines());
+        let fills = 1 + rng.next_below(600);
+        for _ in 0..fills {
+            cache.fill(LineAddr::new(rng.next_below(512)));
+            assert!(cache.occupancy() <= geom.lines());
         }
         let mut lines: Vec<u64> = cache.resident_lines().map(|l| l.raw()).collect();
         let before = lines.len();
         lines.sort_unstable();
         lines.dedup();
-        prop_assert_eq!(lines.len(), before, "duplicate resident lines");
+        assert_eq!(lines.len(), before, "duplicate resident lines (seed {seed})");
         // Everything reported resident must probe as present.
         for l in lines {
-            prop_assert!(cache.probe(LineAddr::new(l)));
+            assert!(cache.probe(LineAddr::new(l)));
         }
     }
+}
 
-    /// The MSHR never exceeds its entry budget, never loses a token, and
-    /// never delivers a token twice.
-    #[test]
-    fn mshr_conserves_tokens(
-        reqs in proptest::collection::vec((0u64..16, 0u32..1000), 1..300),
-        completions in proptest::collection::vec(0u64..16, 0..100),
-    ) {
+/// The MSHR never exceeds its entry budget, never loses a token, and
+/// never delivers a token twice.
+#[test]
+fn mshr_conserves_tokens() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(0x517 ^ seed.wrapping_mul(0xABCD));
         let mut mshr: Mshr<u32> = Mshr::new(4, 3);
         let mut submitted = Vec::new();
         let mut delivered = Vec::new();
         let mut stalled = 0usize;
-        let mut comp_iter = completions.into_iter();
-        for (i, (line, token)) in reqs.into_iter().enumerate() {
+        let reqs = 1 + rng.next_below(300);
+        for i in 0..reqs {
+            let line = rng.next_below(16);
+            let token = rng.next_below(1000) as u32;
             match mshr.try_allocate(LineAddr::new(line), token) {
                 Ok(_) => submitted.push(token),
                 Err(t) => {
-                    prop_assert_eq!(t, token, "stall must hand the token back");
+                    assert_eq!(t, token, "stall must hand the token back");
                     stalled += 1;
                 }
             }
-            prop_assert!(mshr.len() <= 4);
+            assert!(mshr.len() <= 4);
             // Occasionally complete a line.
             if i % 5 == 4 {
-                if let Some(l) = comp_iter.next() {
-                    delivered.extend(mshr.complete(LineAddr::new(l)));
-                }
+                let l = rng.next_below(16);
+                delivered.extend(mshr.complete(LineAddr::new(l)));
             }
         }
         // Drain everything.
         for line in 0..16u64 {
             delivered.extend(mshr.complete(LineAddr::new(line)));
         }
-        prop_assert!(mshr.is_empty());
+        assert!(mshr.is_empty());
         submitted.sort_unstable();
         delivered.sort_unstable();
-        prop_assert_eq!(submitted, delivered, "tokens lost or duplicated (stalled={})", stalled);
+        assert_eq!(
+            submitted, delivered,
+            "tokens lost or duplicated (seed {seed}, stalled={stalled})"
+        );
     }
 }

@@ -5,7 +5,6 @@
 //! side interleaves the linear address space across memory partitions in
 //! 256-byte chunks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a cache line in bytes (paper Table II: 128 B).
@@ -20,7 +19,7 @@ pub const MC_INTERLEAVE: usize = 256;
 const LINE_SHIFT: u32 = LINE_SIZE.trailing_zeros();
 
 /// A byte address in the simulated global address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Address(u64);
 
 impl Address {
@@ -79,7 +78,7 @@ impl fmt::LowerHex for Address {
 ///
 /// All caches, presence maps and NoC payloads in the simulator operate on
 /// `LineAddr` rather than raw byte addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

@@ -7,7 +7,6 @@
 //! into the right number of component ticks using an error accumulator
 //! (a Bresenham-style rational divider), so no long-run drift accumulates.
 
-use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, measured in core clock cycles.
 pub type Cycle = u64;
@@ -29,7 +28,7 @@ pub type Cycle = u64;
 /// let ticks: u32 = (0..4).map(|_| noc.advance()).sum();
 /// assert_eq!(ticks, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClockDomain {
     /// Component frequency in MHz (numerator of the tick ratio).
     freq_mhz: u64,
@@ -78,6 +77,31 @@ impl ClockDomain {
         self.acc -= t * self.core_mhz;
         self.ticks += t;
         t as u32
+    }
+
+    /// Advances simulated time by `cycles` core cycles at once and returns
+    /// how many component ticks elapse in total.
+    ///
+    /// Exactly equivalent to calling [`advance`](ClockDomain::advance)
+    /// `cycles` times: the accumulator invariant `acc < core_mhz` makes the
+    /// batched division distribute over the per-cycle ones.
+    pub fn advance_by(&mut self, cycles: u64) -> u64 {
+        self.acc += cycles * self.freq_mhz;
+        let t = self.acc / self.core_mhz;
+        self.acc -= t * self.core_mhz;
+        self.ticks += t;
+        t
+    }
+
+    /// The smallest number of core cycles after which `ticks` more
+    /// component ticks will have been issued (0 when `ticks` is 0).
+    pub fn cycles_until_ticks(&self, ticks: u64) -> u64 {
+        if ticks == 0 {
+            return 0;
+        }
+        // Need acc + s * freq >= ticks * core; acc < core <= ticks * core.
+        let needed = ticks * self.core_mhz - self.acc;
+        needed.div_ceil(self.freq_mhz)
     }
 
     /// Total component ticks issued since construction.
@@ -143,5 +167,41 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_frequency_panics() {
         ClockDomain::new(0, 1400);
+    }
+
+    #[test]
+    fn advance_by_matches_repeated_advance() {
+        for (f, c) in [(700, 1400), (924, 1400), (2800, 1400), (1400, 1400), (3, 7)] {
+            let mut step = ClockDomain::new(f, c);
+            let mut batch = ClockDomain::new(f, c);
+            let mut total = 0u64;
+            for n in [1u64, 2, 3, 5, 17, 64, 1000] {
+                let stepped: u64 = (0..n).map(|_| u64::from(step.advance())).sum();
+                let batched = batch.advance_by(n);
+                assert_eq!(stepped, batched, "{f}/{c} over {n}");
+                total += n;
+                assert_eq!(step.total_ticks(), batch.total_ticks());
+                assert_eq!(step, batch, "accumulator state diverged after {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_until_ticks_is_tight() {
+        for (f, c) in [(700, 1400), (924, 1400), (2800, 1400), (3, 7)] {
+            let mut d = ClockDomain::new(f, c);
+            // Desynchronize the accumulator.
+            d.advance_by(13);
+            for k in [1u64, 2, 5, 40] {
+                let s = d.cycles_until_ticks(k);
+                let mut probe = d.clone();
+                assert!(probe.advance_by(s) >= k, "{f}/{c}: {s} cycles too few for {k}");
+                if s > 0 {
+                    let mut short = d.clone();
+                    assert!(short.advance_by(s - 1) < k, "{f}/{c}: {s} not minimal for {k}");
+                }
+            }
+            assert_eq!(d.cycles_until_ticks(0), 0);
+        }
     }
 }

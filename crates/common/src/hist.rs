@@ -6,7 +6,6 @@
 //! power-of-two buckets with four linear sub-buckets each (HdrHistogram-
 //! style, ~1.19× relative error), fixed memory, O(1) record.
 
-use serde::{Deserialize, Serialize};
 
 const SUB_BITS: u32 = 2;
 const SUB: usize = 1 << SUB_BITS; // linear sub-buckets per octave
@@ -27,7 +26,7 @@ const BUCKETS: usize = OCTAVES * SUB;
 /// assert_eq!(h.count(), 5);
 /// assert!(h.percentile(0.5) >= 20 && h.percentile(0.5) <= 40);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

@@ -4,7 +4,6 @@
 //! cross-wiring bugs (e.g. indexing the L2 slice vector with a core id)
 //! while compiling down to plain integers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
@@ -12,7 +11,6 @@ macro_rules! define_id {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub usize);
 

@@ -1,6 +1,5 @@
 //! Counters, running means and utilization helpers used by every component.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A monotonically increasing event counter.
@@ -15,7 +14,7 @@ use std::fmt;
 /// hits.inc();
 /// assert_eq!(hits.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -60,7 +59,7 @@ pub fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// An online mean with count, for latency-style statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningMean {
     sum: f64,
     count: u64,

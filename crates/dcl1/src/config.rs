@@ -3,12 +3,11 @@
 use dcl1_common::ConfigError;
 use dcl1_gpu::IssuePolicy;
 use dcl1_mem::{DramConfig, L2Config};
-use serde::{Deserialize, Serialize};
 
 /// Full-machine configuration. Defaults reproduce the paper's Table II
 /// (80 cores, 16 KB 4-way write-evict L1s, 32 L2 slices, 16 GDDR5 MCs);
 /// deviations from the garbled table entries are documented in DESIGN.md.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct GpuConfig {
     /// GPU cores (paper: 80; the scaling study uses 120).
     pub cores: usize,

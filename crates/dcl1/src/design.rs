@@ -3,10 +3,9 @@
 use crate::config::GpuConfig;
 use dcl1_common::ConfigError;
 use dcl1_power::{NocSpec, XbarSpec};
-use serde::{Deserialize, Serialize};
 
 /// Which boosted-baseline sensitivity variant (paper §VIII-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaselineBoost {
     /// 2× per-core L1 capacity.
     Cache2x,
@@ -18,7 +17,7 @@ pub enum BaselineBoost {
 }
 
 /// A cache-hierarchy design under evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Design {
     /// Conventional GPU: private per-core L1s, one `cores×slices`
     /// crossbar to the L2 partitions.
@@ -252,7 +251,7 @@ fn check_div(a: usize, b: usize, an: &str, bn: &str) -> Result<(), ConfigError> 
 }
 
 /// How cores reach their DC-L1 node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Attachment {
     /// The L1 sits inside the core (baseline designs): accesses do not
     /// serialize over a NoC and replies are full-width.
@@ -267,7 +266,7 @@ pub enum Attachment {
 }
 
 /// Structure of NoC#2 (DC-L1 nodes / cores ↔ L2 slices).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Noc2Kind {
     /// One `sources×slices` crossbar (baseline, PrY, and ShY when the
     /// per-cluster node count exceeds the slice count).
@@ -309,7 +308,7 @@ impl Noc2Kind {
 
 /// A design resolved against a machine: everything the simulator and the
 /// power model need to instantiate hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Design name.
     pub name: String,

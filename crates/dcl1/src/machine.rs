@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 
 /// Run-level options orthogonal to the design (the paper's sensitivity
 /// knobs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimOptions {
     /// Perfect-(DC-)L1 mode: every lookup hits (Fig 4c).
     pub perfect_l1: bool,
@@ -53,6 +53,13 @@ pub struct SimOptions {
     /// (cache-warmup fast-forward, as simulation methodology requires;
     /// 0 = measure from cold).
     pub warmup_instructions: u64,
+    /// Idle fast-forward: when every component is quiescent except
+    /// fixed-latency timers (ALU busy intervals, cache-hit pipes, L2 reply
+    /// latencies, DRAM bursts), jump the clock to the next event instead of
+    /// stepping cycle by cycle. Bit-identical to stepping — the golden
+    /// tests compare both paths — so there is no reason to disable it
+    /// outside of those tests.
+    pub fast_forward: bool,
 }
 
 impl Default for SimOptions {
@@ -64,6 +71,7 @@ impl Default for SimOptions {
             max_cycles: 20_000_000,
             replica_sample_interval: 2048,
             warmup_instructions: 0,
+            fast_forward: true,
         }
     }
 }
@@ -349,6 +357,12 @@ impl<'w> GpuSystem<'w> {
 
     fn issue_cores(&mut self) {
         for c in 0..self.cores.len() {
+            if self.cores[c].is_drained() {
+                // A drained core's tick is a fruitless 48-slot scan that
+                // only counts an idle cycle; account for it directly.
+                self.cores[c].add_idle_cycles(1);
+                continue;
+            }
             let mem_ready = self.outbox[c].is_empty();
             if let Some(issued) = self.cores[c].tick(self.now, mem_ready) {
                 for a in &issued.instr.accesses {
@@ -443,22 +457,27 @@ impl<'w> GpuSystem<'w> {
         for _ in 0..ticks {
             for cluster in 0..self.noc1_req.len() {
                 self.noc1_req[cluster].tick();
-                // Eject requests into node Q1 (respecting Q1 room).
-                for slot in 0..m {
-                    let node = cluster * m + slot;
-                    while self.nodes[node].can_accept_request() {
-                        match self.noc1_req[cluster].pop_output(slot) {
-                            Some(pkt) => self.nodes[node]
-                                .try_push_request(pkt.payload)
-                                .unwrap_or_else(|_| unreachable!("checked room")),
-                            None => break,
+                // Eject requests into node Q1 (respecting Q1 room). The
+                // occupancy count lets quiet switches skip the port scan.
+                if self.noc1_req[cluster].has_output() {
+                    for slot in 0..m {
+                        let node = cluster * m + slot;
+                        while self.nodes[node].can_accept_request() {
+                            match self.noc1_req[cluster].pop_output(slot) {
+                                Some(pkt) => self.nodes[node]
+                                    .try_push_request(pkt.payload)
+                                    .unwrap_or_else(|_| unreachable!("checked room")),
+                                None => break,
+                            }
                         }
                     }
                 }
                 self.noc1_rep[cluster].tick();
-                for port in 0..cpc {
-                    while let Some(pkt) = self.noc1_rep[cluster].pop_output(port) {
-                        self.complete_at_core(pkt.payload);
+                if self.noc1_rep[cluster].has_output() {
+                    for port in 0..cpc {
+                        while let Some(pkt) = self.noc1_rep[cluster].pop_output(port) {
+                            self.complete_at_core(pkt.payload);
+                        }
                     }
                 }
             }
@@ -641,6 +660,9 @@ impl<'w> GpuSystem<'w> {
                 for _ in 0..s1_ticks {
                     for (g, x) in stage1.iter_mut().enumerate() {
                         x.tick();
+                        if !x.has_output() {
+                            continue;
+                        }
                         // Stage-1 ejects feed stage-2 inputs.
                         let uplinks = x.config().outputs;
                         for u in 0..uplinks {
@@ -680,6 +702,9 @@ impl<'w> GpuSystem<'w> {
                 let ideal = self.topo.ideal_ports;
                 for _ in 0..ticks {
                     x.tick();
+                    if !x.has_output() {
+                        continue;
+                    }
                     for port in 0..x.config().outputs {
                         let n = if ideal { 0 } else { port };
                         while self.nodes[n].can_accept_l2_reply() {
@@ -697,6 +722,9 @@ impl<'w> GpuSystem<'w> {
                 for _ in 0..ticks {
                     for (slot, x) in xs.iter_mut().enumerate() {
                         x.tick();
+                        if !x.has_output() {
+                            continue;
+                        }
                         for cluster in 0..self.topo.clusters {
                             let node = cluster * m + slot;
                             while self.nodes[node].can_accept_l2_reply() {
@@ -714,6 +742,9 @@ impl<'w> GpuSystem<'w> {
             Noc2Net::TwoStage { stage1, stage2 } => {
                 for _ in 0..s2_ticks {
                     stage2.tick();
+                    if !stage2.has_output() {
+                        continue;
+                    }
                     // Stage-2 ejects feed per-group stage-1 reply xbars.
                     let groups = stage1.len();
                     let cpg = self.topo.cores / groups;
@@ -738,6 +769,9 @@ impl<'w> GpuSystem<'w> {
                 for _ in 0..s1_ticks {
                     for (g, x) in stage1.iter_mut().enumerate() {
                         x.tick();
+                        if !x.has_output() {
+                            continue;
+                        }
                         let cpg = x.config().outputs;
                         for port in 0..cpg {
                             let node = g * cpg + port;
@@ -768,6 +802,9 @@ impl<'w> GpuSystem<'w> {
         l2: &mut [L2Slice<Txn>],
         sliced: Option<(usize, usize)>,
     ) {
+        if !x.has_output() {
+            return;
+        }
         for port in 0..x.config().outputs {
             let slice = match sliced {
                 Some((slot, groups)) => port * groups + slot,
@@ -859,8 +896,131 @@ impl<'w> GpuSystem<'w> {
             if self.now.is_multiple_of(64) && self.all_idle() {
                 break;
             }
+            if self.opts.fast_forward {
+                self.fast_forward();
+            }
         }
         self.collect_stats()
+    }
+
+    /// When the whole machine is quiescent — no queued or staged
+    /// transaction anywhere, no ready wavefront, no dispatchable CTA — the
+    /// only thing [`step`](GpuSystem::step) does is advance clocks until a
+    /// fixed-latency timer fires: an ALU busy interval expires, a cache hit
+    /// matures in a node's hit pipe, an L2 reply's latency elapses, or a
+    /// DRAM burst completes. This jumps `now` directly to the cycle before
+    /// the earliest such event (the event cycle itself is then stepped
+    /// normally), advancing every component clock by exactly the amount
+    /// that many do-nothing steps would have.
+    ///
+    /// The jump never crosses a replica-sample cycle, a pending warmup
+    /// probe, or the cycle cap, so statistics are bit-identical to
+    /// stepping.
+    fn fast_forward(&mut self) {
+        // Cheap occupancy guards first, so active phases bail out fast.
+        if self.outbox.iter().any(|o| !o.is_empty())
+            || !self.noc1_req.iter().all(Crossbar::is_idle)
+            || !self.noc1_rep.iter().all(Crossbar::is_idle)
+            || !self.noc2_req.is_idle()
+            || !self.noc2_rep.is_idle()
+            || self.l2_reply_stash.iter().any(Option::is_some)
+            || self.dram_stash.iter().any(Option::is_some)
+        {
+            return;
+        }
+        // `horizon` = steps until the earliest event fires (that step must
+        // execute normally).
+        let mut horizon = u64::MAX;
+        for n in &self.nodes {
+            match n.quiescent_horizon() {
+                None => return,
+                Some(h) => horizon = horizon.min(h),
+            }
+        }
+        for s in &self.l2 {
+            match s.quiescent_horizon() {
+                None => return,
+                // Replies are popped in the inject phase, which sees the
+                // slice clock one tick behind the machine step count.
+                Some(u64::MAX) => {}
+                Some(h) => horizon = horizon.min(h + 1),
+            }
+        }
+        for mc in &self.mcs {
+            match mc.quiescent_horizon() {
+                None => return,
+                Some(u64::MAX) => {}
+                // A mature reply (t = 0) is picked up at the next DRAM
+                // tick, so it still needs one more tick's worth of cycles.
+                Some(t) => horizon = horizon.min(self.dram_clock.cycles_until_ticks(t.max(1))),
+            }
+        }
+        for c in &mut self.cores {
+            match c.blocked_until(self.now) {
+                None => return,
+                Some(Cycle::MAX) => {}
+                Some(until) => horizon = horizon.min(until - self.now),
+            }
+        }
+        if self.dispatcher.remaining() > 0 {
+            let wpc = self.factory.wavefronts_per_cta() as usize;
+            if self.cores.iter().any(|c| c.can_host_cta(wpc)) {
+                return;
+            }
+        }
+
+        let mut skip = if horizon == u64::MAX {
+            // No timer pending anywhere: everything left is drained (or
+            // wedged, which the cycle cap bounds). Land the next step on
+            // the 64-cycle idle probe so `run` can exit.
+            63 - self.now % 64
+        } else {
+            horizon - 1
+        };
+        // Never jump over a cycle that does observable work.
+        skip = skip.min(self.opts.max_cycles - 1 - self.now);
+        let ivl = self.opts.replica_sample_interval;
+        skip = skip.min(ivl - 1 - self.now % ivl);
+        if !self.warmup_done && self.opts.warmup_instructions > 0 {
+            skip = skip.min(63 - self.now % 64);
+        }
+        if skip == 0 {
+            return;
+        }
+
+        self.now += skip;
+        for c in &mut self.cores {
+            c.add_idle_cycles(skip);
+        }
+        let n1 = skip * self.topo.noc1_ticks_per_cycle();
+        for x in self.noc1_req.iter_mut().chain(self.noc1_rep.iter_mut()) {
+            x.skip_idle_ticks(n1);
+        }
+        let t2 = self.noc2_clock.advance_by(skip);
+        let (t_s1, t_s2) = match &mut self.cdx_clocks {
+            Some((c1, c2)) => (c1.advance_by(skip), c2.advance_by(skip)),
+            None => (0, 0),
+        };
+        for net in [&mut self.noc2_req, &mut self.noc2_rep] {
+            match net {
+                Noc2Net::Single(x) => x.skip_idle_ticks(t2),
+                Noc2Net::Sliced(v) => v.iter_mut().for_each(|x| x.skip_idle_ticks(t2)),
+                Noc2Net::TwoStage { stage1, stage2 } => {
+                    stage1.iter_mut().for_each(|x| x.skip_idle_ticks(t_s1));
+                    stage2.skip_idle_ticks(t_s2);
+                }
+            }
+        }
+        for n in &mut self.nodes {
+            n.skip_idle_cycles(skip);
+        }
+        for l2 in &mut self.l2 {
+            l2.skip_idle_cycles(skip);
+        }
+        let tm = self.dram_clock.advance_by(skip);
+        for mc in &mut self.mcs {
+            mc.skip_idle_ticks(tm);
+        }
     }
 
     /// Ends the warmup phase: zeroes every statistic while leaving all

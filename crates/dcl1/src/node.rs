@@ -20,11 +20,10 @@ use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache, SetIndexing};
 use dcl1_common::stats::Counter;
 use dcl1_common::{BoundedQueue, ConfigError, Cycle, LineAddr};
 use dcl1_gpu::MemKind;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Structural parameters of one DC-L1 node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeConfig {
     /// DC-L1$ capacity in bytes.
     pub size_bytes: usize,
@@ -48,7 +47,7 @@ pub struct NodeConfig {
 }
 
 /// Per-node statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NodeStats {
     /// Demand accesses (loads + stores) served by the data port.
     pub accesses: Counter,
@@ -185,6 +184,38 @@ impl Dcl1Node {
         self.q2.pop()
     }
 
+    /// If the node has no work this cycle, returns the number of ticks
+    /// until its next self-generated event: the head of the hit pipe
+    /// maturing (`u64::MAX` when the pipe is empty — outstanding MSHR
+    /// misses wake the node externally via Q4). Returns `None` while any
+    /// queue or the reply stage holds a transaction, i.e. while ticking
+    /// still does real work.
+    pub fn quiescent_horizon(&self) -> Option<u64> {
+        if !self.q1.is_empty()
+            || !self.q2.is_empty()
+            || !self.q3.is_empty()
+            || !self.q4.is_empty()
+            || !self.reply_stage.is_empty()
+        {
+            return None;
+        }
+        match self.hit_pipe.front() {
+            // The release loop drains matured hits every tick, so the head
+            // is always strictly in the future here.
+            Some((ready, _)) => Some(ready - self.now),
+            None => Some(u64::MAX),
+        }
+    }
+
+    /// Advances the node clock by `cycles` without ticking. Exactly
+    /// equivalent to `cycles` calls to [`tick`](Dcl1Node::tick) on a node
+    /// whose queues are empty and whose hit pipe matures no entry in that
+    /// span (a tick in that state only increments the clock).
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.quiescent_horizon().is_some_and(|h| h > cycles));
+        self.now += cycles;
+    }
+
     /// Whether every queue, pipe and MSHR is empty.
     pub fn is_idle(&self) -> bool {
         self.q1.is_empty()
@@ -202,6 +233,18 @@ impl Dcl1Node {
     /// by all nodes of the machine.
     pub fn tick(&mut self, presence: &mut PresenceMap) {
         self.now += 1;
+
+        // Fast path: with no fills, demands, matured-or-maturing hits or
+        // staged replies, every phase below is a no-op. Q2/Q3/MSHR
+        // occupancy creates no work on its own (those drain via the
+        // machine's inject/eject phases).
+        if self.q4.is_empty()
+            && self.q1.is_empty()
+            && self.hit_pipe.is_empty()
+            && self.reply_stage.is_empty()
+        {
+            return;
+        }
 
         // 1. Service L2 replies from Q4 (fill port; widened for the
         //    ideal single-L1 study).

@@ -1,9 +1,8 @@
 //! Machine-level run statistics — everything the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
 
 /// Aggregate results of one simulated run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Design name the run used.
     pub design: String,

@@ -2,7 +2,6 @@
 
 use dcl1_common::{CoreId, Cycle, LineAddr, WavefrontId};
 use dcl1_gpu::MemKind;
-use serde::{Deserialize, Serialize};
 
 /// Globally unique transaction identifier.
 pub type TxnId = u64;
@@ -11,7 +10,7 @@ pub type TxnId = u64;
 ///
 /// A wavefront memory instruction fans out into one `Txn` per coalesced
 /// line access; the issuing wavefront blocks until all of them return.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Txn {
     /// Unique id (diagnostics and ordering).
     pub id: TxnId,

@@ -12,10 +12,9 @@ use crate::trace::TraceSource;
 use crate::wavefront::{Wavefront, WavefrontState};
 use dcl1_common::stats::Counter;
 use dcl1_common::{CoreId, Cycle, WavefrontId};
-use serde::{Deserialize, Serialize};
 
 /// Wavefront issue-selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub enum IssuePolicy {
     /// Greedy round-robin: resume scanning after the last issuer.
     #[default]
@@ -27,7 +26,7 @@ pub enum IssuePolicy {
 }
 
 /// Static configuration of a core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Maximum resident wavefronts (paper Table II: 48).
     pub max_wavefronts: usize,
@@ -48,7 +47,7 @@ impl Default for CoreConfig {
 }
 
 /// Per-core statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CoreStats {
     /// Wavefront instructions issued.
     pub instructions: Counter,
@@ -87,9 +86,27 @@ pub struct Core {
     /// Slot that issued most recently (GTO greediness).
     last_issued: Option<usize>,
     resident_ctas: usize,
+    /// Occupied wavefront slots (kept in sync with `slots` for an O(1)
+    /// drained check).
+    resident_wavefronts: usize,
     rr: usize,
     /// Reusable scratch buffer for GTO ordering (avoids per-tick allocs).
     order_buf: Vec<usize>,
+    /// Inert-tick memo: when `scan_valid`, the last full scan issued
+    /// nothing, found `validated_ready` stored-`Ready` wavefronts (all
+    /// memory-blocked), and no `Busy` wavefront expires before
+    /// `next_busy_expiry`. While those facts hold, a tick's outcome is
+    /// fully determined without rescanning the slots.
+    scan_valid: bool,
+    /// Stored-`Ready` slots; exact while `scan_valid` (incremented by
+    /// [`complete_access`](Core::complete_access) and
+    /// [`add_cta`](Core::add_cta), reset by every validating scan).
+    ready_count: usize,
+    /// `ready_count` at validation time.
+    validated_ready: usize,
+    /// Earliest `until` among `Busy` wavefronts at validation time
+    /// (`Cycle::MAX` if none) — a lower bound on every later expiry.
+    next_busy_expiry: Cycle,
     stats: CoreStats,
 }
 
@@ -105,8 +122,13 @@ impl Core {
             age_counter: 0,
             last_issued: None,
             resident_ctas: 0,
+            resident_wavefronts: 0,
             rr: 0,
             order_buf: Vec::with_capacity(config.max_wavefronts),
+            scan_valid: false,
+            ready_count: 0,
+            validated_ready: 0,
+            next_busy_expiry: 0,
             stats: CoreStats::default(),
         }
     }
@@ -148,6 +170,9 @@ impl Core {
                     Some(t) => {
                         *slot = Some(Wavefront::new(t));
                         *owner = Some(cta);
+                        self.resident_wavefronts += 1;
+                        // The new wavefront is stored-`Ready`.
+                        self.ready_count += 1;
                         self.age_counter += 1;
                         self.slot_age[i] = self.age_counter;
                     }
@@ -163,9 +188,42 @@ impl Core {
         self.resident_ctas
     }
 
-    /// Whether every slot is empty.
+    /// Whether every slot is empty. O(1).
     pub fn is_drained(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
+        debug_assert_eq!(
+            self.resident_wavefronts == 0,
+            self.slots.iter().all(|s| s.is_none()),
+        );
+        self.resident_wavefronts == 0
+    }
+
+    /// Records `cycles` cycles where the core had nothing to issue, without
+    /// scanning the slots. A [`tick`](Core::tick) on a drained or fully
+    /// blocked core does exactly this (plus a fruitless scan), so callers
+    /// that already know the core is inert can account for skipped cycles
+    /// with this instead.
+    pub fn add_idle_cycles(&mut self, cycles: u64) {
+        self.stats.idle_cycles.add(cycles);
+    }
+
+    /// If no resident wavefront can issue at `now`, returns the earliest
+    /// cycle at which one could become ready *on its own* — the soonest
+    /// ALU-busy expiry — or `u64::MAX` when all are blocked on memory (or
+    /// the core is drained). Returns `None` when some wavefront is ready
+    /// now, i.e. the core is not inert.
+    ///
+    /// Resolving `Busy` expiry mutates wavefront state exactly as
+    /// [`tick`](Core::tick)'s scan would.
+    pub fn blocked_until(&mut self, now: Cycle) -> Option<Cycle> {
+        let mut horizon = Cycle::MAX;
+        for slot in self.slots.iter_mut().flatten() {
+            match slot.state(now) {
+                WavefrontState::Ready => return None,
+                WavefrontState::Busy { until } => horizon = horizon.min(until),
+                WavefrontState::WaitingMem { .. } | WavefrontState::Finished => {}
+            }
+        }
+        Some(horizon)
     }
 
     /// Advances one cycle. `mem_ready` tells the core whether its memory
@@ -175,10 +233,34 @@ impl Core {
     /// Returns the memory instruction issued this cycle, if any. At most
     /// one instruction (ALU or memory) issues per cycle.
     pub fn tick(&mut self, now: Cycle, mem_ready: bool) -> Option<IssuedMem> {
+        // Inert fast path: if no wavefront became ready since the last
+        // fruitless scan (`ready_count` unchanged) and no `Busy` wavefront
+        // has expired yet (`now < next_busy_expiry`), the scan outcome is
+        // already known. The stored states a scan would observe — and its
+        // lazy `Busy → Ready` resolutions — are untouched, so skipping is
+        // exactly equivalent to re-running it.
+        if self.scan_valid && self.ready_count == self.validated_ready && now < self.next_busy_expiry
+        {
+            if self.ready_count == 0 {
+                // Nothing can issue: the scan would count an idle cycle.
+                self.stats.idle_cycles.inc();
+                return None;
+            }
+            if !mem_ready {
+                // Every stored-`Ready` wavefront was memory-blocked at
+                // validation and the port is still closed.
+                self.stats.mem_stall_cycles.inc();
+                return None;
+            }
+            // The port opened for a waiting memory instruction: scan.
+        }
+
         let n = self.slots.len();
         let mut issued: Option<IssuedMem> = None;
         let mut mem_blocked = false;
         let mut any_ready = false;
+        let mut ready_blocked = 0usize;
+        let mut min_busy = Cycle::MAX;
 
         // Build the scan order for this cycle.
         if self.config.issue_policy == IssuePolicy::GreedyThenOldest {
@@ -205,8 +287,13 @@ impl Core {
                 },
             };
             let Some(wf) = self.slots[idx].as_mut() else { continue };
-            if wf.state(now) != WavefrontState::Ready {
-                continue;
+            match wf.state(now) {
+                WavefrontState::Ready => {}
+                WavefrontState::Busy { until } => {
+                    min_busy = min_busy.min(until);
+                    continue;
+                }
+                WavefrontState::WaitingMem { .. } | WavefrontState::Finished => continue,
             }
             match wf.peek() {
                 WavefrontInstr::Done => {
@@ -220,6 +307,7 @@ impl Core {
                     self.stats.instructions.inc();
                     self.rr = (idx + 1) % n;
                     self.last_issued = Some(idx);
+                    self.scan_valid = false;
                     return None;
                 }
                 WavefrontInstr::Mem(_) => {
@@ -228,6 +316,7 @@ impl Core {
                         // Port busy: remember the stall, try other
                         // wavefronts for ALU work.
                         mem_blocked = true;
+                        ready_blocked += 1;
                         continue;
                     }
                     let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
@@ -242,10 +331,19 @@ impl Core {
                     });
                     self.rr = (idx + 1) % n;
                     self.last_issued = Some(idx);
+                    self.scan_valid = false;
                     return issued;
                 }
             }
         }
+
+        // Nothing issued: every occupied slot was observed, so the inert
+        // memo can be (re)validated exactly. The surviving stored-`Ready`
+        // wavefronts are precisely the memory-blocked ones.
+        self.ready_count = ready_blocked;
+        self.validated_ready = ready_blocked;
+        self.next_busy_expiry = min_busy;
+        self.scan_valid = true;
 
         if mem_blocked {
             self.stats.mem_stall_cycles.inc();
@@ -257,6 +355,7 @@ impl Core {
 
     fn retire_slot(&mut self, idx: usize) {
         self.slots[idx] = None;
+        self.resident_wavefronts -= 1;
         if self.last_issued == Some(idx) {
             self.last_issued = None;
         }
@@ -279,7 +378,11 @@ impl Core {
         let wf = self.slots[wavefront.index()]
             .as_mut()
             .expect("memory completion for an empty wavefront slot");
-        wf.complete_access();
+        if wf.complete_access() {
+            // `WaitingMem → Ready`: invalidates the inert-tick memo via
+            // the `ready_count == validated_ready` comparison.
+            self.ready_count += 1;
+        }
     }
 }
 

@@ -9,10 +9,9 @@
 //! replication.
 
 use dcl1_common::CoreId;
-use serde::{Deserialize, Serialize};
 
 /// CTA-to-core assignment policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CtaPolicy {
     /// Hand out the next CTA id to whichever core asks first.
     GreedyRoundRobin,

@@ -1,10 +1,9 @@
 //! Wavefront-level instructions.
 
 use dcl1_common::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// What a memory instruction does to the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemKind {
     /// Global load: served by the (DC-)L1.
     Load,
@@ -26,7 +25,7 @@ impl MemKind {
 
 /// One coalesced memory transaction: a line and the bytes actually needed
 /// from it (the DC-L1 returns only these bytes to the core, paper §III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// Target cache line.
     pub line: LineAddr,
@@ -35,7 +34,7 @@ pub struct MemAccess {
 }
 
 /// A memory instruction after coalescing: one or more line transactions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemInstr {
     /// Access kind.
     pub kind: MemKind,
@@ -44,7 +43,7 @@ pub struct MemInstr {
 }
 
 /// One instruction from a wavefront's trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WavefrontInstr {
     /// Arithmetic work occupying the wavefront for `latency` cycles after
     /// issue (the issue slot itself is one cycle).

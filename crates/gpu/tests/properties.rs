@@ -1,12 +1,11 @@
-//! Property tests for the GPU core model: instruction conservation, issue
-//! bandwidth, and CTA accounting under randomized traces and completion
-//! orders.
+//! Randomized-but-deterministic tests for the GPU core model: instruction
+//! conservation, issue bandwidth, and CTA accounting under seeded traces
+//! and completion orders.
 
 use dcl1_common::{CoreId, LineAddr, SplitMix64};
 use dcl1_gpu::{
     Core, CoreConfig, MemAccess, MemInstr, MemKind, TraceSource, VecTrace, WavefrontInstr,
 };
-use proptest::prelude::*;
 
 fn random_trace(seed: u64, len: usize) -> Vec<WavefrontInstr> {
     let mut rng = SplitMix64::new(seed);
@@ -19,10 +18,7 @@ fn random_trace(seed: u64, len: usize) -> Vec<WavefrontInstr> {
                 WavefrontInstr::Mem(MemInstr {
                     kind: if rng.chance(0.2) { MemKind::Store } else { MemKind::Load },
                     accesses: (0..n)
-                        .map(|k| MemAccess {
-                            line: LineAddr::new(i as u64 * 8 + k),
-                            bytes: 32,
-                        })
+                        .map(|k| MemAccess { line: LineAddr::new(i as u64 * 8 + k), bytes: 32 })
                         .collect(),
                 })
             }
@@ -30,20 +26,19 @@ fn random_trace(seed: u64, len: usize) -> Vec<WavefrontInstr> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Every generated instruction is issued exactly once, at most one per
+/// cycle, and the core drains, regardless of trace contents and memory
+/// completion timing.
+#[test]
+fn core_issues_every_instruction_exactly_once() {
+    let mut meta = SplitMix64::new(0xC04E);
+    for case in 0..48u64 {
+        let seed = meta.next_u64();
+        let wf_count = 1 + meta.next_below(5) as usize;
+        let len = 1 + meta.next_below(39) as usize;
+        let completion_lag = 1 + meta.next_below(49);
+        let mem_ready_mask = meta.next_u64();
 
-    /// Every generated instruction is issued exactly once, at most one per
-    /// cycle, and the core drains, regardless of trace contents and memory
-    /// completion timing.
-    #[test]
-    fn core_issues_every_instruction_exactly_once(
-        seed in any::<u64>(),
-        wf_count in 1usize..6,
-        len in 1usize..40,
-        completion_lag in 1u64..50,
-        mem_ready_mask in any::<u64>(),
-    ) {
         let mut core = Core::new(
             CoreId::new(0),
             CoreConfig { max_wavefronts: 8, max_ctas: 4, ..CoreConfig::default() },
@@ -62,7 +57,7 @@ proptest! {
         let mut last_count = 0;
         while !core.is_drained() {
             now += 1;
-            prop_assert!(now < 1_000_000, "core wedged at {now}");
+            assert!(now < 1_000_000, "core wedged at {now} (case {case})");
             // Complete due memory transactions.
             let mut still = Vec::new();
             for (wf, n, due) in pending.drain(..) {
@@ -77,7 +72,7 @@ proptest! {
             pending = still;
             let mem_ready = (mem_ready_mask >> (now % 64)) & 1 == 1;
             if let Some(m) = core.tick(now, mem_ready) {
-                prop_assert!(mem_ready, "issued memory with port closed");
+                assert!(mem_ready, "issued memory with port closed");
                 pending.push((
                     m.wavefront.index(),
                     m.instr.accesses.len() as u32,
@@ -86,7 +81,7 @@ proptest! {
             }
             // Issue bandwidth: at most one instruction per cycle.
             let count = core.stats().instructions.get();
-            prop_assert!(count <= last_count + 1, "issued more than 1/cycle");
+            assert!(count <= last_count + 1, "issued more than 1/cycle");
             last_count = count;
         }
         // Drain leftover completions.
@@ -95,17 +90,23 @@ proptest! {
                 core.complete_access(dcl1_common::WavefrontId::new(wf));
             }
         }
-        prop_assert_eq!(core.stats().instructions.get(), expected);
-        prop_assert_eq!(core.resident_ctas(), 0);
+        assert_eq!(core.stats().instructions.get(), expected, "case {case}");
+        assert_eq!(core.resident_ctas(), 0);
     }
+}
 
-    /// Clock domains produce exactly ⌊n·f/c⌋ ticks after n advances — no
-    /// drift for any frequency pair.
-    #[test]
-    fn clock_domain_is_exact(f in 1u64..4000, c in 1u64..4000, n in 1u64..10_000) {
+/// Clock domains produce exactly ⌊n·f/c⌋ ticks after n advances — no
+/// drift for any frequency pair.
+#[test]
+fn clock_domain_is_exact() {
+    let mut rng = SplitMix64::new(0xC10C);
+    for _ in 0..200 {
+        let f = 1 + rng.next_below(3999);
+        let c = 1 + rng.next_below(3999);
+        let n = 1 + rng.next_below(9_999);
         let mut d = dcl1_common::ClockDomain::new(f, c);
         let total: u64 = (0..n).map(|_| d.advance() as u64).sum();
-        prop_assert_eq!(total, n * f / c);
-        prop_assert_eq!(d.total_ticks(), n * f / c);
+        assert_eq!(total, n * f / c, "f={f} c={c} n={n}");
+        assert_eq!(d.total_ticks(), n * f / c);
     }
 }

@@ -11,11 +11,10 @@
 
 use dcl1_common::stats::Counter;
 use dcl1_common::LineAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Timing and geometry of one GDDR5-like channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Banks per channel (paper: 16 banks, 4 bank groups).
     pub banks: usize,
@@ -64,7 +63,7 @@ impl Default for DramConfig {
 }
 
 /// Statistics for one channel.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct DramStats {
     /// Reads serviced.
     pub reads: Counter,
@@ -271,6 +270,31 @@ impl<T> MemoryController<T> {
         }
     }
 
+    /// If ticking this channel does no work, returns how many more memory
+    /// ticks the head completion needs before
+    /// [`pop_reply`](MemoryController::pop_reply) releases it (0 = poppable
+    /// now, `u64::MAX` = nothing in flight). Returns `None` while requests
+    /// are queued, i.e. while ticking still schedules commands.
+    pub fn quiescent_horizon(&self) -> Option<u64> {
+        if !self.queue.is_empty() {
+            return None;
+        }
+        match self.replies.front() {
+            Some((ready, _, _)) => Some(ready.saturating_sub(self.now)),
+            None => Some(u64::MAX),
+        }
+    }
+
+    /// Advances the channel clock by `ticks` without scheduling. Exactly
+    /// equivalent to `ticks` calls to [`tick`](MemoryController::tick) with
+    /// an empty request queue (such a tick only increments the clock);
+    /// callers must not jump past the tick where the head completion
+    /// becomes poppable.
+    pub fn skip_idle_ticks(&mut self, ticks: u64) {
+        debug_assert!(self.quiescent_horizon().is_some_and(|h| h >= ticks));
+        self.now += ticks;
+    }
+
     /// Whether the channel has no queued or in-flight work.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.replies.is_empty()
@@ -436,7 +460,7 @@ mod tests {
         // padding with row hits... keep it simple: single access each to
         // alternating banks, many times over the same rows (row hits).
         let same_group: Vec<u64> = (0..8)
-            .map(|i| (i % 2) * lines_per_row * cfg.banks as u64 * 0 + (i % 2) * lines_per_row + i / 2)
+            .map(|i| (i % 2) * lines_per_row + i / 2)
             .collect();
         let cross_group: Vec<u64> = (0..8)
             .map(|i| (i % 2) * banks_per_group * lines_per_row + i / 2)

@@ -2,11 +2,10 @@
 
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, MshrAllocation, SetAssocCache, SetIndexing};
 use dcl1_common::{BoundedQueue, ConfigError, Cycle, LineAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
 /// What a memory access wants from the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemAccessKind {
     /// Read a line (data load, or an instruction/texture/constant fetch).
     Read,
@@ -44,7 +43,7 @@ pub struct L2Reply<T> {
 ///
 /// Counted when a request is actually serviced (dequeued), so structural
 /// retry lookups never inflate them — unlike the raw tag-array counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct L2Stats {
     /// Requests serviced.
     pub accesses: dcl1_common::stats::Counter,
@@ -62,7 +61,7 @@ impl L2Stats {
 }
 
 /// Configuration of one L2 slice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct L2Config {
     /// Capacity of this slice in bytes (paper: 128 KB × 32 slices = 4 MB).
     pub size_bytes: usize,
@@ -340,6 +339,31 @@ impl<T> L2Slice<T> {
     /// Replies waiting out the access latency (diagnostics).
     pub fn replies_pending(&self) -> usize {
         self.pending_replies.len()
+    }
+
+    /// If ticking this slice does no work, returns how many more ticks the
+    /// head pending reply needs before [`pop_reply`](L2Slice::pop_reply)
+    /// releases it (0 = poppable now, `u64::MAX` = no reply brewing;
+    /// outstanding MSHR fills wake the slice externally via
+    /// [`dram_fill`](L2Slice::dram_fill)). Returns `None` while the input
+    /// queue or the DRAM-out queue holds work.
+    pub fn quiescent_horizon(&self) -> Option<u64> {
+        if !self.input.is_empty() || !self.dram_out.is_empty() {
+            return None;
+        }
+        match self.pending_replies.front() {
+            Some((ready, _)) => Some(ready.saturating_sub(self.now)),
+            None => Some(u64::MAX),
+        }
+    }
+
+    /// Advances the slice clock by `cycles` without ticking. Exactly
+    /// equivalent to `cycles` ticks with an empty input queue (such a tick
+    /// only increments the clock); callers must not jump past the cycle
+    /// where the head pending reply becomes poppable.
+    pub fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(self.quiescent_horizon().is_some_and(|h| h >= cycles));
+        self.now += cycles;
     }
 
     /// Whether all queues and MSHRs are drained.

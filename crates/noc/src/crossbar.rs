@@ -2,11 +2,10 @@
 
 use crate::Packet;
 use dcl1_common::{BoundedQueue, ConfigError};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Structural parameters of a crossbar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrossbarConfig {
     /// Number of input ports.
     pub inputs: usize,
@@ -53,7 +52,7 @@ impl CrossbarConfig {
 }
 
 /// Per-crossbar statistics used for utilization figures and dynamic power.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CrossbarStats {
     /// Ticks this crossbar has executed.
     pub ticks: u64,
@@ -119,6 +118,10 @@ pub struct Crossbar<T> {
     inputs: Vec<BoundedQueue<Packet<T>>>,
     /// Active transfer per input, if any (locks the input).
     active: Vec<Option<Transfer<T>>>,
+    /// Indices of inputs with an active transfer, unordered. Iteration
+    /// order does not matter: every active transfer owns a distinct
+    /// output, so per-output effects never interleave.
+    active_inputs: Vec<usize>,
     /// Which input each output is currently receiving from.
     output_busy: Vec<Option<usize>>,
     /// Delivered packets waiting behind the router pipeline:
@@ -126,6 +129,29 @@ pub struct Crossbar<T> {
     eject: Vec<VecDeque<(u64, Packet<T>)>>,
     /// Round-robin arbiter pointer per output.
     rr: Vec<usize>,
+    /// Queued (not yet granted) packets per destination output, so
+    /// arbitration can skip outputs nobody is requesting.
+    pending: Vec<usize>,
+    /// Per-input bitset of the destinations present in the first
+    /// `vc_lookahead` queue entries — the only packets arbitration can
+    /// see. Lets the allocator reject an (output, input) pair in O(1)
+    /// instead of scanning the window. All-ones when the switch has more
+    /// than 128 outputs (scan always runs; correctness is unaffected).
+    window_dsts: Vec<u128>,
+    /// Transpose of `window_dsts`: per-output bitset of inputs with a
+    /// packet for that output inside the lookahead window. Maintained
+    /// only when [`masks_exact`](Crossbar::masks_exact) — it turns the
+    /// round-robin input scan into two bit operations.
+    requesters: Vec<u128>,
+    /// Bitset of inputs with an active transfer (only meaningful when
+    /// [`masks_exact`](Crossbar::masks_exact)).
+    active_mask: u128,
+    /// Total packets across the input queues (Σ `pending`).
+    queued: usize,
+    /// Inputs with an active transfer.
+    active_count: usize,
+    /// Packets parked across the ejection buffers.
+    ejected: usize,
     now: u64,
     stats: CrossbarStats,
 }
@@ -138,9 +164,17 @@ impl<T> Crossbar<T> {
                 .map(|_| BoundedQueue::new(config.input_queue_capacity))
                 .collect(),
             active: (0..config.inputs).map(|_| None).collect(),
+            active_inputs: Vec::with_capacity(config.inputs),
             output_busy: vec![None; config.outputs],
             eject: (0..config.outputs).map(|_| VecDeque::new()).collect(),
             rr: vec![0; config.outputs],
+            pending: vec![0; config.outputs],
+            window_dsts: vec![0; config.inputs],
+            requesters: vec![0; config.outputs],
+            active_mask: 0,
+            queued: 0,
+            active_count: 0,
+            ejected: 0,
             now: 0,
             stats: CrossbarStats {
                 ticks: 0,
@@ -187,9 +221,64 @@ impl<T> Crossbar<T> {
         assert!(packet.dst < self.config.outputs, "output port out of range");
         let flits = packet.flits as u64;
         let src = packet.src;
+        let dst = packet.dst;
+        let pos = self.inputs[src].len();
         self.inputs[src].try_push(packet)?;
+        if pos < self.config.vc_lookahead {
+            self.set_window(src, self.window_dsts[src] | Self::dst_bit(dst));
+        }
         self.stats.input_flits[src] += flits;
+        self.pending[dst] += 1;
+        self.queued += 1;
         Ok(())
+    }
+
+    /// Whether the port counts fit the 128-bit masks, making
+    /// `window_dsts`/`requesters` exact rather than conservative.
+    fn masks_exact(&self) -> bool {
+        self.config.inputs <= 128 && self.config.outputs <= 128
+    }
+
+    /// Bit for `dst` in a [`window_dsts`](Crossbar::window_dsts) mask; the
+    /// all-ones fallback for >128-output switches only forces the precise
+    /// scan, never skips it.
+    fn dst_bit(dst: usize) -> u128 {
+        if dst < 128 {
+            1u128 << dst
+        } else {
+            u128::MAX
+        }
+    }
+
+    /// Updates input `port`'s window bitset and, when the masks are exact,
+    /// mirrors the change into the per-output `requesters` transpose.
+    fn set_window(&mut self, port: usize, new: u128) {
+        let old = self.window_dsts[port];
+        self.window_dsts[port] = new;
+        if old == new || !self.masks_exact() {
+            return;
+        }
+        let bit = 1u128 << port;
+        let mut added = new & !old;
+        while added != 0 {
+            self.requesters[added.trailing_zeros() as usize] |= bit;
+            added &= added - 1;
+        }
+        let mut removed = old & !new;
+        while removed != 0 {
+            self.requesters[removed.trailing_zeros() as usize] &= !bit;
+            removed &= removed - 1;
+        }
+    }
+
+    /// Recomputes input `port`'s lookahead-window destination bitset after
+    /// a removal shifted the window.
+    fn recompute_window(&mut self, port: usize) {
+        let mut mask = 0u128;
+        for p in self.inputs[port].iter().take(self.config.vc_lookahead) {
+            mask |= Self::dst_bit(p.dst);
+        }
+        self.set_window(port, mask);
     }
 
     /// Whether input `port`'s injection queue has room.
@@ -204,64 +293,147 @@ impl<T> Crossbar<T> {
         self.now += 1;
         self.stats.ticks += 1;
 
+        // Fast path: nothing queued and nothing in flight means arbitration
+        // and flit movement are both no-ops (ejection buffers only wait for
+        // `now` to advance). `ticks` still counts — it is the denominator of
+        // every link-utilization figure.
+        if self.queued == 0 && self.active_count == 0 {
+            return;
+        }
+
         // Arbitration first: each free output picks the next requesting
         // input in round-robin order, so a granted packet moves its first
         // flit this very tick. An input with an active transfer can't start
-        // another (head-of-line blocking).
-        for out in 0..self.config.outputs {
-            if self.output_busy[out].is_some() {
-                continue;
-            }
-            if self.eject[out].len() >= self.config.eject_capacity {
-                continue; // downstream backpressure
-            }
-            let start = self.rr[out];
-            for k in 0..self.config.inputs {
-                let input = (start + k) % self.config.inputs;
-                if self.active[input].is_some() {
+        // another (head-of-line blocking). Outputs with no queued requester
+        // (`pending`) are skipped outright — the inner scan could never
+        // grant them anything.
+        if self.queued > 0 {
+            let exact = self.masks_exact();
+            for out in 0..self.config.outputs {
+                if self.pending[out] == 0 {
                     continue;
                 }
-                // VC-style allocation: the first packet for this output
-                // within the lookahead window wins (same-flow order is
-                // preserved because the scan takes the first match).
-                let pos = self.inputs[input]
-                    .iter()
-                    .take(self.config.vc_lookahead)
-                    .position(|p| p.dst == out);
-                if let Some(pos) = pos {
-                    let packet =
-                        self.inputs[input].remove_at(pos).expect("position from scan");
-                    let flits = packet.flits;
-                    self.active[input] = Some(Transfer { packet, remaining_flits: flits });
-                    self.output_busy[out] = Some(input);
-                    self.rr[out] = (input + 1) % self.config.inputs;
-                    break;
+                if self.output_busy[out].is_some() {
+                    continue;
+                }
+                if self.eject[out].len() >= self.config.eject_capacity {
+                    continue; // downstream backpressure
+                }
+                let start = self.rr[out];
+                if exact {
+                    // Exact masks: the free inputs requesting `out` are one
+                    // bit-and away, and the round-robin pick from `start`
+                    // is a pair of trailing-zeros scans — equivalent to
+                    // (and replacing) the rotating input scan below.
+                    let mask = self.requesters[out] & !self.active_mask;
+                    if mask == 0 {
+                        continue;
+                    }
+                    let above = mask >> start;
+                    let input = if above != 0 {
+                        start + above.trailing_zeros() as usize
+                    } else {
+                        mask.trailing_zeros() as usize
+                    };
+                    self.grant(out, input);
+                    continue;
+                }
+                for k in 0..self.config.inputs {
+                    let input = (start + k) % self.config.inputs;
+                    if self.active[input].is_some() {
+                        continue;
+                    }
+                    // Conservative pre-filter (wide switches): the window
+                    // bitset can have false positives, so the position
+                    // scan below stays authoritative.
+                    if self.window_dsts[input] & Self::dst_bit(out) == 0 {
+                        continue;
+                    }
+                    let pos = self.inputs[input]
+                        .iter()
+                        .take(self.config.vc_lookahead)
+                        .position(|p| p.dst == out);
+                    if pos.is_some() {
+                        self.grant(out, input);
+                        break;
+                    }
                 }
             }
         }
 
-        // Move one flit per active transfer; complete finished ones.
-        for input in 0..self.config.inputs {
-            if let Some(tr) = &mut self.active[input] {
-                let dst = tr.packet.dst;
-                tr.remaining_flits -= 1;
-                self.stats.output_flits[dst] += 1;
-                if tr.remaining_flits == 0 {
-                    let tr = self.active[input].take().expect("just matched Some");
-                    self.output_busy[dst] = None;
-                    let ready = self.now + self.config.router_latency as u64;
-                    self.eject[dst].push_back((ready, tr.packet));
-                    self.stats.packets += 1;
-                }
+        self.move_flits();
+    }
+
+    /// Starts the transfer of input `input`'s oldest windowed packet for
+    /// output `out` (VC-style allocation: the first match in the lookahead
+    /// window wins, so same-flow packets never reorder).
+    fn grant(&mut self, out: usize, input: usize) {
+        let pos = self.inputs[input]
+            .iter()
+            .take(self.config.vc_lookahead)
+            .position(|p| p.dst == out)
+            .expect("granted input has a windowed packet for the output");
+        let packet = self.inputs[input].remove_at(pos).expect("position from scan");
+        let flits = packet.flits;
+        self.active[input] = Some(Transfer { packet, remaining_flits: flits });
+        self.output_busy[out] = Some(input);
+        self.rr[out] = (input + 1) % self.config.inputs;
+        self.pending[out] -= 1;
+        self.queued -= 1;
+        self.active_count += 1;
+        self.active_inputs.push(input);
+        self.active_mask |= 1u128 << (input & 127);
+        self.recompute_window(input);
+    }
+
+    fn move_flits(&mut self) {
+        // Move one flit per active transfer; complete finished ones. Only
+        // the inputs on the active list are touched (each owns a distinct
+        // output, so visiting them out of input order changes nothing).
+        let mut i = 0;
+        while i < self.active_inputs.len() {
+            let input = self.active_inputs[i];
+            let tr = self.active[input].as_mut().expect("active list entry has a transfer");
+            let dst = tr.packet.dst;
+            tr.remaining_flits -= 1;
+            self.stats.output_flits[dst] += 1;
+            if tr.remaining_flits == 0 {
+                let tr = self.active[input].take().expect("just matched Some");
+                self.output_busy[dst] = None;
+                let ready = self.now + self.config.router_latency as u64;
+                self.eject[dst].push_back((ready, tr.packet));
+                self.stats.packets += 1;
+                self.active_count -= 1;
+                self.ejected += 1;
+                self.active_mask &= !(1u128 << (input & 127));
+                self.active_inputs.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
+    }
+
+    /// Advances the clock by `n` ticks at once — exactly equivalent to `n`
+    /// calls to [`tick`](Crossbar::tick) on an empty switch, in O(1). Used
+    /// by whole-machine idle fast-forward.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the switch is not completely empty.
+    pub fn skip_idle_ticks(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "skip_idle_ticks on a non-idle crossbar");
+        self.now += n;
+        self.stats.ticks += n;
     }
 
     /// Removes and returns the oldest packet delivered at output `port`, if
     /// its router-pipeline delay has elapsed.
     pub fn pop_output(&mut self, port: usize) -> Option<Packet<T>> {
         match self.eject[port].front() {
-            Some((ready, _)) if *ready <= self.now => self.eject[port].pop_front().map(|(_, p)| p),
+            Some((ready, _)) if *ready <= self.now => {
+                self.ejected -= 1;
+                self.eject[port].pop_front().map(|(_, p)| p)
+            }
             _ => None,
         }
     }
@@ -275,18 +447,20 @@ impl<T> Crossbar<T> {
         }
     }
 
-    /// Whether any packet is queued, in flight, or awaiting ejection.
-    pub fn is_idle(&self) -> bool {
-        self.inputs.iter().all(|q| q.is_empty())
-            && self.active.iter().all(|t| t.is_none())
-            && self.eject.iter().all(|q| q.is_empty())
+    /// Whether any packet is waiting in an output queue. O(1); lets callers
+    /// skip per-port ejection scans on quiet switches.
+    pub fn has_output(&self) -> bool {
+        self.ejected > 0
     }
 
-    /// Total packets currently inside the switch.
+    /// Whether any packet is queued, in flight, or awaiting ejection. O(1).
+    pub fn is_idle(&self) -> bool {
+        self.queued == 0 && self.active_count == 0 && self.ejected == 0
+    }
+
+    /// Total packets currently inside the switch. O(1).
     pub fn in_flight(&self) -> usize {
-        self.inputs.iter().map(|q| q.len()).sum::<usize>()
-            + self.active.iter().filter(|t| t.is_some()).count()
-            + self.eject.iter().map(|q| q.len()).sum::<usize>()
+        self.queued + self.active_count + self.ejected
     }
 }
 
@@ -464,5 +638,73 @@ mod tests {
     fn inject_invalid_port_panics() {
         let mut x: Crossbar<()> = Crossbar::new(cfg(2, 2));
         let _ = x.try_inject(Packet::new(0, 5, 0, ()));
+    }
+
+    #[test]
+    fn idle_tick_changes_nothing_but_ticks() {
+        let mut x: Crossbar<u32> = Crossbar::new(cfg(4, 3));
+        // Exercise the switch first so the stats are non-trivial.
+        x.try_inject(Packet::new(2, 1, 64, 5)).unwrap();
+        for _ in 0..10 {
+            x.tick();
+        }
+        assert_eq!(x.pop_output(1).map(|p| p.payload), Some(5));
+        assert!(x.is_idle());
+
+        let stats_before = x.stats().clone();
+        let rr_before = x.rr.clone();
+        let pending_before = x.pending.clone();
+        for _ in 0..1000 {
+            x.tick();
+        }
+        let stats_after = x.stats();
+        assert_eq!(stats_after.ticks, stats_before.ticks + 1000);
+        assert_eq!(stats_after.output_flits, stats_before.output_flits);
+        assert_eq!(stats_after.input_flits, stats_before.input_flits);
+        assert_eq!(stats_after.packets, stats_before.packets);
+        assert_eq!(x.rr, rr_before);
+        assert_eq!(x.pending, pending_before);
+        assert!(x.is_idle());
+        assert_eq!(x.in_flight(), 0);
+    }
+
+    #[test]
+    fn skip_idle_ticks_matches_repeated_ticks() {
+        let mut a: Crossbar<u8> = Crossbar::new(cfg(2, 2));
+        let mut b: Crossbar<u8> = Crossbar::new(cfg(2, 2));
+        for _ in 0..37 {
+            a.tick();
+        }
+        b.skip_idle_ticks(37);
+        assert_eq!(a.now, b.now);
+        assert_eq!(a.stats().ticks, b.stats().ticks);
+        // Behaviour after the skip is identical too.
+        a.try_inject(Packet::new(0, 1, 0, 9)).unwrap();
+        b.try_inject(Packet::new(0, 1, 0, 9)).unwrap();
+        for _ in 0..5 {
+            a.tick();
+            b.tick();
+            assert_eq!(
+                a.pop_output(1).map(|p| p.payload),
+                b.pop_output(1).map(|p| p.payload)
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_counters_track_packet_lifecycle() {
+        let mut x: Crossbar<u8> = Crossbar::new(cfg(2, 2));
+        assert!(x.is_idle());
+        x.try_inject(Packet::new(0, 1, 0, 1)).unwrap();
+        assert!(!x.is_idle());
+        assert_eq!(x.in_flight(), 1);
+        for _ in 0..5 {
+            x.tick();
+        }
+        assert_eq!(x.in_flight(), 1); // parked in the ejection buffer
+        assert!(!x.is_idle());
+        assert!(x.pop_output(1).is_some());
+        assert!(x.is_idle());
+        assert_eq!(x.in_flight(), 0);
     }
 }

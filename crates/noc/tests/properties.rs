@@ -1,16 +1,20 @@
-//! Property tests: the crossbar conserves packets, preserves per-flow
-//! ordering, and never exceeds link bandwidth.
+//! Randomized-but-deterministic tests: the crossbar conserves packets,
+//! preserves per-flow ordering, and never exceeds link bandwidth.
 
+use dcl1_common::SplitMix64;
 use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every injected packet is eventually delivered exactly once, at the
-    /// correct output, and per (src,dst) flow order is preserved.
-    #[test]
-    fn conservation_and_flow_order(
-        packets in proptest::collection::vec((0usize..4, 0usize..3, 0u32..129), 1..60)
-    ) {
+/// Every injected packet is eventually delivered exactly once, at the
+/// correct output, and per (src,dst) flow order is preserved.
+#[test]
+fn conservation_and_flow_order() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(0x0C0 ^ seed.wrapping_mul(0x1234_5678));
+        let packets: Vec<(usize, usize, u32)> = (0..1 + rng.next_below(60))
+            .map(|_| {
+                (rng.next_below(4) as usize, rng.next_below(3) as usize, rng.next_below(129) as u32)
+            })
+            .collect();
         let mut x: Crossbar<usize> = Crossbar::new(CrossbarConfig::new(4, 3).unwrap());
         let mut pending: Vec<(usize, usize, usize)> = Vec::new(); // (src,dst,serial)
         let mut next = packets.iter();
@@ -27,7 +31,7 @@ proptest! {
             }
             if let Some((src, dst, bytes)) = head {
                 let p = Packet::new(src, dst, bytes, serial);
-                if let Ok(()) = x.try_inject(p) {
+                if x.try_inject(p).is_ok() {
                     pending.push((src, dst, serial));
                     serial += 1;
                     head = None;
@@ -43,38 +47,47 @@ proptest! {
                 break;
             }
             idle_ticks += 1;
-            prop_assert!(idle_ticks < 100_000, "switch livelocked");
+            assert!(idle_ticks < 100_000, "switch livelocked (seed {seed})");
         }
 
-        prop_assert_eq!(delivered.len(), pending.len());
+        assert_eq!(delivered.len(), pending.len());
         // Exactly-once delivery with correct output port.
         let mut d = delivered.clone();
         let mut p = pending.clone();
         d.sort_unstable();
         p.sort_unstable();
-        prop_assert_eq!(d, p);
+        assert_eq!(d, p);
         // Per-flow FIFO order.
         for src in 0..4 {
             for dst in 0..3 {
-                let sent: Vec<usize> = pending.iter()
+                let sent: Vec<usize> = pending
+                    .iter()
                     .filter(|(s, t, _)| *s == src && *t == dst)
-                    .map(|&(_, _, n)| n).collect();
-                let got: Vec<usize> = delivered.iter()
+                    .map(|&(_, _, n)| n)
+                    .collect();
+                let got: Vec<usize> = delivered
+                    .iter()
                     .filter(|(s, t, _)| *s == src && *t == dst)
-                    .map(|&(_, _, n)| n).collect();
-                prop_assert_eq!(sent, got, "flow ({},{}) reordered", src, dst);
+                    .map(|&(_, _, n)| n)
+                    .collect();
+                assert_eq!(sent, got, "flow ({src},{dst}) reordered (seed {seed})");
             }
         }
     }
+}
 
-    /// Output links never move more than one flit per tick.
-    #[test]
-    fn link_bandwidth_bounded(
-        packets in proptest::collection::vec((0usize..6, 0u32..129), 1..40)
-    ) {
+/// Output links never move more than one flit per tick.
+#[test]
+fn link_bandwidth_bounded() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(0xB0 ^ seed.wrapping_mul(0x55AA));
         let mut x: Crossbar<()> = Crossbar::new(CrossbarConfig::new(6, 2).unwrap());
-        let mut queue: Vec<Packet<()>> =
-            packets.into_iter().map(|(s, b)| Packet::new(s, s % 2, b, ())).collect();
+        let mut queue: Vec<Packet<()>> = (0..1 + rng.next_below(40))
+            .map(|_| {
+                let s = rng.next_below(6) as usize;
+                Packet::new(s, s % 2, rng.next_below(129) as u32, ())
+            })
+            .collect();
         let mut last = [0u64; 2];
         for _ in 0..5_000 {
             let mut remaining = Vec::new();
@@ -88,18 +101,19 @@ proptest! {
             #[allow(clippy::needless_range_loop)] // `out` is also a port id
             for out in 0..2 {
                 let now = x.stats().output_flits[out];
-                prop_assert!(now - last[out] <= 1, "more than one flit per tick");
+                assert!(now - last[out] <= 1, "more than one flit per tick (seed {seed})");
                 last[out] = now;
                 let _ = x.pop_output(out);
             }
-            if x.is_idle() && queue.is_empty() { break; }
+            if x.is_idle() && queue.is_empty() {
+                break;
+            }
         }
     }
 }
 
-/// Non-proptest integration check: aggregate throughput of an N×1 crossbar
-/// is one flit per tick once saturated (the private DC-L1 port bottleneck
-/// from paper Table I).
+/// Aggregate throughput of an N×1 crossbar is one flit per tick once
+/// saturated (the private DC-L1 port bottleneck from paper Table I).
 #[test]
 fn n_to_one_crossbar_saturates_at_one_flit_per_tick() {
     let mut x: Crossbar<usize> = Crossbar::new(CrossbarConfig::new(8, 1).unwrap());

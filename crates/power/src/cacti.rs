@@ -13,10 +13,9 @@
 //! Model: `area(bank) = cap_bytes · A_CELL + A_BANK`, with `A_BANK` fit so
 //! 80→40 banks at constant capacity saves 8%.
 
-use serde::{Deserialize, Serialize};
 
 /// Analytical SRAM area model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SramModel {
     /// Cell-array area per byte, mm².
     pub cell_mm2_per_byte: f64,

@@ -26,10 +26,9 @@
 //! the paper can report Pr80 — which adds 80 core↔DC-L1 links — as having
 //! "insignificant" overhead.
 
-use serde::{Deserialize, Serialize};
 
 /// One crossbar (or replicated set of identical crossbars) in a NoC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct XbarSpec {
     /// Input ports.
     pub inputs: usize,
@@ -75,7 +74,7 @@ impl XbarSpec {
 /// and a NoC#2 part (DC-L1 nodes ↔ L2/memory); request and reply networks
 /// are physically separate but structurally identical, so specs describe
 /// one direction and the model doubles them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct NocSpec {
     /// Human-readable design name (e.g. "Sh40+C10").
     pub name: String,
@@ -91,7 +90,7 @@ impl NocSpec {
 }
 
 /// The calibrated analytical crossbar model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarModel {
     /// Switch-matrix area coefficient, mm² per (input·output).
     pub ax_mm2: f64,

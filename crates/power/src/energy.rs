@@ -5,10 +5,9 @@
 //! performance-per-watt and performance-per-energy (energy efficiency).
 
 use crate::dsent::{CrossbarModel, NocSpec};
-use serde::{Deserialize, Serialize};
 
 /// NoC power decomposed as in Fig 18a.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocPowerBreakdown {
     /// Static (leakage + clock) power, mW.
     pub static_mw: f64,
@@ -24,7 +23,7 @@ impl NocPowerBreakdown {
 }
 
 /// Energy metrics for one simulated run of one design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// Power breakdown.
     pub power: NocPowerBreakdown,

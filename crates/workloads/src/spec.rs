@@ -1,9 +1,8 @@
 //! Per-application specifications.
 
-use serde::{Deserialize, Serialize};
 
 /// Benchmark suite an application belongs to (paper §VII).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// NVIDIA CUDA SDK samples (`C-*`).
     CudaSdk,
@@ -30,7 +29,7 @@ pub const STRIPE_LINES: u64 = 320;
 
 /// A synthetic application: CTA geometry plus a memory-stream
 /// characterization (see the [crate docs](crate) for the model).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppSpec {
     /// Paper name, e.g. `"T-AlexNet"`.
     pub name: &'static str,
@@ -84,6 +83,61 @@ pub struct AppSpec {
     /// True when the paper's text never details this app and the spec is
     /// a plausible stand-in from the same suite.
     pub synthetic: bool,
+}
+
+/// Hashes every field so [`AppSpec`] can key a structured memo cache;
+/// `f64` fields hash by their exact bit pattern (`to_bits`), matching the
+/// bit-reproducibility contract of the simulator. Not derivable because
+/// `f64: !Hash`.
+impl std::hash::Hash for AppSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let AppSpec {
+            name,
+            suite,
+            ctas,
+            wavefronts_per_cta,
+            instrs_per_wavefront,
+            mem_fraction,
+            store_fraction,
+            aux_fraction,
+            atomic_fraction,
+            alu_latency,
+            shared_fraction,
+            shared_lines,
+            private_hot_fraction,
+            private_hot_lines,
+            home_skew,
+            striped_private,
+            access_span,
+            bytes_per_txn,
+            imbalance,
+            replication_sensitive,
+            poor_performing,
+            synthetic,
+        } = self;
+        name.hash(state);
+        suite.hash(state);
+        ctas.hash(state);
+        wavefronts_per_cta.hash(state);
+        instrs_per_wavefront.hash(state);
+        mem_fraction.to_bits().hash(state);
+        store_fraction.to_bits().hash(state);
+        aux_fraction.to_bits().hash(state);
+        atomic_fraction.to_bits().hash(state);
+        alu_latency.hash(state);
+        shared_fraction.to_bits().hash(state);
+        shared_lines.hash(state);
+        private_hot_fraction.to_bits().hash(state);
+        private_hot_lines.hash(state);
+        home_skew.to_bits().hash(state);
+        striped_private.hash(state);
+        access_span.hash(state);
+        bytes_per_txn.hash(state);
+        imbalance.to_bits().hash(state);
+        replication_sensitive.hash(state);
+        poor_performing.hash(state);
+        synthetic.hash(state);
+    }
 }
 
 impl AppSpec {
