@@ -2,16 +2,23 @@
 //! simulation cache across figures) and prints all tables.
 //!
 //! Usage: `DCL1_SCALE=full cargo run --release -p dcl1-bench --bin experiments [figNN ...]`
+//!
+//! Observability: `--trace[=PATH]`, `--metrics[=PATH]`,
+//! `--metrics-interval=N` and `--observe=APP/DESIGN` additionally run one
+//! instrumented point and print its stall-attribution table (see
+//! `dcl1_bench::ObsCli`).
 
 use dcl1_bench::experiments as ex;
-use dcl1_bench::{Scale, Table};
+use dcl1_bench::{ObsCli, Scale, Table};
 
 /// One experiment entry point.
 type Experiment = fn(Scale) -> Vec<Table>;
 
 fn main() {
     let scale = Scale::from_env();
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsCli::parse(&mut filter);
+    obs.run_if_enabled(scale);
     let all: Vec<(&str, Experiment)> = vec![
         ("tab1", ex::tab1_private_configs::run),
         ("fig01", ex::fig01_motivation::run),

@@ -2,22 +2,72 @@
 //! to score simulator performance work.
 //!
 //! Clears the on-disk memo first so every point is actually simulated,
-//! then prints per-point timings and the aggregate throughput table.
+//! then prints per-point timings and the aggregate throughput table, and
+//! writes the same data machine-readably to `BENCH_sweep.json`.
 //!
 //! Usage:
 //!   DCL1_SCALE=smoke cargo run --release -p dcl1-bench --bin perf_sweep
 //!   ... --no-fast-forward   # disable the idle fast-forward (A/B baseline)
 //!   ... --keep-cache        # skip the cache clear (measure warm behavior)
+//!   ... --json=PATH         # where to write the JSON report
+//!   ... --only=SUBSTR       # keep only points whose "APP/DESIGN" name
+//!                           # contains SUBSTR (repeatable)
+//!   ... --trace[=PATH] --metrics[=PATH] --metrics-interval=N
+//!                           # also run one observed point (see ObsCli)
 
 use dcl1::{Design, GpuConfig, SimOptions};
 use dcl1_bench::runner::{self, RunRequest};
-use dcl1_bench::{Scale, Table};
+use dcl1_bench::{ObsCli, Scale, Table};
+use dcl1_obs::json::escape;
 use dcl1_workloads::all_apps;
+use std::fmt::Write as _;
+
+/// Renders the sweep report as a JSON document.
+fn sweep_json(
+    scale: Scale,
+    fast_forward: bool,
+    timings: &[runner::PointTiming],
+    total_points: usize,
+    total_sim_cycles: u64,
+    end_to_end_wall: f64,
+) -> String {
+    let m = runner::memo_stats();
+    let sim_wall = m.wall_nanos as f64 / 1e9;
+    let khz = if sim_wall > 0.0 { m.sim_cycles as f64 / sim_wall / 1e3 } else { 0.0 };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"points\": [",
+        m.simulated,
+        m.memory_hits + m.disk_hits,
+    );
+    for (i, t) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"app\": \"{}\", \"design\": \"{}\", \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \"khz\": {:.3}}}",
+            if i == 0 { "" } else { "," },
+            escape(t.app),
+            escape(&t.design),
+            t.sim_cycles,
+            t.wall_seconds,
+            t.khz()
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = ObsCli::parse(&mut args);
     let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
     let keep_cache = args.iter().any(|a| a == "--keep-cache");
+    let json_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json="))
+        .unwrap_or("BENCH_sweep.json")
+        .to_string();
+    let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
     let scale = Scale::from_env();
 
     if !keep_cache {
@@ -34,7 +84,11 @@ fn main() {
     let mut reqs: Vec<RunRequest> = Vec::new();
     for app in all_apps() {
         for design in designs {
-            reqs.push(RunRequest { app, design, cfg: cfg.clone(), opts });
+            let req = RunRequest { app, design, cfg: cfg.clone(), opts };
+            let name = format!("{}/{}", req.app.name, req.design.name());
+            if only.is_empty() || only.iter().any(|o| name.contains(o)) {
+                reqs.push(req);
+            }
         }
     }
 
@@ -46,7 +100,8 @@ fn main() {
         format!("Per-point timings ({scale:?}, fast_forward={fast_forward})"),
         &["point", "sim-cycles", "wall s", "KHz"],
     );
-    for t in runner::point_timings() {
+    let timings = runner::point_timings();
+    for t in &timings {
         per_point.row(
             format!("{}/{}", t.app, t.design),
             vec![
@@ -64,4 +119,13 @@ fn main() {
         stats.len(),
         wall.as_secs_f64()
     );
+
+    let report =
+        sweep_json(scale, fast_forward, &timings, stats.len(), total, wall.as_secs_f64());
+    match std::fs::write(&json_path, report) {
+        Ok(()) => eprintln!("[perf_sweep] wrote {json_path}"),
+        Err(e) => eprintln!("[perf_sweep] cannot write {json_path}: {e}"),
+    }
+
+    obs.run_if_enabled(scale);
 }

@@ -50,8 +50,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ipc.row_f64(app.name, &ipc_row);
         miss.row_f64(app.name, &miss_row);
     }
-    ipc.row_f64("GEOMEAN", &ipc_cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
-    miss.row_f64("GEOMEAN", &miss_cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
+    ipc.row_geomean("GEOMEAN", &ipc_cols);
+    miss.row_geomean("GEOMEAN", &miss_cols);
 
     // Fig 4c: normal vs perfect DC-L1$ (plus the perfect private baseline).
     let mut reqs = Vec::new();

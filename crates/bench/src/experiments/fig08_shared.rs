@@ -4,7 +4,6 @@
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::geomean;
 use dcl1_workloads::replication_sensitive;
 
 /// Runs the shared DC-L1 study.
@@ -32,6 +31,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
         ipcs.push(p);
         t.row_f64(app.name, &[m, p]);
     }
-    t.row_f64("GEOMEAN", &[geomean(&misses), geomean(&ipcs)]);
+    t.row_geomean("GEOMEAN", &[&misses, &ipcs]);
     vec![t]
 }

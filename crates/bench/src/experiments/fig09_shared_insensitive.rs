@@ -4,7 +4,6 @@
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::geomean;
 use dcl1_workloads::replication_insensitive;
 
 /// Runs the insensitive-application study.
@@ -36,6 +35,6 @@ pub fn run(scale: Scale) -> Vec<Table> {
             ],
         );
     }
-    t.row_f64("GEOMEAN", &[geomean(&all)]);
+    t.row_geomean("GEOMEAN", &[&all]);
     vec![t]
 }

@@ -5,7 +5,6 @@ use crate::experiments::cluster_sweep;
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::geomean;
 use dcl1_workloads::replication_sensitive;
 
 /// Runs the clustered shared DC-L1 sweep.
@@ -46,7 +45,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         miss.row_f64(app.name, &mrow);
         ipc.row_f64(app.name, &irow);
     }
-    miss.row_f64("GEOMEAN", &miss_cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
-    ipc.row_f64("GEOMEAN", &ipc_cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
+    miss.row_geomean("GEOMEAN", &miss_cols);
+    ipc.row_geomean("GEOMEAN", &ipc_cols);
     vec![miss, ipc]
 }

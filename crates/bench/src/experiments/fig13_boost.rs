@@ -5,7 +5,6 @@
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::geomean;
 use dcl1_power::CrossbarModel;
 use dcl1_workloads::poor_performing;
 
@@ -42,7 +41,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         }
         fig13a.row_f64(app.name, &row);
     }
-    fig13a.row_f64("GEOMEAN", &cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
+    fig13a.row_geomean("GEOMEAN", &cols);
 
     // Fig 13b: DSENT-like max frequency per crossbar radix.
     let model = CrossbarModel::default();

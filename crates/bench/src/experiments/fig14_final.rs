@@ -5,7 +5,6 @@ use crate::experiments::proposed_designs;
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::geomean;
 use dcl1_workloads::all_apps;
 
 /// Runs the headline comparison.
@@ -46,8 +45,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
             t.row_f64(app.name, &row);
         }
     }
-    t.row_f64("GEOMEAN(sensitive)", &sens.iter().map(|c| geomean(c)).collect::<Vec<_>>());
-    t.row_f64("GEOMEAN(insensitive)", &insens.iter().map(|c| geomean(c)).collect::<Vec<_>>());
-    t.row_f64("GEOMEAN(all 28)", &all.iter().map(|c| geomean(c)).collect::<Vec<_>>());
+    t.row_geomean("GEOMEAN(sensitive)", &sens);
+    t.row_geomean("GEOMEAN(insensitive)", &insens);
+    t.row_geomean("GEOMEAN(all 28)", &all);
     vec![t]
 }

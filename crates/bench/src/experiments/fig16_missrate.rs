@@ -6,7 +6,7 @@ use crate::experiments::proposed_designs;
 use crate::runner::{run_apps, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::Design;
-use dcl1_common::stats::{geomean, mean};
+use dcl1_common::stats::mean;
 use dcl1_workloads::replication_sensitive;
 
 /// Runs the miss-rate / replica-count study.
@@ -38,7 +38,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
         }
         t.row_f64(app.name, &row);
     }
-    t.row_f64("GEOMEAN", &cols.iter().map(|c| geomean(c)).collect::<Vec<_>>());
+    t.row_geomean("GEOMEAN", &cols);
 
     // Mean replica counts (copies per distinct resident line).
     let mut reps = Table::new(

@@ -13,8 +13,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod obscli;
 pub mod runner;
 pub mod table;
 
-pub use runner::{run_app, run_apps, RunRequest, Scale};
+pub use obscli::ObsCli;
+pub use runner::{run_app, run_app_observed, run_apps, RunRequest, Scale};
 pub use table::Table;

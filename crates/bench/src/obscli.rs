@@ -1,0 +1,306 @@
+//! Shared `--trace` / `--metrics` command-line handling for the bench
+//! binaries, plus the observed-run report (stall attribution alongside
+//! IPC) both binaries print.
+
+use crate::runner::{run_app_observed, RunRequest, Scale};
+use crate::table::Table;
+use dcl1::{Design, GpuConfig, MetricsFormat, Observer, RunStats, SimOptions};
+use dcl1_workloads::by_name;
+use std::fs::File;
+use std::path::PathBuf;
+
+/// Default trace output path.
+pub const DEFAULT_TRACE_PATH: &str = "dcl1-trace.json";
+/// Default metrics output path (`.csv` suffix switches the format).
+pub const DEFAULT_METRICS_PATH: &str = "dcl1-metrics.jsonl";
+
+/// Parsed observability flags.
+///
+/// Recognized (and removed from the argument list by [`ObsCli::parse`]):
+///
+/// * `--trace[=PATH]` — Chrome trace-event JSON (default
+///   `dcl1-trace.json`), open in Perfetto / `chrome://tracing`;
+/// * `--trace-sample=N` — record every Nth transaction (default 1);
+/// * `--metrics[=PATH]` — time-series samples, JSONL by default, CSV when
+///   `PATH` ends in `.csv` (default `dcl1-metrics.jsonl`);
+/// * `--metrics-interval=N` — cycles between samples (default 1024);
+/// * `--observe=APP/DESIGN` — the point to instrument (default
+///   `C-BLK/flagship`; `DESIGN` is `baseline`, `flagship`, `prN`, or `shN`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsCli {
+    /// Trace output path, when tracing was requested.
+    pub trace: Option<PathBuf>,
+    /// Record every Nth transaction.
+    pub trace_sample: u64,
+    /// Metrics output path, when metrics were requested.
+    pub metrics: Option<PathBuf>,
+    /// Cycles between metrics samples.
+    pub metrics_interval: u64,
+    /// `APP/DESIGN` selector for the observed point.
+    pub observe: String,
+}
+
+impl Default for ObsCli {
+    fn default() -> Self {
+        ObsCli {
+            trace: None,
+            trace_sample: 1,
+            metrics: None,
+            metrics_interval: 1024,
+            observe: "C-BLK/flagship".to_string(),
+        }
+    }
+}
+
+impl ObsCli {
+    /// Extracts observability flags from `args`, leaving every other
+    /// argument in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed value (e.g. a
+    /// non-numeric `--metrics-interval`).
+    pub fn parse(args: &mut Vec<String>) -> ObsCli {
+        let mut cli = ObsCli::default();
+        args.retain(|arg| {
+            let (flag, value) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            match flag {
+                "--trace" => {
+                    cli.trace = Some(PathBuf::from(value.unwrap_or(DEFAULT_TRACE_PATH)));
+                }
+                "--trace-sample" => {
+                    cli.trace_sample = value
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--trace-sample needs =N, got {arg:?}"));
+                }
+                "--metrics" => {
+                    cli.metrics = Some(PathBuf::from(value.unwrap_or(DEFAULT_METRICS_PATH)));
+                }
+                "--metrics-interval" => {
+                    cli.metrics_interval = value
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--metrics-interval needs =N, got {arg:?}"));
+                }
+                "--observe" => {
+                    cli.observe = value
+                        .unwrap_or_else(|| panic!("--observe needs =APP/DESIGN"))
+                        .to_string();
+                }
+                _ => return true,
+            }
+            false
+        });
+        cli
+    }
+
+    /// Whether any sink was requested.
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Resolves `--observe` into a run request against `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the app or design name does not resolve.
+    pub fn observe_request(&self, cfg: &GpuConfig) -> RunRequest {
+        let (app_name, design_name) = self
+            .observe
+            .split_once('/')
+            .unwrap_or_else(|| panic!("--observe must be APP/DESIGN, got {:?}", self.observe));
+        let app = by_name(app_name)
+            .unwrap_or_else(|| panic!("unknown app {app_name:?} in --observe"));
+        let design = parse_design(design_name, cfg)
+            .unwrap_or_else(|| panic!("unknown design {design_name:?} in --observe"));
+        RunRequest { app, design, cfg: cfg.clone(), opts: SimOptions::default() }
+    }
+
+    /// Builds the observer, opening the requested output files.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an output file cannot be created.
+    pub fn build_observer(&self) -> Observer {
+        let mut obs = Observer::disabled();
+        if let Some(path) = &self.trace {
+            let file = File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            obs = obs
+                .with_trace(Box::new(file), self.trace_sample)
+                .unwrap_or_else(|e| panic!("cannot start trace: {e}"));
+        }
+        if let Some(path) = &self.metrics {
+            let format = if path.extension().is_some_and(|e| e == "csv") {
+                MetricsFormat::Csv
+            } else {
+                MetricsFormat::Jsonl
+            };
+            let file = File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            obs = obs.with_metrics(Box::new(file), self.metrics_interval, format);
+        }
+        obs
+    }
+
+    /// If any sink was requested: runs the `--observe` point with the
+    /// sinks attached and prints the stall-attribution report. Called by
+    /// both bench binaries before their normal work.
+    pub fn run_if_enabled(&self, scale: Scale) {
+        if !self.enabled() {
+            return;
+        }
+        let cfg = GpuConfig::default();
+        let req = self.observe_request(&cfg);
+        eprintln!(
+            "[observe] simulating {}/{} with{}{}",
+            req.app.name,
+            req.design.name(),
+            self.trace
+                .as_ref()
+                .map(|p| format!(" trace={}(every {})", p.display(), self.trace_sample))
+                .unwrap_or_default(),
+            self.metrics
+                .as_ref()
+                .map(|p| format!(" metrics={}(interval {})", p.display(), self.metrics_interval))
+                .unwrap_or_default(),
+        );
+        let stats = run_app_observed(&req, scale, self.build_observer());
+        println!("{}", stall_report(&req, &stats));
+        if let Some(p) = &self.trace {
+            eprintln!("[observe] trace written to {} (open in https://ui.perfetto.dev)", p.display());
+        }
+        if let Some(p) = &self.metrics {
+            eprintln!("[observe] metrics written to {}", p.display());
+        }
+    }
+}
+
+/// Resolves a design selector: `baseline`, `flagship`, `prN`, `shN`.
+fn parse_design(name: &str, cfg: &GpuConfig) -> Option<Design> {
+    let lower = name.to_ascii_lowercase();
+    if lower == "baseline" {
+        return Some(Design::Baseline);
+    }
+    if lower == "flagship" {
+        return Some(Design::flagship(cfg));
+    }
+    if let Some(n) = lower.strip_prefix("pr").and_then(|n| n.parse().ok()) {
+        return Some(Design::Private { nodes: n });
+    }
+    if let Some(n) = lower.strip_prefix("sh").and_then(|n| n.parse().ok()) {
+        return Some(Design::Shared { nodes: n });
+    }
+    None
+}
+
+/// The stall-attribution table printed alongside IPC for an observed run:
+/// where every non-issuing core cycle went, as absolute cycles and as a
+/// share of the core-cycle budget (`cores × cycles`).
+pub fn stall_report(req: &RunRequest, stats: &RunStats) -> Table {
+    let budget = stats.cycles.saturating_mul(req.cfg.cores as u64);
+    let pct = |v: u64| {
+        if budget == 0 {
+            "0.0%".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * v as f64 / budget as f64)
+        }
+    };
+    let mut t = Table::new(
+        format!(
+            "Stall attribution: {}/{} (IPC {:.3}, {} cycles)",
+            req.app.name,
+            stats.design,
+            stats.ipc(),
+            stats.cycles
+        ),
+        &["class", "cycles", "share of core-cycles"],
+    );
+    t.row("issued instruction", vec![stats.instructions.to_string(), pct(stats.instructions)]);
+    for (label, v) in [
+        ("idle: core drained", stats.stall_drained),
+        ("idle: all wavefronts ALU-busy", stats.stall_alu_busy),
+        ("idle: waiting on memory fill", stats.stall_fill_wait),
+        ("mem stall: outbox draining", stats.stall_mem_outbox),
+        ("mem stall: L1 queue full", stats.stall_mem_l1_queue),
+        ("mem stall: NoC backpressure", stats.stall_mem_noc),
+    ] {
+        t.row(label, vec![v.to_string(), pct(v)]);
+    }
+    t.row(
+        "node structural: MSHR full",
+        vec![stats.l1_mshr_stall_cycles.to_string(), "-".to_string()],
+    );
+    t.row(
+        "node structural: queue/port",
+        vec![stats.l1_queue_stall_cycles.to_string(), "-".to_string()],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_strips_only_observability_flags() {
+        let mut args: Vec<String> = [
+            "fig14",
+            "--trace",
+            "--metrics=out.csv",
+            "--metrics-interval=256",
+            "--trace-sample=8",
+            "--observe=C-HST/sh40",
+            "--keep-cache",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = ObsCli::parse(&mut args);
+        assert_eq!(args, vec!["fig14".to_string(), "--keep-cache".to_string()]);
+        assert_eq!(cli.trace.as_deref(), Some(std::path::Path::new(DEFAULT_TRACE_PATH)));
+        assert_eq!(cli.trace_sample, 8);
+        assert_eq!(cli.metrics.as_deref(), Some(std::path::Path::new("out.csv")));
+        assert_eq!(cli.metrics_interval, 256);
+        assert_eq!(cli.observe, "C-HST/sh40");
+        assert!(cli.enabled());
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let mut args = vec!["fig01".to_string()];
+        let cli = ObsCli::parse(&mut args);
+        assert_eq!(cli, ObsCli::default());
+        assert!(!cli.enabled());
+    }
+
+    #[test]
+    fn design_selectors_resolve() {
+        let cfg = GpuConfig::default();
+        assert_eq!(parse_design("baseline", &cfg), Some(Design::Baseline));
+        assert_eq!(parse_design("pr40", &cfg), Some(Design::Private { nodes: 40 }));
+        assert_eq!(parse_design("Sh20", &cfg), Some(Design::Shared { nodes: 20 }));
+        assert_eq!(parse_design("flagship", &cfg), Some(Design::flagship(&cfg)));
+        assert_eq!(parse_design("bogus", &cfg), None);
+    }
+
+    #[test]
+    fn stall_report_shows_every_class() {
+        let req = RunRequest::new(by_name("C-BLK").unwrap(), Design::Baseline);
+        let stats = RunStats {
+            design: "Baseline".to_string(),
+            cycles: 100,
+            instructions: 50,
+            stall_fill_wait: 30,
+            stall_mem_noc: 20,
+            ..RunStats::default()
+        };
+        let t = stall_report(&req, &stats);
+        assert_eq!(t.cell("issued instruction", "cycles"), Some("50"));
+        assert_eq!(t.cell("idle: waiting on memory fill", "cycles"), Some("30"));
+        assert_eq!(t.cell("mem stall: NoC backpressure", "cycles"), Some("20"));
+        assert!(t.title.contains("IPC 0.500"));
+    }
+}

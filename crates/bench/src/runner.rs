@@ -77,7 +77,9 @@ impl RunRequest {
 /// Bump when the meaning of cached results changes (simulator semantics,
 /// `RunStats` fields, trace generation, …) so stale on-disk entries are
 /// never read back. The version is part of the cache directory name.
-const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `RunStats` grew the stall-attribution fields.
+const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// 128-bit FNV-1a, used instead of `DefaultHasher` because the on-disk
 /// cache needs a hash that is stable across processes and Rust releases.
@@ -140,6 +142,13 @@ fn memo_key(req: &RunRequest, scale: Scale) -> u128 {
 // On-disk cache
 // ---------------------------------------------------------------------------
 
+/// Appends the schema-version component to a cache base directory.
+/// Entries from other schema versions live in sibling `v<N>` directories
+/// and are never read back — stale results cannot leak across a bump.
+fn versioned_cache_dir(base: PathBuf) -> PathBuf {
+    base.join(format!("v{CACHE_SCHEMA_VERSION}"))
+}
+
 /// Directory holding persisted results: `$DCL1_CACHE_DIR` if set, else
 /// `target/dcl1-cache/v<schema>/` in the workspace.
 pub fn disk_cache_dir() -> PathBuf {
@@ -151,7 +160,7 @@ pub fn disk_cache_dir() -> PathBuf {
             })
             .join("dcl1-cache")
     });
-    base.join(format!("v{CACHE_SCHEMA_VERSION}"))
+    versioned_cache_dir(base)
 }
 
 /// Deletes every persisted result (all schema versions).
@@ -210,6 +219,14 @@ fn serialize_stats(s: &RunStats) -> String {
     kv("dram_row_hit_rate", fmt_f64(s.dram_row_hit_rate));
     kv("noc_flits", fmt_vec(&s.noc_flits));
     kv("per_node_accesses", fmt_vec(&s.per_node_accesses));
+    kv("stall_drained", s.stall_drained.to_string());
+    kv("stall_alu_busy", s.stall_alu_busy.to_string());
+    kv("stall_fill_wait", s.stall_fill_wait.to_string());
+    kv("stall_mem_outbox", s.stall_mem_outbox.to_string());
+    kv("stall_mem_l1_queue", s.stall_mem_l1_queue.to_string());
+    kv("stall_mem_noc", s.stall_mem_noc.to_string());
+    kv("l1_mshr_stall_cycles", s.l1_mshr_stall_cycles.to_string());
+    kv("l1_queue_stall_cycles", s.l1_queue_stall_cycles.to_string());
     // Last because the free-form design name is rest-of-line.
     kv("design", s.design.clone());
     out
@@ -241,13 +258,21 @@ fn deserialize_stats(text: &str) -> Option<RunStats> {
             "dram_row_hit_rate" => s.dram_row_hit_rate = parse_f64(v)?,
             "noc_flits" => s.noc_flits = parse_vec(v)?,
             "per_node_accesses" => s.per_node_accesses = parse_vec(v)?,
+            "stall_drained" => s.stall_drained = v.parse().ok()?,
+            "stall_alu_busy" => s.stall_alu_busy = v.parse().ok()?,
+            "stall_fill_wait" => s.stall_fill_wait = v.parse().ok()?,
+            "stall_mem_outbox" => s.stall_mem_outbox = v.parse().ok()?,
+            "stall_mem_l1_queue" => s.stall_mem_l1_queue = v.parse().ok()?,
+            "stall_mem_noc" => s.stall_mem_noc = v.parse().ok()?,
+            "l1_mshr_stall_cycles" => s.l1_mshr_stall_cycles = v.parse().ok()?,
+            "l1_queue_stall_cycles" => s.l1_queue_stall_cycles = v.parse().ok()?,
             "design" => s.design = v.to_string(),
             _ => return None,
         }
         seen += 1;
     }
     // A truncated file (e.g. interrupted write) must not parse.
-    if seen == 21 {
+    if seen == 29 {
         Some(s)
     } else {
         None
@@ -423,6 +448,29 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
     stats
 }
 
+/// Runs one simulation point with observability sinks attached.
+///
+/// Bypasses both memo layers in both directions: tracing and metrics are
+/// side effects of actually simulating, so a cached result would produce
+/// empty output files — and an observed run is never written back, keeping
+/// the cache free of runs the observer may have slowed down.
+///
+/// # Panics
+///
+/// Panics if the design fails to resolve (an experiment-definition bug).
+pub fn run_app_observed(req: &RunRequest, scale: Scale, obs: dcl1::Observer) -> RunStats {
+    let (num, den) = scale.ratio();
+    let app = req.app.scaled(num, den);
+    let mut opts = req.opts;
+    if opts.warmup_instructions == 0 {
+        opts.warmup_instructions = app.total_instructions() / 3;
+    }
+    let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
+        .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
+    sys.attach_observer(obs);
+    sys.run()
+}
+
 fn cache() -> &'static Mutex<HashMap<u128, RunStats>> {
     static CACHE: std::sync::OnceLock<Mutex<HashMap<u128, RunStats>>> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -566,6 +614,14 @@ mod tests {
             dram_row_hit_rate: 0.75,
             noc_flits: vec![1, 2, 3],
             per_node_accesses: vec![4, 5],
+            stall_drained: 11,
+            stall_alu_busy: 22,
+            stall_fill_wait: 33,
+            stall_mem_outbox: 44,
+            stall_mem_l1_queue: 55,
+            stall_mem_noc: 66,
+            l1_mshr_stall_cycles: 77,
+            l1_queue_stall_cycles: 88,
         };
         let back = deserialize_stats(&serialize_stats(&s)).expect("parse");
         assert_eq!(back, s);
@@ -573,5 +629,33 @@ mod tests {
         let text = serialize_stats(&s);
         let truncated = &text[..text.len() / 2];
         assert!(deserialize_stats(truncated).is_none());
+    }
+
+    #[test]
+    fn stale_schema_dirs_are_ignored() {
+        // The active directory carries the current schema version…
+        let base = PathBuf::from("/some/cache/base");
+        assert_eq!(
+            versioned_cache_dir(base.clone()),
+            base.join(format!("v{CACHE_SCHEMA_VERSION}"))
+        );
+        assert_eq!(disk_cache_dir().file_name().unwrap().to_str(), Some("v2"));
+
+        // …so an entry persisted under a stale sibling (a previous
+        // schema's v1/) can never satisfy a lookup, even for the same key.
+        let scratch = std::env::temp_dir()
+            .join(format!("dcl1-stale-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let stale = scratch.join("v1");
+        std::fs::create_dir_all(&stale).unwrap();
+        let key = 0xDEAD_BEEFu128;
+        let pre_v2 = "cycles 1\ninstructions 2\ndesign Baseline\n";
+        std::fs::write(stale.join(format!("{key:032x}.stats")), pre_v2).unwrap();
+        let lookup = versioned_cache_dir(scratch.clone()).join(format!("{key:032x}.stats"));
+        assert!(!lookup.exists(), "stale v1 entry visible through the v2 path");
+        // And even a direct read of the stale payload fails the field-count
+        // guard rather than half-parsing.
+        assert!(deserialize_stats(pre_v2).is_none());
+        let _ = std::fs::remove_dir_all(&scratch);
     }
 }

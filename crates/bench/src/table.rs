@@ -33,6 +33,25 @@ impl Table {
         self.row(label, cells.iter().map(|v| format!("{v:.3}")).collect());
     }
 
+    /// Appends a geometric-mean summary row, one cell per column of
+    /// inputs. Columns whose inputs contained non-positive values are
+    /// flagged with the clamp count — their aggregate is
+    /// epsilon-dominated and must not be read as a real ratio.
+    pub fn row_geomean<C: AsRef<[f64]>>(&mut self, label: impl Into<String>, cols: &[C]) {
+        let cells = cols
+            .iter()
+            .map(|c| {
+                let (g, clamped) = dcl1_common::stats::geomean_counting(c.as_ref());
+                if clamped > 0 {
+                    format!("{g:.3} [{clamped} clamped]")
+                } else {
+                    format!("{g:.3}")
+                }
+            })
+            .collect();
+        self.row(label, cells);
+    }
+
     /// Looks up a cell by row label and column header (testing helper).
     pub fn cell(&self, row: &str, col: &str) -> Option<&str> {
         let ci = self.headers.iter().position(|h| h == col)?;

@@ -132,6 +132,13 @@ impl<T> Mshr<T> {
     pub fn max_entries(&self) -> usize {
         self.max_entries
     }
+
+    /// Total requesters waiting across all entries (each entry counts its
+    /// first requester plus merges) — the metrics sampler's occupancy
+    /// gauge, finer-grained than [`len`](Mshr::len).
+    pub fn total_waiters(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]
@@ -145,8 +152,10 @@ mod tests {
         assert_eq!(m.try_allocate(l, 1), Ok(MshrAllocation::Allocated));
         assert!(m.is_pending(l));
         assert_eq!(m.try_allocate(l, 2), Ok(MshrAllocation::Merged));
+        assert_eq!(m.total_waiters(), 2);
         assert_eq!(m.complete(l), vec![1, 2]);
         assert!(!m.is_pending(l));
+        assert_eq!(m.total_waiters(), 0);
         assert_eq!(m.merges.get(), 1);
     }
 

@@ -67,12 +67,14 @@ impl Histogram {
         (1u64 << octave) + (sub << (octave as u32 - SUB_BITS))
     }
 
-    /// Records one sample.
+    /// Records one sample. The running sum saturates instead of wrapping,
+    /// so extreme samples (up to `u64::MAX`) degrade the mean gracefully
+    /// rather than corrupting it.
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -120,7 +122,7 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -201,6 +203,73 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn power_of_two_boundaries_start_new_octaves() {
+        // Property: within the covered octave range, every exact power of
+        // two maps to the first sub-bucket of its octave, its bucket floor
+        // is the value itself, and `2^k - 1` lands in a strictly earlier
+        // bucket. Beyond the last octave values saturate into the final
+        // bucket instead of wrapping or panicking.
+        let max_octave = OCTAVES + SUB_BITS as usize - 2; // last exact octave
+        for k in SUB_BITS..=max_octave as u32 {
+            let v = 1u64 << k;
+            let idx = Histogram::bucket_of(v);
+            assert_eq!(Histogram::bucket_floor(idx), v, "floor(bucket(2^{k}))");
+            assert_eq!(idx % SUB, 0, "2^{k} not at an octave start");
+            let below = Histogram::bucket_of(v - 1);
+            assert!(below < idx, "2^{k}-1 shares a bucket with 2^{k}");
+        }
+        for k in (max_octave as u32 + 1)..64 {
+            assert_eq!(Histogram::bucket_of(1u64 << k), BUCKETS - 1, "2^{k}");
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // sum would wrap without saturation
+        h.record(3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        // p100 reports the floor of the saturated last bucket (clamped by max).
+        assert_eq!(h.percentile(1.0), Histogram::bucket_floor(BUCKETS - 1));
+        // Saturated sum: the mean stays a huge (not wrapped-tiny) value.
+        assert!(h.mean() > 1e18);
+        let mut other = Histogram::new();
+        other.record(u64::MAX);
+        h.merge(&other); // merge saturates too
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn percentiles_monotone_in_q_property() {
+        // Property: for any sample set, percentile(q) is monotone
+        // non-decreasing in q and bounded by [percentile(0), max].
+        let sample_sets: [&[u64]; 5] = [
+            &[0],
+            &[1, 1, 1, 1],
+            &[3, 17, 130, 5000, 5000, 123_456_789],
+            &[u64::MAX, 0, 42],
+            &[7, 8, 9, 15, 16, 17, 31, 32, 33, 1 << 40],
+        ];
+        for set in sample_sets {
+            let mut h = Histogram::new();
+            for &v in set {
+                h.record(v);
+            }
+            let mut prev = 0;
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                let p = h.percentile(q);
+                assert!(p >= prev, "percentile({q}) regressed: {p} < {prev}");
+                assert!(p <= h.max());
+                prev = p;
+            }
+        }
     }
 
     #[test]

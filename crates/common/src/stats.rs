@@ -58,11 +58,22 @@ pub fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
-/// An online mean with count, for latency-style statistics.
+/// An online mean with count, min/max and Welford variance, for
+/// latency-style statistics and time-series summaries.
+///
+/// The mean is computed from a plain sum (`sum / count`), keeping it
+/// bit-identical to the pre-variance implementation; the Welford state
+/// (`wmean`, `m2`) exists only for [`variance`](RunningMean::variance).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningMean {
     sum: f64,
     count: u64,
+    min: f64,
+    max: f64,
+    /// Welford running mean (variance bookkeeping only).
+    wmean: f64,
+    /// Welford sum of squared deviations.
+    m2: f64,
 }
 
 impl RunningMean {
@@ -71,6 +82,16 @@ impl RunningMean {
     pub fn record(&mut self, value: f64) {
         self.sum += value;
         self.count += 1;
+        if self.count == 1 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        let delta = value - self.wmean;
+        self.wmean += delta / self.count as f64;
+        self.m2 += delta * (value - self.wmean);
     }
 
     /// Returns the mean of all observations, or 0.0 if none were recorded.
@@ -87,9 +108,58 @@ impl RunningMean {
         self.count
     }
 
+    /// Smallest observation, or 0.0 if none were recorded.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0.0 if none were recorded.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance (Welford), or 0.0 with fewer than two
+    /// observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
     /// Merges another mean into this one (used when aggregating per-node
-    /// statistics into machine-level statistics).
+    /// statistics into machine-level statistics). Uses Chan's parallel
+    /// update so the merged variance equals recording both streams into
+    /// one accumulator (up to rounding).
     pub fn merge(&mut self, other: &RunningMean) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.wmean - self.wmean;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.wmean += delta * n2 / (n1 + n2);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         self.sum += other.sum;
         self.count += other.count;
     }
@@ -104,11 +174,20 @@ impl RunningMean {
 /// Returns 0.0 for an empty slice. Non-positive entries are clamped to a
 /// tiny epsilon so a single degenerate run cannot poison the aggregate.
 pub fn geomean(values: &[f64]) -> f64 {
+    geomean_counting(values).0
+}
+
+/// Like [`geomean`], but also reports how many non-positive entries were
+/// clamped to the epsilon — a nonzero count means some run in the
+/// aggregate was degenerate (zero or negative ratio) and the geomean is
+/// an underestimate rather than a faithful average.
+pub fn geomean_counting(values: &[f64]) -> (f64, usize) {
     if values.is_empty() {
-        return 0.0;
+        return (0.0, 0);
     }
+    let clamped = values.iter().filter(|&&v| v <= 0.0).count();
     let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
-    (log_sum / values.len() as f64).exp()
+    ((log_sum / values.len() as f64).exp(), clamped)
 }
 
 /// Arithmetic mean of a slice, 0.0 when empty.
@@ -162,6 +241,56 @@ mod tests {
     }
 
     #[test]
+    fn running_mean_min_max_variance() {
+        let mut m = RunningMean::default();
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(v);
+        }
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Classic Welford example: population variance 4, stddev 2.
+        assert!((m.variance() - 4.0).abs() < 1e-9, "{}", m.variance());
+        assert!((m.stddev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_mean_handles_negative_min() {
+        let mut m = RunningMean::default();
+        m.record(-3.0);
+        m.record(1.0);
+        assert_eq!(m.min(), -3.0);
+        assert_eq!(m.max(), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, -1.0, 12.5];
+        for split in 0..=data.len() {
+            let mut a = RunningMean::default();
+            let mut b = RunningMean::default();
+            let mut whole = RunningMean::default();
+            for (i, &v) in data.iter().enumerate() {
+                if i < split {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+                whole.record(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert_eq!(a.min(), whole.min(), "split {split}");
+            assert_eq!(a.max(), whole.max(), "split {split}");
+            assert!((a.variance() - whole.variance()).abs() < 1e-9, "split {split}");
+        }
+    }
+
+    #[test]
     fn geomean_of_reciprocals_is_one() {
         let v = [2.0, 0.5, 4.0, 0.25];
         assert!((geomean(&v) - 1.0).abs() < 1e-9);
@@ -172,6 +301,17 @@ mod tests {
     fn geomean_clamps_nonpositive() {
         let g = geomean(&[0.0, 1.0]);
         assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn geomean_counting_reports_clamps() {
+        let (g, clamped) = geomean_counting(&[0.0, -2.0, 1.0, 4.0]);
+        assert_eq!(clamped, 2);
+        assert!(g > 0.0);
+        let (g2, clamped2) = geomean_counting(&[2.0, 0.5]);
+        assert_eq!(clamped2, 0);
+        assert!((g2 - 1.0).abs() < 1e-12);
+        assert_eq!(geomean_counting(&[]), (0.0, 0));
     }
 
     #[test]

@@ -61,5 +61,7 @@ pub use design::{Attachment, Design, Noc2Kind, Topology};
 pub use machine::{GpuSystem, SimOptions};
 pub use node::{Dcl1Node, NodeConfig, NodeStats};
 pub use presence::PresenceMap;
+pub use dcl1_obs::metrics::{MetricsFormat, MetricsSample};
+pub use dcl1_obs::Observer;
 pub use stats::RunStats;
 pub use txn::{Txn, TxnId};

@@ -30,10 +30,22 @@ use crate::stats::RunStats;
 use crate::txn::Txn;
 use dcl1_common::stats::RunningMean;
 use dcl1_common::{ClockDomain, ConfigError, CoreId, Cycle, Histogram};
-use dcl1_gpu::{Core, CoreConfig, CtaDispatcher, CtaPolicy, MemKind, TraceFactory};
+use dcl1_gpu::{Core, CoreConfig, CoreStats, CtaDispatcher, CtaPolicy, MemBlock, MemKind, TraceFactory};
 use dcl1_mem::{DramAccess, L2Reply, L2Request, L2Slice, MemAccessKind, MemoryController};
 use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
+use dcl1_obs::metrics::MetricsSample;
+use dcl1_obs::Observer;
 use std::collections::VecDeque;
+
+/// Static name of a transaction kind for trace span args.
+fn kind_str(kind: MemKind) -> &'static str {
+    match kind {
+        MemKind::Load => "load",
+        MemKind::Store => "store",
+        MemKind::Atomic => "atomic",
+        MemKind::Aux => "aux",
+    }
+}
 
 /// Run-level options orthogonal to the design (the paper's sensitivity
 /// knobs).
@@ -114,6 +126,10 @@ pub struct GpuSystem<'w> {
     cores: Vec<Core>,
     /// Per-core coalesced transactions awaiting injection.
     outbox: Vec<VecDeque<Txn>>,
+    /// Outcome of each core's most recent outbox-drain attempt, read by
+    /// issue to attribute memory-port stalls. Only meaningful while the
+    /// core's outbox is non-empty.
+    outbox_cause: Vec<MemBlock>,
     nodes: Vec<Dcl1Node>,
     presence: PresenceMap,
 
@@ -135,6 +151,10 @@ pub struct GpuSystem<'w> {
     dram_stash: Vec<Option<DramAccess>>,
     mcs: Vec<MemoryController<usize>>,
     dram_clock: ClockDomain,
+
+    /// Observability sinks (tracing + metrics); `Observer::disabled()` by
+    /// default, in which case every hook below is an inlined early return.
+    obs: Observer,
 
     now: Cycle,
     /// Cycle at which statistics were last reset (end of warmup).
@@ -258,6 +278,7 @@ impl<'w> GpuSystem<'w> {
         Ok(GpuSystem {
             dispatcher: CtaDispatcher::new(opts.cta_policy, factory.total_ctas(), cfg.cores),
             outbox: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
+            outbox_cause: vec![MemBlock::OutboxDrain; cfg.cores],
             presence: PresenceMap::new(),
             l2_reply_stash: (0..l).map(|_| None).collect(),
             dram_stash: (0..l).map(|_| None).collect(),
@@ -276,6 +297,7 @@ impl<'w> GpuSystem<'w> {
             cdx_clocks,
             l2,
             mcs,
+            obs: Observer::disabled(),
             now: 0,
             stat_base_cycle: 0,
             warmup_done: false,
@@ -291,6 +313,23 @@ impl<'w> GpuSystem<'w> {
     /// The resolved topology this machine implements.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Attaches observability sinks (transaction tracing and/or periodic
+    /// metrics). The machine drives them from its pipeline phases and
+    /// finalizes them at the end of [`run`](GpuSystem::run).
+    pub fn attach_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Per-core statistics (stall breakdowns alongside issue counts).
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.cores.iter().map(|c| *c.stats()).collect()
+    }
+
+    /// Cycles elapsed since statistics last reset (the measured window).
+    pub fn measured_cycles(&self) -> u64 {
+        self.now - self.stat_base_cycle
     }
 
     fn effective_flit_bytes(&self) -> u32 {
@@ -363,11 +402,21 @@ impl<'w> GpuSystem<'w> {
                 self.cores[c].add_idle_cycles(1);
                 continue;
             }
-            let mem_ready = self.outbox[c].is_empty();
-            if let Some(issued) = self.cores[c].tick(self.now, mem_ready) {
+            // The memory port is closed exactly when the outbox is non-empty
+            // — the same condition issue has always used. The cause was
+            // memoized by the last drain attempt: `OutboxDrain` when the
+            // port moved a transaction but more remain (rate-limited at one
+            // per cycle), `L1Queue`/`Noc` when the downstream resource
+            // refused the head outright.
+            let block = if self.outbox[c].is_empty() {
+                None
+            } else {
+                Some(self.outbox_cause[c])
+            };
+            if let Some(issued) = self.cores[c].tick_blocked(self.now, block) {
                 for a in &issued.instr.accesses {
                     self.txn_counter += 1;
-                    self.outbox[c].push_back(Txn {
+                    let txn = Txn {
                         id: self.txn_counter,
                         core: issued.core,
                         wavefront: issued.wavefront,
@@ -376,26 +425,42 @@ impl<'w> GpuSystem<'w> {
                         kind: issued.instr.kind,
                         issued_at: self.now,
                         l1_hit: false,
-                    });
+                    };
+                    if self.obs.tracing() {
+                        self.obs.trace_begin(
+                            txn.id,
+                            self.now,
+                            c as u64,
+                            kind_str(txn.kind),
+                            txn.line.raw(),
+                        );
+                    }
+                    self.outbox[c].push_back(txn);
                 }
             }
         }
     }
 
-    /// Moves one transaction per core from its outbox toward the L1 level.
+    /// Moves one transaction per core from its outbox toward the L1 level,
+    /// memoizing why the head could not (or could only just) move so issue
+    /// can attribute the next port stall without re-probing the network.
     fn drain_outboxes(&mut self) {
         for c in 0..self.outbox.len() {
             let Some(&txn) = self.outbox[c].front() else { continue };
-            match self.topo.attachment {
+            self.outbox_cause[c] = match self.topo.attachment {
                 Attachment::Direct => {
                     // In-core L1 (node index == core index), or the single
                     // node of the ideal shared-L1 study.
                     let node = self.topo.home_node(c, txn.line);
                     if self.nodes[node].can_accept_request() {
                         self.outbox[c].pop_front();
+                        self.obs.trace_hop(txn.id, "l1_queue", self.now);
                         self.nodes[node]
                             .try_push_request(txn)
                             .unwrap_or_else(|_| unreachable!("checked room"));
+                        MemBlock::OutboxDrain
+                    } else {
+                        MemBlock::L1Queue
                     }
                 }
                 Attachment::Noc1 { .. } => {
@@ -405,13 +470,17 @@ impl<'w> GpuSystem<'w> {
                     let dst = node % self.topo.nodes_per_cluster();
                     if self.noc1_req[cluster].can_inject(src) {
                         self.outbox[c].pop_front();
+                        self.obs.trace_hop(txn.id, "noc1_req", self.now);
                         let pkt = self.packet(src, dst, Self::down_bytes(&txn), txn);
                         self.noc1_req[cluster]
                             .try_inject(pkt)
                             .unwrap_or_else(|_| unreachable!("checked room"));
+                        MemBlock::OutboxDrain
+                    } else {
+                        MemBlock::Noc
                     }
                 }
-            }
+            };
         }
     }
 
@@ -440,6 +509,7 @@ impl<'w> GpuSystem<'w> {
                     let dst = txn.core.index() % self.topo.cores_per_cluster();
                     if self.noc1_rep[cluster].can_inject(src) {
                         let txn = self.nodes[n].pop_reply().expect("peeked Some");
+                        self.obs.trace_hop(txn.id, "noc1_rep", self.now);
                         let pkt = self.packet(src, dst, Self::up_bytes(&txn), txn);
                         self.noc1_rep[cluster]
                             .try_inject(pkt)
@@ -464,9 +534,12 @@ impl<'w> GpuSystem<'w> {
                         let node = cluster * m + slot;
                         while self.nodes[node].can_accept_request() {
                             match self.noc1_req[cluster].pop_output(slot) {
-                                Some(pkt) => self.nodes[node]
-                                    .try_push_request(pkt.payload)
-                                    .unwrap_or_else(|_| unreachable!("checked room")),
+                                Some(pkt) => {
+                                    self.obs.trace_hop(pkt.payload.id, "l1_queue", self.now);
+                                    self.nodes[node]
+                                        .try_push_request(pkt.payload)
+                                        .unwrap_or_else(|_| unreachable!("checked room"))
+                                }
                                 None => break,
                             }
                         }
@@ -485,6 +558,7 @@ impl<'w> GpuSystem<'w> {
     }
 
     fn complete_at_core(&mut self, txn: Txn) {
+        self.obs.trace_end(txn.id, self.now);
         if txn.kind == MemKind::Load {
             let rtt = (self.now - txn.issued_at) as f64;
             self.load_rtt.record(rtt);
@@ -513,6 +587,7 @@ impl<'w> GpuSystem<'w> {
                     let src = if self.topo.ideal_ports { txn.core.index() } else { n };
                     if x.can_inject(src) {
                         self.nodes[n].pop_l2_request();
+                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
                         advanced = true;
                         let flit = self.cfg.flit_bytes * self.topo.flit_mult;
                         let pkt =
@@ -532,6 +607,7 @@ impl<'w> GpuSystem<'w> {
                     let x = &mut xs[slot];
                     if x.can_inject(cluster) {
                         self.nodes[n].pop_l2_request();
+                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
                         advanced = true;
                         let flit = self.cfg.flit_bytes * self.topo.flit_mult;
                         let pkt = Packet {
@@ -553,6 +629,7 @@ impl<'w> GpuSystem<'w> {
                     let dst = slice % uplinks;
                     if stage1[g].can_inject(src) {
                         self.nodes[n].pop_l2_request();
+                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
                         advanced = true;
                         let flit = self.cfg.flit_bytes * self.topo.flit_mult;
                         let pkt =
@@ -595,6 +672,7 @@ impl<'w> GpuSystem<'w> {
                         let pkt =
                             Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
                         x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -613,6 +691,7 @@ impl<'w> GpuSystem<'w> {
                             payload: txn,
                         };
                         x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -626,6 +705,7 @@ impl<'w> GpuSystem<'w> {
                         let pkt =
                             Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
                         stage2.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -644,7 +724,7 @@ impl<'w> GpuSystem<'w> {
             Noc2Net::Single(x) => {
                 for _ in 0..ticks {
                     x.tick();
-                    Self::eject_into_l2(x, &mut self.l2, None);
+                    Self::eject_into_l2(x, &mut self.l2, None, &mut self.obs, self.now);
                 }
             }
             Noc2Net::Sliced(xs) => {
@@ -652,7 +732,7 @@ impl<'w> GpuSystem<'w> {
                     let groups = xs.len();
                     for (slot, x) in xs.iter_mut().enumerate() {
                         x.tick();
-                        Self::eject_into_l2(x, &mut self.l2, Some((slot, groups)));
+                        Self::eject_into_l2(x, &mut self.l2, Some((slot, groups)), &mut self.obs, self.now);
                     }
                 }
             }
@@ -691,7 +771,7 @@ impl<'w> GpuSystem<'w> {
                 }
                 for _ in 0..s2_ticks {
                     stage2.tick();
-                    Self::eject_into_l2(stage2, &mut self.l2, None);
+                    Self::eject_into_l2(stage2, &mut self.l2, None, &mut self.obs, self.now);
                 }
             }
         }
@@ -801,6 +881,8 @@ impl<'w> GpuSystem<'w> {
         x: &mut Crossbar<Txn>,
         l2: &mut [L2Slice<Txn>],
         sliced: Option<(usize, usize)>,
+        obs: &mut Observer,
+        now: Cycle,
     ) {
         if !x.has_output() {
             return;
@@ -814,6 +896,7 @@ impl<'w> GpuSystem<'w> {
                 match x.pop_output(port) {
                     Some(pkt) => {
                         let txn = pkt.payload;
+                        obs.trace_hop(txn.id, "l2", now);
                         let kind = match txn.kind {
                             MemKind::Load | MemKind::Aux => MemAccessKind::Read,
                             MemKind::Store => MemAccessKind::Write,
@@ -861,8 +944,9 @@ impl<'w> GpuSystem<'w> {
     }
 
     fn tick_nodes(&mut self) {
+        let obs = &mut self.obs;
         for node in &mut self.nodes {
-            node.tick(&mut self.presence);
+            node.tick(&mut self.presence, obs);
         }
     }
 
@@ -898,6 +982,11 @@ impl<'w> GpuSystem<'w> {
             }
             if self.opts.fast_forward {
                 self.fast_forward();
+            }
+        }
+        if !self.obs.is_off() {
+            if let Err(e) = self.obs.finish(self.now) {
+                eprintln!("warning: failed to flush observability sinks: {e}");
             }
         }
         self.collect_stats()
@@ -981,6 +1070,11 @@ impl<'w> GpuSystem<'w> {
         skip = skip.min(self.opts.max_cycles - 1 - self.now);
         let ivl = self.opts.replica_sample_interval;
         skip = skip.min(ivl - 1 - self.now % ivl);
+        if let Some(mivl) = self.obs.metrics_interval() {
+            // The sampler is itself a timer event: land the next step on the
+            // sampling boundary so quiescent snapshots are still recorded.
+            skip = skip.min(mivl - 1 - self.now % mivl);
+        }
         if !self.warmup_done && self.opts.warmup_instructions > 0 {
             skip = skip.min(63 - self.now % 64);
         }
@@ -1079,6 +1173,65 @@ impl<'w> GpuSystem<'w> {
         {
             self.replica_samples.record(self.presence.mean_replicas());
         }
+        if let Some(ivl) = self.obs.metrics_interval() {
+            if self.now.is_multiple_of(ivl) {
+                let sample = self.metrics_sample();
+                self.obs.record_metrics(&sample);
+            }
+        }
+    }
+
+    /// Snapshots every machine-wide occupancy gauge for the metrics stream.
+    fn metrics_sample(&self) -> MetricsSample {
+        let nq2 = |net: &Noc2Net| -> (u64, u64) {
+            match net {
+                Noc2Net::Single(x) => (x.in_flight() as u64, x.stats().total_flits()),
+                Noc2Net::Sliced(v) => (
+                    v.iter().map(Crossbar::in_flight).sum::<usize>() as u64,
+                    v.iter().map(|x| x.stats().total_flits()).sum(),
+                ),
+                Noc2Net::TwoStage { stage1, stage2 } => (
+                    (stage1.iter().map(Crossbar::in_flight).sum::<usize>() + stage2.in_flight())
+                        as u64,
+                    stage1.iter().map(|x| x.stats().total_flits()).sum::<u64>()
+                        + stage2.stats().total_flits(),
+                ),
+            }
+        };
+        let (noc2_req_inflight, noc2_req_flits) = nq2(&self.noc2_req);
+        let (noc2_rep_inflight, noc2_rep_flits) = nq2(&self.noc2_rep);
+        MetricsSample {
+            cycle: self.now,
+            outbox_depth: self.outbox.iter().map(VecDeque::len).sum::<usize>() as u64,
+            node_q1: self.nodes.iter().map(Dcl1Node::q1_len).sum::<usize>() as u64,
+            node_q2: self.nodes.iter().map(Dcl1Node::q2_len).sum::<usize>() as u64,
+            node_q3: self.nodes.iter().map(Dcl1Node::q3_len).sum::<usize>() as u64,
+            node_q4: self.nodes.iter().map(Dcl1Node::q4_len).sum::<usize>() as u64,
+            node_mshr: self.nodes.iter().map(Dcl1Node::mshr_waiters).sum::<usize>() as u64,
+            node_hit_pipe: self.nodes.iter().map(Dcl1Node::hit_pipe_len).sum::<usize>() as u64,
+            noc1_req_inflight: self.noc1_req.iter().map(Crossbar::in_flight).sum::<usize>() as u64,
+            noc1_rep_inflight: self.noc1_rep.iter().map(Crossbar::in_flight).sum::<usize>() as u64,
+            noc2_req_inflight,
+            noc2_rep_inflight,
+            noc1_flits: self
+                .noc1_req
+                .iter()
+                .chain(self.noc1_rep.iter())
+                .map(|x| x.stats().total_flits())
+                .sum(),
+            noc2_flits: noc2_req_flits + noc2_rep_flits,
+            l2_input: self.l2.iter().map(L2Slice::input_len).sum::<usize>() as u64,
+            l2_mshr: self.l2.iter().map(L2Slice::mshr_len).sum::<usize>() as u64,
+            l2_replies: self.l2.iter().map(L2Slice::replies_pending).sum::<usize>() as u64,
+            dram_queue: self.mcs.iter().map(MemoryController::queue_len).sum::<usize>() as u64,
+            dram_replies: self.mcs.iter().map(MemoryController::replies_pending).sum::<usize>()
+                as u64,
+            active_wavefronts: self.cores.iter().map(Core::resident_wavefronts).sum::<usize>()
+                as u64,
+            waiting_wavefronts: self.cores.iter().map(Core::waiting_wavefronts).sum::<usize>()
+                as u64,
+            instructions: self.cores.iter().map(|c| c.stats().instructions.get()).sum(),
+        }
     }
 
     /// Current cycle.
@@ -1095,6 +1248,20 @@ impl<'w> GpuSystem<'w> {
         let mstall: u64 = self.cores.iter().map(|c| c.stats().mem_stall_cycles.get()).sum();
         let instr: u64 = self.cores.iter().map(|c| c.stats().instructions.get()).sum();
         writeln!(s, "cycle={} instr={} core_idle={} core_mem_stall={}", self.now, instr, idle, mstall).ok();
+        let stall = |f: fn(&dcl1_gpu::StallBreakdown) -> u64| -> u64 {
+            self.cores.iter().map(|c| f(&c.stats().stall)).sum()
+        };
+        writeln!(
+            s,
+            "stall drained={} alu_busy={} fill_wait={} mem_outbox={} mem_l1_queue={} mem_noc={}",
+            stall(|b| b.drained.get()),
+            stall(|b| b.alu_busy.get()),
+            stall(|b| b.fill_wait.get()),
+            stall(|b| b.mem_outbox.get()),
+            stall(|b| b.mem_l1_queue.get()),
+            stall(|b| b.mem_noc.get())
+        )
+        .ok();
         let nstall: u64 = self.nodes.iter().map(|n| n.stats().stall_cycles.get()).sum();
         let nacc: u64 = self.nodes.iter().map(|n| n.stats().accesses.get()).sum();
         writeln!(s, "node_accesses={} node_stalls={} outbox_pending={}", nacc, nstall,
@@ -1236,6 +1403,26 @@ impl<'w> GpuSystem<'w> {
             dram_row_hit_rate,
             noc_flits,
             per_node_accesses,
+            stall_drained: self.cores.iter().map(|c| c.stats().stall.drained.get()).sum(),
+            stall_alu_busy: self.cores.iter().map(|c| c.stats().stall.alu_busy.get()).sum(),
+            stall_fill_wait: self.cores.iter().map(|c| c.stats().stall.fill_wait.get()).sum(),
+            stall_mem_outbox: self.cores.iter().map(|c| c.stats().stall.mem_outbox.get()).sum(),
+            stall_mem_l1_queue: self
+                .cores
+                .iter()
+                .map(|c| c.stats().stall.mem_l1_queue.get())
+                .sum(),
+            stall_mem_noc: self.cores.iter().map(|c| c.stats().stall.mem_noc.get()).sum(),
+            l1_mshr_stall_cycles: self
+                .nodes
+                .iter()
+                .map(|n| n.stats().mshr_stall_cycles.get())
+                .sum(),
+            l1_queue_stall_cycles: self
+                .nodes
+                .iter()
+                .map(|n| n.stats().q3_stall_cycles.get())
+                .sum(),
         }
     }
 }

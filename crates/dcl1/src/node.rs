@@ -20,6 +20,7 @@ use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache, SetIndexing};
 use dcl1_common::stats::Counter;
 use dcl1_common::{BoundedQueue, ConfigError, Cycle, LineAddr};
 use dcl1_gpu::MemKind;
+use dcl1_obs::Observer;
 use std::collections::VecDeque;
 
 /// Structural parameters of one DC-L1 node.
@@ -62,6 +63,11 @@ pub struct NodeStats {
     pub bypasses: Counter,
     /// Cycles the head of Q1 stalled on a full MSHR or full Q3.
     pub stall_cycles: Counter,
+    /// The subset of `stall_cycles` caused by MSHR exhaustion (no free
+    /// entry, or the target entry's merge list full).
+    pub mshr_stall_cycles: Counter,
+    /// The subset of `stall_cycles` caused by a full Q3 (L2-bound queue).
+    pub q3_stall_cycles: Counter,
 }
 
 impl NodeStats {
@@ -227,11 +233,47 @@ impl Dcl1Node {
             && self.mshr.is_empty()
     }
 
+    /// Request input queue (Q1) depth.
+    pub fn q1_len(&self) -> usize {
+        self.q1.len()
+    }
+
+    /// Reply output queue (Q2) depth.
+    pub fn q2_len(&self) -> usize {
+        self.q2.len()
+    }
+
+    /// L2-bound queue (Q3) depth.
+    pub fn q3_len(&self) -> usize {
+        self.q3.len()
+    }
+
+    /// Fill input queue (Q4) depth.
+    pub fn q4_len(&self) -> usize {
+        self.q4.len()
+    }
+
+    /// Occupied MSHR entries.
+    pub fn mshr_len(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Requesters waiting on MSHR fills (entries plus merges).
+    pub fn mshr_waiters(&self) -> usize {
+        self.mshr.total_waiters()
+    }
+
+    /// Hits in flight waiting out the access latency.
+    pub fn hit_pipe_len(&self) -> usize {
+        self.hit_pipe.len() + self.reply_stage.len()
+    }
+
     /// Advances the node one core cycle.
     ///
     /// `presence` is the level-wide line-presence instrumentation shared
-    /// by all nodes of the machine.
-    pub fn tick(&mut self, presence: &mut PresenceMap) {
+    /// by all nodes of the machine; `obs` receives lifecycle span hops for
+    /// sampled transactions (a free no-op when tracing is off).
+    pub fn tick(&mut self, presence: &mut PresenceMap, obs: &mut Observer) {
         self.now += 1;
 
         // Fast path: with no fills, demands, matured-or-maturing hits or
@@ -259,10 +301,16 @@ impl Dcl1Node {
                         !waiters.is_empty(),
                         "fill for line with no MSHR entry"
                     );
+                    if obs.tracing() {
+                        for w in &waiters {
+                            obs.trace_hop(w.id, "reply", self.now);
+                        }
+                    }
                     self.reply_stage.extend(waiters);
                 }
                 // Write ACKs, atomics and non-L1 replies bypass the cache.
                 MemKind::Store | MemKind::Atomic | MemKind::Aux => {
+                    obs.trace_hop(txn.id, "reply", self.now);
                     self.reply_stage.push_back(txn);
                 }
             }
@@ -280,10 +328,12 @@ impl Dcl1Node {
                     // Bypass Q1 → Q3.
                     if self.q3.is_full() {
                         self.stats.stall_cycles.inc();
+                        self.stats.q3_stall_cycles.inc();
                         break;
                     }
                     let txn = self.q1.pop().expect("front was Some");
                     self.stats.bypasses.inc();
+                    obs.trace_hop(txn.id, "bypass", self.now);
                     self.q3.try_push(txn).unwrap_or_else(|_| unreachable!("checked room"));
                 }
                 MemKind::Load => {
@@ -293,6 +343,7 @@ impl Dcl1Node {
                     // request: stall the head until the fill returns.
                     if pending && !self.mshr.can_accept(line) {
                         self.stats.stall_cycles.inc();
+                        self.stats.mshr_stall_cycles.inc();
                         break;
                     }
                     let hit = if self.config.perfect {
@@ -311,6 +362,11 @@ impl Dcl1Node {
                                     // Structural stall: leave the head in
                                     // Q1 and retry next cycle.
                                     self.stats.stall_cycles.inc();
+                                    if self.mshr.is_full() {
+                                        self.stats.mshr_stall_cycles.inc();
+                                    } else {
+                                        self.stats.q3_stall_cycles.inc();
+                                    }
                                     break;
                                 }
                                 self.stats.accesses.inc();
@@ -325,11 +381,14 @@ impl Dcl1Node {
                     let mut txn = self.q1.pop().expect("front was Some");
                     if hit {
                         txn.l1_hit = true;
+                        obs.trace_hop(txn.id, "dcl1_hit", self.now);
                         self.hit_pipe.push_back((self.now + self.config.latency as Cycle, txn));
                     } else if pending {
+                        obs.trace_hop(txn.id, "mshr_merge", self.now);
                         let merged = self.mshr.try_allocate(line, txn);
                         debug_assert!(merged.is_ok(), "merge into pending entry failed");
                     } else {
+                        obs.trace_hop(txn.id, "dcl1_miss", self.now);
                         self.mshr
                             .try_allocate(line, txn)
                             .unwrap_or_else(|_| unreachable!("checked entry room"));
@@ -341,9 +400,11 @@ impl Dcl1Node {
                     // forwards to the L2, so require Q3 room up front.
                     if self.q3.is_full() {
                         self.stats.stall_cycles.inc();
+                        self.stats.q3_stall_cycles.inc();
                         break;
                     }
                     let txn = self.q1.pop().expect("front was Some");
+                    obs.trace_hop(txn.id, "dcl1_store", self.now);
                     self.stats.accesses.inc();
                     if self.config.perfect {
                         self.stats.hits.inc();
@@ -371,6 +432,7 @@ impl Dcl1Node {
         while let Some((ready, _)) = self.hit_pipe.front() {
             if *ready <= self.now {
                 let (_, txn) = self.hit_pipe.pop_front().expect("front was Some");
+                obs.trace_hop(txn.id, "reply", self.now);
                 self.reply_stage.push_back(txn);
             } else {
                 break;
@@ -429,7 +491,7 @@ mod tests {
 
     fn tick_n(n: u32, node: &mut Dcl1Node, p: &mut PresenceMap) {
         for _ in 0..n {
-            node.tick(p);
+            node.tick(p, &mut Observer::disabled());
         }
     }
 
@@ -438,7 +500,7 @@ mod tests {
         let mut p = PresenceMap::new();
         let mut n = Dcl1Node::new(cfg()).unwrap();
         n.try_push_request(txn(1, 5, MemKind::Load)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         let fetched = n.pop_l2_request().expect("miss forwards to L2");
         assert_eq!(fetched.line, LineAddr::new(5));
         assert!(n.pop_reply().is_none());
@@ -457,18 +519,18 @@ mod tests {
         let mut n = Dcl1Node::new(cfg()).unwrap();
         // Warm the line.
         n.try_push_request(txn(1, 5, MemKind::Load)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         let f = n.pop_l2_request().unwrap();
         n.try_push_l2_reply(f).unwrap();
         tick_n(2, &mut n, &mut p);
         n.pop_reply().unwrap();
         // Hit path.
         n.try_push_request(txn(2, 5, MemKind::Load)).unwrap();
-        n.tick(&mut p); // lookup at cycle T, ready at T+3
+        n.tick(&mut p, &mut Observer::disabled()); // lookup at cycle T, ready at T+3
         assert!(n.pop_reply().is_none());
         tick_n(2, &mut n, &mut p);
         assert!(n.pop_reply().is_none(), "latency not yet elapsed");
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         assert_eq!(n.pop_reply().map(|t| t.id), Some(2));
         assert!(n.pop_l2_request().is_none());
         assert_eq!(n.stats().hits.get(), 1);
@@ -487,7 +549,7 @@ mod tests {
         n.try_push_l2_reply(f).unwrap();
         let mut got = Vec::new();
         for _ in 0..6 {
-            n.tick(&mut p);
+            n.tick(&mut p, &mut Observer::disabled());
             while let Some(r) = n.pop_reply() {
                 got.push(r.id);
             }
@@ -503,7 +565,7 @@ mod tests {
         let mut n = Dcl1Node::new(cfg()).unwrap();
         // Warm line 5.
         n.try_push_request(txn(1, 5, MemKind::Load)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         let f = n.pop_l2_request().unwrap();
         n.try_push_l2_reply(f).unwrap();
         tick_n(2, &mut n, &mut p);
@@ -511,7 +573,7 @@ mod tests {
         assert_eq!(p.copies(LineAddr::new(5)), 1);
         // Write to it: line must leave the cache and the write go to L2.
         n.try_push_request(txn(2, 5, MemKind::Store)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         assert_eq!(p.copies(LineAddr::new(5)), 0, "write-evict removed the line");
         let w = n.pop_l2_request().expect("write forwards");
         assert_eq!(w.kind, MemKind::Store);
@@ -526,7 +588,7 @@ mod tests {
         let mut p = PresenceMap::new();
         let mut n = Dcl1Node::new(cfg()).unwrap();
         n.try_push_request(txn(1, 7, MemKind::Store)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         assert!(n.pop_l2_request().is_some());
         assert_eq!(n.cache().occupancy(), 0, "no-write-allocate");
         assert_eq!(p.copies(LineAddr::new(7)), 0);
@@ -557,7 +619,7 @@ mod tests {
         p.on_fill(LineAddr::new(5));
         let mut n = Dcl1Node::new(cfg()).unwrap();
         n.try_push_request(txn(1, 5, MemKind::Load)).unwrap();
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         assert_eq!(n.stats().replicated_misses.get(), 1);
     }
 
@@ -585,7 +647,7 @@ mod tests {
             n.try_push_request(txn(id, 100 + id, MemKind::Load)).unwrap();
         }
         for _ in 0..10 {
-            n.tick(&mut p);
+            n.tick(&mut p, &mut Observer::disabled());
         }
         assert_eq!(n.stats().hits.get(), 4);
         assert_eq!(n.stats().misses.get(), 0);
@@ -604,7 +666,7 @@ mod tests {
         for id in 0..4 {
             n.try_push_request(txn(id, id, MemKind::Load)).unwrap();
         }
-        n.tick(&mut p);
+        n.tick(&mut p, &mut Observer::disabled());
         assert_eq!(n.stats().accesses.get(), 4);
     }
 }

@@ -49,6 +49,31 @@ pub struct RunStats {
     pub noc_flits: Vec<u64>,
     /// Per-node demand access counts (partition-camping visibility).
     pub per_node_accesses: Vec<u64>,
+    /// Core cycles spent idle with zero resident wavefronts (summed over
+    /// cores; part of the stall attribution, with
+    /// [`stall_alu_busy`](RunStats::stall_alu_busy) through
+    /// [`stall_mem_noc`](RunStats::stall_mem_noc) the six classes
+    /// partition every non-issuing core cycle).
+    pub stall_drained: u64,
+    /// Idle cycles where wavefronts were resident but none ready (all
+    /// inside ALU busy intervals, none waiting on memory).
+    pub stall_alu_busy: u64,
+    /// Idle cycles where at least one wavefront was waiting on an
+    /// outstanding memory access (fill wait).
+    pub stall_fill_wait: u64,
+    /// Memory-stall cycles where a ready memory instruction could not
+    /// issue because the core's outbox still held a prior transaction.
+    pub stall_mem_outbox: u64,
+    /// Memory-stall cycles blocked on a full L1/DC-L1 input queue.
+    pub stall_mem_l1_queue: u64,
+    /// Memory-stall cycles blocked on NoC#1 injection backpressure.
+    pub stall_mem_noc: u64,
+    /// Node-side structural stalls charged to a full MSHR file (entry or
+    /// merge exhaustion), summed over nodes.
+    pub l1_mshr_stall_cycles: u64,
+    /// Node-side structural stalls charged to full Q2/Q3/Q4 queues or a
+    /// busy port, summed over nodes.
+    pub l1_queue_stall_cycles: u64,
 }
 
 impl RunStats {
@@ -108,6 +133,19 @@ impl RunStats {
     /// Run length in seconds at the given core clock.
     pub fn seconds(&self, core_mhz: u64) -> f64 {
         self.cycles as f64 / (core_mhz as f64 * 1e6)
+    }
+
+    /// Total attributed non-issue core cycles: the six stall classes
+    /// partition every core cycle that did not issue an instruction, so
+    /// summed over cores `instructions + total_stall_cycles ==
+    /// cores × cycles` holds exactly.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_drained
+            + self.stall_alu_busy
+            + self.stall_fill_wait
+            + self.stall_mem_outbox
+            + self.stall_mem_l1_queue
+            + self.stall_mem_noc
     }
 }
 

@@ -1,0 +1,55 @@
+//! Stall-attribution invariants: over any measured window, every core
+//! cycle is either an issued instruction or exactly one classified stall,
+//! so the per-core breakdown sums to the non-issue cycle count with no
+//! cycle lost or double-counted — for every design point, with and
+//! without fast-forward.
+
+mod util;
+
+use dcl1::{GpuConfig, GpuSystem, SimOptions};
+use dcl1_common::SplitMix64;
+use util::{KernelParams, RandomKernel, DESIGNS};
+
+#[test]
+fn stall_breakdown_partitions_every_core_cycle() {
+    let mut rng = SplitMix64::new(0x57A1_1CAFE);
+    for case in 0..16u64 {
+        let p = KernelParams::draw(&mut rng);
+        let design = DESIGNS[rng.next_below(DESIGNS.len() as u64) as usize];
+        let kernel = RandomKernel(p.clone());
+        let cfg = GpuConfig::small_test();
+        let fast_forward = case % 2 == 0;
+        let opts = SimOptions { max_cycles: 3_000_000, fast_forward, ..SimOptions::default() };
+        let mut sys = GpuSystem::build(&cfg, &design, &kernel, opts).expect("build");
+        let stats = sys.run();
+        let cycles = sys.measured_cycles();
+        assert_eq!(stats.cycles, cycles);
+
+        let mut total_instr = 0;
+        let mut total_stall = 0;
+        for (core, cs) in sys.core_stats().iter().enumerate() {
+            let instr = cs.instructions.get();
+            let stall = cs.stall.total();
+            // The six classes partition the core's non-issue cycles.
+            assert_eq!(
+                stall,
+                cs.idle_cycles.get() + cs.mem_stall_cycles.get(),
+                "case {case} ({design:?}) core {core}: breakdown vs legacy counters"
+            );
+            // And every cycle is exactly one of: issue, stall.
+            assert_eq!(
+                instr + stall,
+                cycles,
+                "case {case} ({design:?}) core {core}: {instr} instr + {stall} stall != {cycles} cycles"
+            );
+            total_instr += instr;
+            total_stall += stall;
+        }
+        assert_eq!(total_instr, stats.instructions);
+        assert_eq!(
+            total_stall,
+            stats.total_stall_cycles(),
+            "case {case}: RunStats stall rollup disagrees with per-core sums"
+        );
+    }
+}

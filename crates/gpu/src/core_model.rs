@@ -46,6 +46,55 @@ impl Default for CoreConfig {
     }
 }
 
+/// Why a core's memory port refused an instruction this cycle.
+///
+/// Reported by the enclosing simulator (which owns the port) so the core
+/// can attribute the stall to the right structural resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemBlock {
+    /// The per-core outbox still holds transactions from an earlier
+    /// instruction (port busy draining).
+    OutboxDrain,
+    /// The outbox head could not enter the local L1 input queue.
+    L1Queue,
+    /// The outbox head could not inject into the network.
+    Noc,
+}
+
+/// Classification of every non-issuing core cycle.
+///
+/// Exhaustive by construction: each core tick that issues nothing lands in
+/// exactly one bucket, so `total()` equals `idle_cycles + mem_stall_cycles`
+/// and, together with `instructions`, accounts for every elapsed cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallBreakdown {
+    /// No wavefronts resident (core drained or not yet dispatched to).
+    pub drained: Counter,
+    /// Wavefronts resident but all ALU-busy (or finished), none waiting
+    /// on memory.
+    pub alu_busy: Counter,
+    /// At least one wavefront blocked waiting for a memory reply.
+    pub fill_wait: Counter,
+    /// A memory instruction was ready but the outbox was still draining.
+    pub mem_outbox: Counter,
+    /// A memory instruction was ready but the L1 input queue was full.
+    pub mem_l1_queue: Counter,
+    /// A memory instruction was ready but NoC injection was backpressured.
+    pub mem_noc: Counter,
+}
+
+impl StallBreakdown {
+    /// Total classified non-issue cycles.
+    pub fn total(&self) -> u64 {
+        self.drained.get()
+            + self.alu_busy.get()
+            + self.fill_wait.get()
+            + self.mem_outbox.get()
+            + self.mem_l1_queue.get()
+            + self.mem_noc.get()
+    }
+}
+
 /// Per-core statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CoreStats {
@@ -58,6 +107,9 @@ pub struct CoreStats {
     /// Cycles where a memory instruction was ready but the memory port
     /// was backpressured.
     pub mem_stall_cycles: Counter,
+    /// Per-cause classification of every non-issuing cycle;
+    /// `stall.total() == idle_cycles + mem_stall_cycles` always.
+    pub stall: StallBreakdown,
 }
 
 /// A memory instruction leaving the core this cycle.
@@ -89,6 +141,9 @@ pub struct Core {
     /// Occupied wavefront slots (kept in sync with `slots` for an O(1)
     /// drained check).
     resident_wavefronts: usize,
+    /// Wavefronts currently in `WaitingMem` (kept in sync for O(1) stall
+    /// classification: any waiter makes an idle cycle a fill-wait).
+    waiting_wavefronts: usize,
     rr: usize,
     /// Reusable scratch buffer for GTO ordering (avoids per-tick allocs).
     order_buf: Vec<usize>,
@@ -123,6 +178,7 @@ impl Core {
             last_issued: None,
             resident_ctas: 0,
             resident_wavefronts: 0,
+            waiting_wavefronts: 0,
             rr: 0,
             order_buf: Vec::with_capacity(config.max_wavefronts),
             scan_valid: false,
@@ -203,7 +259,45 @@ impl Core {
     /// that already know the core is inert can account for skipped cycles
     /// with this instead.
     pub fn add_idle_cycles(&mut self, cycles: u64) {
+        self.count_idle(cycles);
+    }
+
+    /// Classifies and records `cycles` idle (nothing-to-issue) cycles:
+    /// drained core, fill-wait (some wavefront awaiting a memory reply) or
+    /// ALU-busy. Exactly one breakdown bucket gets the cycles.
+    #[inline]
+    fn count_idle(&mut self, cycles: u64) {
         self.stats.idle_cycles.add(cycles);
+        // `waiting > 0` implies wavefronts are resident, so testing the
+        // (typically most common) fill-wait class first is equivalent.
+        if self.waiting_wavefronts > 0 {
+            self.stats.stall.fill_wait.add(cycles);
+        } else if self.resident_wavefronts == 0 {
+            self.stats.stall.drained.add(cycles);
+        } else {
+            self.stats.stall.alu_busy.add(cycles);
+        }
+    }
+
+    /// Records one memory-port stall cycle, attributed to `block`.
+    #[inline]
+    fn count_mem_stall(&mut self, block: MemBlock) {
+        self.stats.mem_stall_cycles.inc();
+        match block {
+            MemBlock::OutboxDrain => self.stats.stall.mem_outbox.inc(),
+            MemBlock::L1Queue => self.stats.stall.mem_l1_queue.inc(),
+            MemBlock::Noc => self.stats.stall.mem_noc.inc(),
+        }
+    }
+
+    /// Occupied wavefront slots.
+    pub fn resident_wavefronts(&self) -> usize {
+        self.resident_wavefronts
+    }
+
+    /// Wavefronts currently blocked on outstanding memory accesses.
+    pub fn waiting_wavefronts(&self) -> usize {
+        self.waiting_wavefronts
     }
 
     /// If no resident wavefront can issue at `now`, returns the earliest
@@ -232,7 +326,27 @@ impl Core {
     ///
     /// Returns the memory instruction issued this cycle, if any. At most
     /// one instruction (ALU or memory) issues per cycle.
+    ///
+    /// A closed port (`mem_ready == false`) is attributed to
+    /// [`MemBlock::OutboxDrain`]; callers that know the precise cause
+    /// should use [`tick_blocked`](Core::tick_blocked) instead.
     pub fn tick(&mut self, now: Cycle, mem_ready: bool) -> Option<IssuedMem> {
+        let block = if mem_ready { None } else { Some(MemBlock::OutboxDrain) };
+        self.tick_blocked(now, block)
+    }
+
+    /// Advances one cycle. `block` is `None` when the memory port can
+    /// accept an instruction this cycle, or the structural reason it
+    /// cannot — which is charged to the stall breakdown if a memory
+    /// instruction was ready behind the closed port.
+    ///
+    /// Computing the cause costs the caller a queue peek and a port probe,
+    /// but only on cycles whose outbox is non-empty — which are exactly
+    /// the cycles that would otherwise sit in the (cheap) blocked fast
+    /// path below, so the attribution work stays off the issue hot path.
+    pub fn tick_blocked(&mut self, now: Cycle, block: Option<MemBlock>) -> Option<IssuedMem> {
+        let mem_ready = block.is_none();
+        let blocked = block.is_some();
         // Inert fast path: if no wavefront became ready since the last
         // fruitless scan (`ready_count` unchanged) and no `Busy` wavefront
         // has expired yet (`now < next_busy_expiry`), the scan outcome is
@@ -243,20 +357,19 @@ impl Core {
         {
             if self.ready_count == 0 {
                 // Nothing can issue: the scan would count an idle cycle.
-                self.stats.idle_cycles.inc();
+                self.count_idle(1);
                 return None;
             }
-            if !mem_ready {
+            if blocked {
                 // Every stored-`Ready` wavefront was memory-blocked at
                 // validation and the port is still closed.
-                self.stats.mem_stall_cycles.inc();
+                self.count_mem_stall(block.unwrap_or(MemBlock::OutboxDrain));
                 return None;
             }
             // The port opened for a waiting memory instruction: scan.
         }
 
         let n = self.slots.len();
-        let mut issued: Option<IssuedMem> = None;
         let mut mem_blocked = false;
         let mut any_ready = false;
         let mut ready_blocked = 0usize;
@@ -322,17 +435,18 @@ impl Core {
                     let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
                     debug_assert!(!instr.accesses.is_empty(), "memory instruction with no accesses");
                     wf.set_waiting(instr.accesses.len() as u32);
+                    self.waiting_wavefronts += 1;
                     self.stats.instructions.inc();
                     self.stats.mem_instructions.inc();
-                    issued = Some(IssuedMem {
+                    let issued = IssuedMem {
                         core: self.id,
                         wavefront: WavefrontId::new(idx),
                         instr,
-                    });
+                    };
                     self.rr = (idx + 1) % n;
                     self.last_issued = Some(idx);
                     self.scan_valid = false;
-                    return issued;
+                    return Some(issued);
                 }
             }
         }
@@ -346,11 +460,13 @@ impl Core {
         self.scan_valid = true;
 
         if mem_blocked {
-            self.stats.mem_stall_cycles.inc();
+            // `mem_blocked` only becomes true behind a closed port, so the
+            // cause is always present.
+            self.count_mem_stall(block.unwrap_or(MemBlock::OutboxDrain));
         } else if !any_ready {
-            self.stats.idle_cycles.inc();
+            self.count_idle(1);
         }
-        issued
+        None
     }
 
     fn retire_slot(&mut self, idx: usize) {
@@ -382,6 +498,7 @@ impl Core {
             // `WaitingMem → Ready`: invalidates the inert-tick memo via
             // the `ready_count == validated_ready` comparison.
             self.ready_count += 1;
+            self.waiting_wavefronts -= 1;
         }
     }
 }
@@ -554,6 +671,69 @@ mod tests {
             }
             assert_eq!(c.stats().instructions.get(), 20, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn stall_breakdown_accounts_every_non_issue_cycle() {
+        let mut c = core_with(vec![vec![
+            WavefrontInstr::Alu { latency: 2 },
+            load(&[1]),
+            WavefrontInstr::Alu { latency: 0 },
+        ]]);
+        let mut issued_mem = None;
+        for now in 0..12u64 {
+            // The load reaches the head at cycle 3 (after the latency-2
+            // ALU shadow); keep the port closed for its first two tries.
+            let blocked = (3..5).contains(&now);
+            let block = if blocked { Some(MemBlock::Noc) } else { None };
+            if let Some(m) = c.tick_blocked(now, block) {
+                issued_mem = Some(m);
+            }
+            if now == 8 {
+                c.complete_access(issued_mem.take().expect("load issued by now").wavefront);
+                assert_eq!(c.waiting_wavefronts(), 0);
+            }
+            let s = c.stats();
+            // Every elapsed cycle is exactly one of issue/idle/mem-stall,
+            // and the breakdown tiles the non-issue cycles.
+            assert_eq!(
+                s.instructions.get() + s.idle_cycles.get() + s.mem_stall_cycles.get(),
+                now + 1,
+                "cycle {now}"
+            );
+            assert_eq!(
+                s.stall.total(),
+                s.idle_cycles.get() + s.mem_stall_cycles.get(),
+                "cycle {now}"
+            );
+        }
+        let s = *c.stats();
+        assert!(c.is_drained());
+        assert_eq!(s.instructions.get(), 3);
+        assert_eq!(s.stall.alu_busy.get(), 2, "ALU latency-2 shadow");
+        assert_eq!(s.stall.mem_noc.get(), 2, "cycles 3-4 port closed");
+        assert!(s.stall.fill_wait.get() >= 2, "load outstanding 6..=8");
+        assert!(s.stall.drained.get() >= 1, "tail after wavefront retires");
+        assert_eq!(s.stall.mem_outbox.get(), 0);
+        assert_eq!(s.stall.mem_l1_queue.get(), 0);
+    }
+
+    #[test]
+    fn add_idle_cycles_classifies_like_tick() {
+        // Drained core: skipped cycles land in `drained`.
+        let mut c = core_with(vec![vec![]]);
+        c.tick(0, true); // retires the empty wavefront (1 drained cycle)
+        c.add_idle_cycles(10);
+        assert_eq!(c.stats().stall.drained.get(), 11);
+        // Core with a memory waiter: skipped cycles land in `fill_wait`.
+        let mut c = core_with(vec![vec![load(&[1])]]);
+        c.tick(0, true).expect("load issues");
+        c.add_idle_cycles(5);
+        assert_eq!(c.stats().stall.fill_wait.get(), 5);
+        assert_eq!(c.waiting_wavefronts(), 1);
+        assert_eq!(c.resident_wavefronts(), 1);
+        let s = c.stats();
+        assert_eq!(s.stall.total(), s.idle_cycles.get() + s.mem_stall_cycles.get());
     }
 
     #[test]

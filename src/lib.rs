@@ -6,7 +6,8 @@
 //! * [`workloads`] — the 28 calibrated GPGPU applications;
 //! * [`bench`](crate::bench) — the experiment harness regenerating every figure/table;
 //! * [`cache`] / [`noc`] / [`mem`] / [`gpu`] / [`power`] / [`common`] —
-//!   the substrates.
+//!   the substrates;
+//! * [`obs`](crate::obs) — transaction tracing and time-series metrics.
 //!
 //! # Examples
 //!
@@ -27,5 +28,6 @@ pub use dcl1_common as common;
 pub use dcl1_gpu as gpu;
 pub use dcl1_mem as mem;
 pub use dcl1_noc as noc;
+pub use dcl1_obs as obs;
 pub use dcl1_power as power;
 pub use dcl1_workloads as workloads;
