@@ -7,6 +7,9 @@
 //! benchmark is warmed up, then run in batches until ~0.5 s of samples
 //! accumulate, reporting the median per-iteration time.
 
+// Bench harness: panicking on a broken setup is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
 use dcl1_cache::{CacheGeometry, SetAssocCache};
 use dcl1_common::LineAddr;

@@ -3,6 +3,9 @@
 //!
 //! Usage: `DCL1_SCALE=smoke cargo run --release -p dcl1-bench --bin dbg [app:design ...]`
 
+// Debugging tool, not sim state: panics and small casts are acceptable.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1::{Design, GpuConfig, GpuSystem, SimOptions};
 use dcl1_bench::Scale;
 

@@ -12,6 +12,9 @@
 //!   ... --json=PATH         # where to write the JSON report
 //!   ... --only=SUBSTR       # keep only points whose "APP/DESIGN" name
 //!                           # contains SUBSTR (repeatable)
+//!   ... --design=NAME       # sweep these designs instead of the default
+//!                           # four (repeatable; names per Design::from_str,
+//!                           # e.g. pr4, sh16, sh16+c8+boost)
 //!   ... --trace[=PATH] --metrics[=PATH] --metrics-interval=N
 //!                           # also run one observed point (see ObsCli)
 
@@ -74,16 +77,32 @@ fn main() {
         runner::clear_disk_cache();
     }
     let cfg = GpuConfig::default();
-    let designs = [
-        Design::Baseline,
-        Design::Private { nodes: 40 },
-        Design::Shared { nodes: 40 },
-        Design::flagship(&cfg),
-    ];
+    let designs: Vec<Design> = {
+        let named: Vec<Design> = args
+            .iter()
+            .filter_map(|a| a.strip_prefix("--design="))
+            .map(|name| {
+                name.parse().unwrap_or_else(|e| {
+                    eprintln!("perf_sweep: bad --design={name}: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if named.is_empty() {
+            vec![
+                Design::Baseline,
+                Design::Private { nodes: 40 },
+                Design::Shared { nodes: 40 },
+                Design::flagship(&cfg),
+            ]
+        } else {
+            named
+        }
+    };
     let opts = SimOptions { fast_forward, ..SimOptions::default() };
     let mut reqs: Vec<RunRequest> = Vec::new();
     for app in all_apps() {
-        for design in designs {
+        for &design in &designs {
             let req = RunRequest { app, design, cfg: cfg.clone(), opts };
             let name = format!("{}/{}", req.app.name, req.design.name());
             if only.is_empty() || only.iter().any(|o| name.contains(o)) {

@@ -25,7 +25,10 @@ pub const DEFAULT_METRICS_PATH: &str = "dcl1-metrics.jsonl";
 ///   `PATH` ends in `.csv` (default `dcl1-metrics.jsonl`);
 /// * `--metrics-interval=N` — cycles between samples (default 1024);
 /// * `--observe=APP/DESIGN` — the point to instrument (default
-///   `C-BLK/flagship`; `DESIGN` is `baseline`, `flagship`, `prN`, or `shN`).
+///   `C-BLK/flagship`; `DESIGN` is `baseline`, `flagship`, `prN`, `shN`,
+///   or any full design name such as `sh16+c8+boost`);
+/// * `--check` — checked-sim mode: every run executes under the machine's
+///   conservation-invariant harness (memo bypassed; stats unchanged).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObsCli {
     /// Trace output path, when tracing was requested.
@@ -38,6 +41,8 @@ pub struct ObsCli {
     pub metrics_interval: u64,
     /// `APP/DESIGN` selector for the observed point.
     pub observe: String,
+    /// Checked-sim mode (`--check`).
+    pub check: bool,
 }
 
 impl Default for ObsCli {
@@ -48,6 +53,7 @@ impl Default for ObsCli {
             metrics: None,
             metrics_interval: 1024,
             observe: "C-BLK/flagship".to_string(),
+            check: false,
         }
     }
 }
@@ -89,10 +95,16 @@ impl ObsCli {
                         .unwrap_or_else(|| panic!("--observe needs =APP/DESIGN"))
                         .to_string();
                 }
+                "--check" => {
+                    cli.check = true;
+                }
                 _ => return true,
             }
             false
         });
+        if cli.check {
+            crate::runner::set_check_mode(true);
+        }
         cli
     }
 
@@ -178,7 +190,8 @@ impl ObsCli {
     }
 }
 
-/// Resolves a design selector: `baseline`, `flagship`, `prN`, `shN`.
+/// Resolves a design selector: `baseline`, `flagship`, `prN`, `shN`, or
+/// any full design name `Design::from_str` accepts (e.g. `sh16+c8+boost`).
 fn parse_design(name: &str, cfg: &GpuConfig) -> Option<Design> {
     let lower = name.to_ascii_lowercase();
     if lower == "baseline" {
@@ -193,7 +206,7 @@ fn parse_design(name: &str, cfg: &GpuConfig) -> Option<Design> {
     if let Some(n) = lower.strip_prefix("sh").and_then(|n| n.parse().ok()) {
         return Some(Design::Shared { nodes: n });
     }
-    None
+    name.parse().ok()
 }
 
 /// The stall-attribution table printed alongside IPC for an observed run:

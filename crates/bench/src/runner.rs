@@ -8,11 +8,11 @@
 
 use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimOptions};
 use dcl1_workloads::AppSpec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -108,6 +108,8 @@ impl Hasher for Fnv128 {
         }
     }
 
+    // Hasher contract: fold the 128-bit state to its low 64 bits.
+    #[expect(clippy::cast_possible_truncation)]
     fn finish(&self) -> u64 {
         self.state as u64
     }
@@ -408,15 +410,23 @@ fn timings() -> &'static Mutex<Vec<PointTiming>> {
 ///
 /// Panics if the design fails to resolve (an experiment-definition bug).
 pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
+    let checked = check_mode();
     let key = memo_key(req, scale);
-    if let Some(hit) = cache().lock().expect("memo lock").get(&key) {
-        MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
-        return hit.clone();
-    }
-    if let Some(hit) = disk_load(key) {
-        DISK_HITS.fetch_add(1, Ordering::Relaxed);
-        cache().lock().expect("memo lock").insert(key, hit.clone());
-        return hit;
+    // Checked mode bypasses the memo in both directions: the point of
+    // `--check` is to actually execute the machine under its invariant
+    // harness, and a checked run must not be served from (or poison) the
+    // cache shared with unchecked runs — even though its stats are
+    // required to be byte-identical.
+    if !checked {
+        if let Some(hit) = cache().lock().expect("memo lock").get(&key) {
+            MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        if let Some(hit) = disk_load(key) {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            cache().lock().expect("memo lock").insert(key, hit.clone());
+            return hit;
+        }
     }
     let (num, den) = scale.ratio();
     let app = req.app.scaled(num, den);
@@ -430,12 +440,15 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
     let start = Instant::now();
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
         .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
+    if checked {
+        sys.enable_check();
+    }
     let stats = sys.run();
     let wall = start.elapsed();
 
     SIMULATED.fetch_add(1, Ordering::Relaxed);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
-    WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    WALL_NANOS.fetch_add(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
     timings().lock().expect("timings lock").push(PointTiming {
         app: req.app.name,
         design: stats.design.clone(),
@@ -443,10 +456,28 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
         wall_seconds: wall.as_secs_f64(),
     });
 
-    disk_store(key, &stats);
-    cache().lock().expect("memo lock").insert(key, stats.clone());
+    if !checked {
+        disk_store(key, &stats);
+        cache().lock().expect("memo lock").insert(key, stats.clone());
+    }
     stats
 }
+
+/// Whether checked-sim mode is on (see [`set_check_mode`]).
+pub fn check_mode() -> bool {
+    CHECK_MODE.load(Ordering::Relaxed)
+}
+
+/// Turns checked-sim mode on or off for every subsequent [`run_app`] in
+/// this process. Checked runs attach the machine's conservation-invariant
+/// harness ([`dcl1::GpuSystem::enable_check`]), panic on any violation,
+/// and bypass both memo layers in both directions; their statistics are
+/// byte-identical to unchecked runs.
+pub fn set_check_mode(enabled: bool) {
+    CHECK_MODE.store(enabled, Ordering::Relaxed);
+}
+
+static CHECK_MODE: AtomicBool = AtomicBool::new(false);
 
 /// Runs one simulation point with observability sinks attached.
 ///
@@ -471,9 +502,11 @@ pub fn run_app_observed(req: &RunRequest, scale: Scale, obs: dcl1::Observer) -> 
     sys.run()
 }
 
-fn cache() -> &'static Mutex<HashMap<u128, RunStats>> {
-    static CACHE: std::sync::OnceLock<Mutex<HashMap<u128, RunStats>>> = std::sync::OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+// BTreeMap rather than HashMap so any future iteration over memoized
+// results (e.g. a cache dump) is key-ordered and byte-stable.
+fn cache() -> &'static Mutex<BTreeMap<u128, RunStats>> {
+    static CACHE: std::sync::OnceLock<Mutex<BTreeMap<u128, RunStats>>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

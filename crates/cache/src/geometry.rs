@@ -94,6 +94,8 @@ impl CacheGeometry {
 
     /// Returns the set index for a line address.
     #[inline]
+    // Set index is masked/reduced mod `sets` (< usize) either way.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn set_of(&self, line: LineAddr) -> usize {
         let v = match self.indexing {
             SetIndexing::Modulo => line.raw(),

@@ -6,9 +6,10 @@
 //! The paper's lite cores drop the per-core L1 **and its MSHRs** — in the
 //! DC-L1 designs the MSHR file lives in the DC-L1 node instead.
 
+use dcl1_common::invariant::{InvariantError, InvariantResult};
 use dcl1_common::stats::Counter;
 use dcl1_common::LineAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of a successful MSHR allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,9 +37,20 @@ pub enum MshrAllocation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr<T> {
-    entries: HashMap<LineAddr, Vec<T>>,
+    // A BTreeMap rather than HashMap so any future iteration over
+    // outstanding entries is ordered by line address, independent of
+    // hasher state — part of the simulator's determinism contract.
+    entries: BTreeMap<LineAddr, Vec<T>>,
     max_entries: usize,
     max_merges: usize,
+    /// Lifetime entry allocations (first miss on a line).
+    allocs: u64,
+    /// Lifetime entry frees (fills completed for a live entry).
+    frees: u64,
+    /// Lifetime requester tokens parked (first miss + merges).
+    waiters_in: u64,
+    /// Lifetime requester tokens released by `complete`.
+    waiters_out: u64,
     /// Allocation attempts rejected because all entries were in use.
     pub entry_stalls: Counter,
     /// Allocation attempts rejected because the target entry was merge-full.
@@ -58,9 +70,13 @@ impl<T> Mshr<T> {
         assert!(max_entries > 0, "MSHR entry count must be nonzero");
         assert!(max_merges > 0, "MSHR merge limit must be nonzero");
         Mshr {
-            entries: HashMap::with_capacity(max_entries),
+            entries: BTreeMap::new(),
             max_entries,
             max_merges,
+            allocs: 0,
+            frees: 0,
+            waiters_in: 0,
+            waiters_out: 0,
             entry_stalls: Counter::default(),
             merge_stalls: Counter::default(),
             merges: Counter::default(),
@@ -81,6 +97,7 @@ impl<T> Mshr<T> {
             }
             waiters.push(token);
             self.merges.inc();
+            self.waiters_in += 1;
             return Ok(MshrAllocation::Merged);
         }
         if self.entries.len() >= self.max_entries {
@@ -88,6 +105,8 @@ impl<T> Mshr<T> {
             return Err(token);
         }
         self.entries.insert(line, vec![token]);
+        self.allocs += 1;
+        self.waiters_in += 1;
         Ok(MshrAllocation::Allocated)
     }
 
@@ -110,7 +129,13 @@ impl<T> Mshr<T> {
     /// Completes the fill for `line`, returning all waiting tokens in
     /// arrival order (empty if the line had no entry).
     pub fn complete(&mut self, line: LineAddr) -> Vec<T> {
-        self.entries.remove(&line).unwrap_or_default()
+        let waiters = self.entries.remove(&line).unwrap_or_default();
+        if !waiters.is_empty() {
+            self.frees += 1;
+            self.waiters_out += waiters.len() as u64;
+            debug_assert!(self.frees <= self.allocs, "MSHR free without alloc");
+        }
+        waiters
     }
 
     /// Number of entries currently in use.
@@ -138,6 +163,56 @@ impl<T> Mshr<T> {
     /// gauge, finer-grained than [`len`](Mshr::len).
     pub fn total_waiters(&self) -> usize {
         self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Lifetime entry allocations.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Lifetime entry frees.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Checks the MSHR conservation laws: every allocated entry is either
+    /// live or was freed exactly once (`allocs == frees + len`), every
+    /// parked requester is either waiting or was released
+    /// (`waiters_in == waiters_out + total_waiters`), and occupancy is
+    /// within the configured entry bound. `site` names this MSHR file in
+    /// the error report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated law with its counter values.
+    pub fn check_conservation(&self, site: &str) -> InvariantResult {
+        let live = self.entries.len() as u64;
+        if self.entries.len() > self.max_entries {
+            return Err(InvariantError::new(
+                site,
+                format!("{} live entries exceed capacity {}", live, self.max_entries),
+            ));
+        }
+        if self.allocs != self.frees + live {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "entry leak: allocs {} != frees {} + live {}",
+                    self.allocs, self.frees, live
+                ),
+            ));
+        }
+        let waiting = self.total_waiters() as u64;
+        if self.waiters_in != self.waiters_out + waiting {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "waiter leak: parked {} != released {} + waiting {}",
+                    self.waiters_in, self.waiters_out, waiting
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,66 @@
+//! Property tests for the MSHR's alloc/free conservation instrumentation:
+//! random allocate/merge/complete sequences against a model file, with
+//! `check_conservation` — the hook the checked-sim harness sweeps every
+//! epoch — holding after every operation, and every waiter handed back
+//! exactly once.
+
+#![allow(clippy::cast_possible_truncation)] // test values are tiny
+
+use dcl1_cache::{Mshr, MshrAllocation};
+use dcl1_common::{LineAddr, SplitMix64};
+use std::collections::BTreeMap;
+
+#[test]
+fn random_alloc_free_sequences_conserve_entries_and_waiters() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xD1CE ^ (seed << 8));
+        let entries = 1 + (rng.next_u64() % 6) as usize;
+        let merges = 1 + (rng.next_u64() % 4) as usize;
+        let mut m: Mshr<u64> = Mshr::new(entries, merges);
+        let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut token = 0u64;
+        let mut handed_back = 0u64;
+        let mut rejected = 0u64;
+        for _ in 0..3000 {
+            let line = rng.next_u64() % 8; // few lines => frequent merges
+            if rng.next_u64() % 3 < 2 {
+                token += 1;
+                let admissible = m.can_accept(LineAddr::new(line));
+                match m.try_allocate(LineAddr::new(line), token) {
+                    Ok(MshrAllocation::Allocated) => {
+                        assert!(admissible, "can_accept lied (allocate)");
+                        assert!(model.insert(line, vec![token]).is_none(), "double allocate");
+                    }
+                    Ok(MshrAllocation::Merged) => {
+                        assert!(admissible, "can_accept lied (merge)");
+                        model.get_mut(&line).expect("merge without entry").push(token);
+                    }
+                    Err(t) => {
+                        assert!(!admissible, "admission refused despite room");
+                        assert_eq!(t, token, "token lost on structural stall");
+                        rejected += 1;
+                    }
+                }
+            } else {
+                let waiters = m.complete(LineAddr::new(line));
+                let expected = model.remove(&line).unwrap_or_default();
+                assert_eq!(waiters, expected, "waiters out of arrival order");
+                handed_back += waiters.len() as u64;
+            }
+            assert!(m.len() <= entries, "entry capacity exceeded");
+            assert_eq!(m.allocs(), m.frees() + m.len() as u64, "alloc/free pairing broke");
+            m.check_conservation("prop.mshr").expect("invariant check");
+        }
+        // Drain: every line completed, every waiter returned exactly once.
+        for line in 0..8 {
+            handed_back += m.complete(LineAddr::new(line)).len() as u64;
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.allocs(), m.frees(), "drained file must pair every alloc with a free");
+        // Every issued token was either parked and later returned by a
+        // complete(), or refused (structural stall) and handed straight
+        // back — exactly once either way.
+        assert_eq!(handed_back + rejected, token, "a waiter was lost or duplicated");
+        m.check_conservation("prop.mshr.drained").expect("drained check");
+    }
+}

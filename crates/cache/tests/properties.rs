@@ -4,6 +4,8 @@
 //! Each test drives many seeded `SplitMix64` episodes, so coverage is
 //! property-test-like while staying fully reproducible and dependency-free.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache};
 use dcl1_common::{LineAddr, SplitMix64};
 use std::collections::HashMap;

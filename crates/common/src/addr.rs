@@ -51,6 +51,9 @@ impl Address {
 
     /// Returns the sector index (0..4) of this address within its line.
     #[inline]
+    // Truncation keeps the low bits, which fully determine the
+    // power-of-two `% LINE_SIZE` below.
+    #[expect(clippy::cast_possible_truncation)]
     pub const fn sector(self) -> usize {
         ((self.0 as usize) % LINE_SIZE) / SECTOR_SIZE
     }
@@ -120,6 +123,8 @@ impl LineAddr {
     /// assert_eq!(LineAddr::new(8).interleave(4), 0);
     /// ```
     #[inline]
+    // Result is reduced mod `n` (< usize); 64-bit hosts lose nothing.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn interleave(self, n: usize) -> usize {
         assert!(n > 0, "interleave target count must be nonzero");
         if n.is_power_of_two() {
@@ -132,6 +137,8 @@ impl LineAddr {
     /// Selects the memory partition (of `n_mcs`) that owns this line using
     /// the paper's 256-byte interleaving.
     #[inline]
+    // Result is reduced mod `n_mcs` (< usize).
+    #[expect(clippy::cast_possible_truncation)]
     pub fn mc_home(self, n_mcs: usize) -> usize {
         let chunk = self.base().raw() / MC_INTERLEAVE as u64;
         if n_mcs.is_power_of_two() {
@@ -155,6 +162,7 @@ impl fmt::Display for LineAddr {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
 

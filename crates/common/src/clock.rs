@@ -71,6 +71,8 @@ impl ClockDomain {
     /// Advances simulated time by one core cycle and returns how many
     /// component ticks elapse during it (0, 1, or more for boosted domains).
     #[inline]
+    // Ticks per core cycle = freq ratio (< 3 in every config) fits u32.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn advance(&mut self) -> u32 {
         self.acc += self.freq_mhz;
         let t = self.acc / self.core_mhz;

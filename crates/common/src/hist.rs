@@ -47,6 +47,8 @@ impl Histogram {
     }
 
     #[inline]
+    // Bit-math indices are < BUCKETS; octave < 64 fits everywhere.
+    #[expect(clippy::cast_possible_truncation)]
     fn bucket_of(value: u64) -> usize {
         if value < SUB as u64 {
             return value as usize;
@@ -58,6 +60,8 @@ impl Histogram {
     }
 
     /// Lower bound of bucket `idx` (the value reported for percentiles).
+    // idx < BUCKETS and sub < SUB: both far below any cast limit.
+    #[expect(clippy::cast_possible_truncation)]
     fn bucket_floor(idx: usize) -> u64 {
         if idx < SUB {
             return idx as u64;
@@ -101,6 +105,8 @@ impl Histogram {
     /// containing the q-th sample (≤ ~19% relative error).
     ///
     /// Returns 0 for an empty histogram.
+    // ceil of q*count (both finite, count a real sample total) fits u64.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -136,6 +142,7 @@ impl Histogram {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
 

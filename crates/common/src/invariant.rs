@@ -1,0 +1,210 @@
+//! Conservation-law bookkeeping for checked-simulation mode.
+//!
+//! Cycle-level models rot silently: a dropped reply or a leaked MSHR entry
+//! rarely crashes — it just skews the statistics the paper figures are built
+//! from. This module provides the small, always-cheap counters the machine
+//! uses to prove per-epoch conservation laws when `--check` is enabled:
+//!
+//! * [`FlowMeter`] — a produced/consumed pair for any flow where everything
+//!   that enters must eventually leave (transactions issued vs. retired,
+//!   flits injected vs. delivered, MSHR allocations vs. frees).
+//! * [`InvariantError`] — a structured violation report naming the site and
+//!   the imbalance, so a failing check points at the leaking component.
+//!
+//! Mutators carry `debug_assert!` hooks (free in release builds); the
+//! explicit `check*` methods run regardless of build profile and are what
+//! the machine's checked mode calls every epoch.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcl1_common::invariant::FlowMeter;
+//!
+//! let mut txns = FlowMeter::new("txns");
+//! txns.produce(3);
+//! txns.consume(2);
+//! assert_eq!(txns.in_flight(), 1);
+//! assert!(txns.check(1).is_ok());
+//! assert!(txns.check_drained().is_err()); // one still in flight
+//! ```
+
+use std::fmt;
+
+/// A conservation violation: which flow broke and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantError {
+    /// The component or flow that failed (e.g. `"node3.q1"`, `"txns"`).
+    pub site: String,
+    /// Human-readable imbalance description with the raw counter values.
+    pub detail: String,
+}
+
+impl InvariantError {
+    /// Builds a violation report for `site`.
+    pub fn new(site: impl Into<String>, detail: impl Into<String>) -> Self {
+        InvariantError { site: site.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for InvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant violated at {}: {}", self.site, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantError {}
+
+/// Shorthand for invariant-check results.
+pub type InvariantResult = Result<(), InvariantError>;
+
+/// Monotonic produced/consumed counters for one conserved flow.
+///
+/// The law is `produced == consumed + in_flight` with both counters
+/// monotonically non-decreasing; [`FlowMeter::consume`] debug-asserts that
+/// consumption never overtakes production (an *underflow* — retiring
+/// something that was never issued), and [`FlowMeter::check_drained`]
+/// reports a *leak* (production never matched by consumption) once the
+/// machine claims to be idle.
+#[derive(Debug, Clone, Default)]
+pub struct FlowMeter {
+    label: &'static str,
+    produced: u64,
+    consumed: u64,
+}
+
+impl FlowMeter {
+    /// A zeroed meter labelled for error reports.
+    pub fn new(label: &'static str) -> Self {
+        FlowMeter { label, produced: 0, consumed: 0 }
+    }
+
+    /// Records `n` units entering the flow.
+    #[inline]
+    pub fn produce(&mut self, n: u64) {
+        self.produced += n;
+    }
+
+    /// Records `n` units leaving the flow.
+    ///
+    /// Debug builds panic immediately on underflow (consuming what was
+    /// never produced); release builds defer detection to [`check`].
+    ///
+    /// [`check`]: FlowMeter::check
+    #[inline]
+    pub fn consume(&mut self, n: u64) {
+        self.consumed += n;
+        debug_assert!(
+            self.consumed <= self.produced,
+            "flow '{}' underflow: consumed {} > produced {}",
+            self.label,
+            self.consumed,
+            self.produced,
+        );
+    }
+
+    /// Lifetime units produced.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Lifetime units consumed.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Units currently in flight (saturating so a release-build underflow
+    /// still yields a reportable value instead of wrapping).
+    pub fn in_flight(&self) -> u64 {
+        self.produced.saturating_sub(self.consumed)
+    }
+
+    /// Checks `produced == consumed + expected_in_flight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the imbalance when the law does not hold.
+    pub fn check(&self, expected_in_flight: u64) -> InvariantResult {
+        if self.consumed > self.produced {
+            return Err(InvariantError::new(
+                self.label,
+                format!(
+                    "underflow: consumed {} > produced {}",
+                    self.consumed, self.produced
+                ),
+            ));
+        }
+        if self.in_flight() != expected_in_flight {
+            return Err(InvariantError::new(
+                self.label,
+                format!(
+                    "produced {} != consumed {} + in-flight {} (meter says {})",
+                    self.produced,
+                    self.consumed,
+                    expected_in_flight,
+                    self.in_flight()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the flow has fully drained (`produced == consumed`), the
+    /// end-of-run form of [`check`](FlowMeter::check).
+    ///
+    /// # Errors
+    ///
+    /// Returns the leak or underflow when the counters differ.
+    pub fn check_drained(&self) -> InvariantResult {
+        if self.produced != self.consumed {
+            return Err(InvariantError::new(
+                self.label,
+                format!(
+                    "leak at drain: produced {} != consumed {}",
+                    self.produced, self.consumed
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_meter_checks_clean() {
+        let mut m = FlowMeter::new("t");
+        m.produce(10);
+        m.consume(4);
+        assert_eq!(m.in_flight(), 6);
+        assert!(m.check(6).is_ok());
+        m.consume(6);
+        assert!(m.check_drained().is_ok());
+    }
+
+    #[test]
+    fn leak_is_reported() {
+        let mut m = FlowMeter::new("t");
+        m.produce(3);
+        m.consume(1);
+        let err = m.check_drained().unwrap_err();
+        assert!(err.detail.contains("leak"), "{err}");
+        assert!(m.check(1).is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "underflow")]
+    fn debug_underflow_panics() {
+        let mut m = FlowMeter::new("t");
+        m.produce(1);
+        m.consume(2);
+    }
+
+    #[test]
+    fn error_display_names_site() {
+        let e = InvariantError::new("node3.q1", "off by 1");
+        assert_eq!(e.to_string(), "invariant violated at node3.q1: off by 1");
+    }
+}

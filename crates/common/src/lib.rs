@@ -6,6 +6,7 @@
 //! * [`ids`] — strongly-typed identifiers for cores, DC-L1 nodes, L2 slices,
 //!   memory controllers and clusters;
 //! * [`clock`] — cycle counting and rational frequency-domain ticking;
+//! * [`invariant`] — conservation-law meters backing checked-sim mode;
 //! * [`queue`] — bounded FIFO queues with occupancy/backpressure statistics;
 //! * [`stats`] — counters, running means and utilization helpers;
 //! * [`rng`] — a small deterministic RNG (SplitMix64) so simulations are
@@ -29,6 +30,7 @@ pub mod clock;
 pub mod error;
 pub mod hist;
 pub mod ids;
+pub mod invariant;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -38,5 +40,6 @@ pub use clock::{ClockDomain, Cycle};
 pub use error::ConfigError;
 pub use hist::Histogram;
 pub use ids::{ClusterId, CoreId, McId, NodeId, SliceId, WavefrontId};
+pub use invariant::{FlowMeter, InvariantError, InvariantResult};
 pub use queue::BoundedQueue;
 pub use rng::SplitMix64;

@@ -6,6 +6,7 @@
 //! often a producer found the queue full, which is the signal the paper's
 //! partition-camping analysis relies on.
 
+use crate::invariant::{InvariantError, InvariantResult};
 use std::collections::VecDeque;
 
 /// A fixed-capacity FIFO queue.
@@ -29,6 +30,8 @@ pub struct BoundedQueue<T> {
     rejected: u64,
     /// Number of items ever accepted.
     accepted: u64,
+    /// Number of items ever removed (via `pop` or `remove_at`).
+    popped: u64,
     /// Sum of occupancy observed at each `sample_occupancy` call.
     occupancy_sum: u64,
     occupancy_samples: u64,
@@ -47,6 +50,7 @@ impl<T> BoundedQueue<T> {
             capacity,
             rejected: 0,
             accepted: 0,
+            popped: 0,
             occupancy_sum: 0,
             occupancy_samples: 0,
         }
@@ -71,7 +75,12 @@ impl<T> BoundedQueue<T> {
 
     /// Dequeues the oldest item, if any.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        let item = self.items.pop_front();
+        if item.is_some() {
+            self.popped += 1;
+            debug_assert!(self.popped <= self.accepted, "queue pop/accept skew");
+        }
+        item
     }
 
     /// Returns a reference to the oldest item without removing it.
@@ -118,7 +127,12 @@ impl<T> BoundedQueue<T> {
     /// rest. Used by virtual-channel-style arbitration that may serve a
     /// non-head packet.
     pub fn remove_at(&mut self, index: usize) -> Option<T> {
-        self.items.remove(index)
+        let item = self.items.remove(index);
+        if item.is_some() {
+            self.popped += 1;
+            debug_assert!(self.popped <= self.accepted, "queue pop/accept skew");
+        }
+        item
     }
 
     /// Records the current occupancy into the running-average statistics.
@@ -135,6 +149,39 @@ impl<T> BoundedQueue<T> {
     /// Number of accepted pushes.
     pub fn accepted(&self) -> u64 {
         self.accepted
+    }
+
+    /// Number of items removed over the queue's lifetime.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Checks the queue's conservation law: every accepted item is either
+    /// still queued or was removed exactly once, and occupancy never
+    /// exceeds capacity. `site` names the queue in the error report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the imbalance when `accepted != popped + len` or the queue
+    /// holds more than its capacity.
+    pub fn check_conservation(&self, site: &str) -> InvariantResult {
+        let len = self.items.len() as u64;
+        if self.items.len() > self.capacity {
+            return Err(InvariantError::new(
+                site,
+                format!("occupancy {} exceeds capacity {}", self.items.len(), self.capacity),
+            ));
+        }
+        if self.accepted != self.popped + len {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "accepted {} != popped {} + queued {}",
+                    self.accepted, self.popped, len
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Mean occupancy over all samples, or 0.0 if never sampled.

@@ -1,0 +1,72 @@
+//! Property tests for `BoundedQueue`'s conservation instrumentation: under
+//! random operation sequences the queue never exceeds capacity and always
+//! satisfies `accepted == popped + len` (the invariant the checked-sim
+//! harness sweeps each epoch), and the `FlowMeter` hook behind it panics
+//! on underflow in debug builds while staying a reportable error in
+//! release.
+
+#![allow(clippy::cast_possible_truncation)] // test values are tiny
+
+use dcl1_common::{BoundedQueue, FlowMeter, SplitMix64};
+
+#[test]
+fn random_ops_conserve_items_and_respect_capacity() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0x9E37_79B9_7F4A_7C15 ^ seed);
+        let cap = 1 + (rng.next_u64() % 8) as usize;
+        let mut q: BoundedQueue<u64> = BoundedQueue::new(cap);
+        let mut model: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        for step in 0..2000u64 {
+            match rng.next_u64() % 3 {
+                0 => {
+                    let pushed = q.try_push(step).is_ok();
+                    assert_eq!(pushed, model.len() < cap, "push admission mismatch");
+                    if pushed {
+                        model.push_back(step);
+                    }
+                }
+                1 => {
+                    assert_eq!(q.pop(), model.pop_front(), "pop mismatch");
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let at = (rng.next_u64() as usize) % model.len();
+                        assert_eq!(q.remove_at(at), model.remove(at), "remove_at mismatch");
+                    }
+                }
+            }
+            assert!(q.len() <= cap, "capacity exceeded");
+            assert_eq!(q.accepted(), q.popped() + q.len() as u64, "conservation broke");
+            q.check_conservation("prop.queue").expect("invariant check");
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "underflow")]
+fn flowmeter_underflow_panics_in_checked_builds() {
+    let mut m = FlowMeter::new("txns");
+    m.produce(1);
+    m.consume(1);
+    m.consume(1); // nothing left in flight
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn flowmeter_underflow_reports_in_release_builds() {
+    let mut m = FlowMeter::new("txns");
+    m.produce(1);
+    m.consume(2);
+    let err = m.check(0).expect_err("underflow must be reported");
+    assert!(err.detail.contains("underflow"), "{err}");
+}
+
+#[test]
+fn flowmeter_leak_is_reported_not_panicked() {
+    let mut m = FlowMeter::new("txns");
+    m.produce(3);
+    m.consume(1);
+    let err = m.check_drained().expect_err("2 in flight is a leak at drain");
+    assert!(err.detail.contains("leak"), "{err}");
+}

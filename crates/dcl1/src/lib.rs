@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod check;
 pub mod config;
 pub mod design;
 pub mod machine;
@@ -56,6 +57,7 @@ pub mod presence;
 pub mod stats;
 pub mod txn;
 
+pub use check::SimChecker;
 pub use config::GpuConfig;
 pub use design::{Attachment, Design, Noc2Kind, Topology};
 pub use machine::{GpuSystem, SimOptions};

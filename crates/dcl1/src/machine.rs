@@ -27,6 +27,7 @@ use crate::design::{Attachment, Design, Noc2Kind, Topology};
 use crate::node::{Dcl1Node, NodeConfig};
 use crate::presence::PresenceMap;
 use crate::stats::RunStats;
+use crate::check::{SimChecker, EPOCH_CYCLES};
 use crate::txn::Txn;
 use dcl1_common::stats::RunningMean;
 use dcl1_common::{ClockDomain, ConfigError, CoreId, Cycle, Histogram};
@@ -112,6 +113,22 @@ impl Noc2Net {
             }
         }
     }
+
+    fn check_conservation(&self, site: &str) -> dcl1_common::InvariantResult {
+        match self {
+            Noc2Net::Single(x) => x.check_conservation(site),
+            Noc2Net::Sliced(v) => v
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, x)| x.check_conservation(&format!("{site}.slot{i}"))),
+            Noc2Net::TwoStage { stage1, stage2 } => {
+                stage1.iter().enumerate().try_for_each(|(i, x)| {
+                    x.check_conservation(&format!("{site}.stage1_{i}"))
+                })?;
+                stage2.check_conservation(&format!("{site}.stage2"))
+            }
+        }
+    }
 }
 
 /// The assembled machine.
@@ -155,6 +172,10 @@ pub struct GpuSystem<'w> {
     /// Observability sinks (tracing + metrics); `Observer::disabled()` by
     /// default, in which case every hook below is an inlined early return.
     obs: Observer,
+
+    /// Checked-sim harness (`--check`); `None` by default, in which case
+    /// every invariant hook is a skipped branch and no epoch sweeps run.
+    checker: Option<Box<SimChecker>>,
 
     now: Cycle,
     /// Cycle at which statistics were last reset (end of warmup).
@@ -298,6 +319,7 @@ impl<'w> GpuSystem<'w> {
             l2,
             mcs,
             obs: Observer::disabled(),
+            checker: None,
             now: 0,
             stat_base_cycle: 0,
             warmup_done: false,
@@ -320,6 +342,19 @@ impl<'w> GpuSystem<'w> {
     /// finalizes them at the end of [`run`](GpuSystem::run).
     pub fn attach_observer(&mut self, obs: Observer) {
         self.obs = obs;
+    }
+
+    /// Turns on checked-sim mode: conservation invariants are verified
+    /// every [`EPOCH_CYCLES`] cycles and at drain, panicking on the first
+    /// violation. Checking reads gauges only — statistics stay
+    /// byte-identical to an unchecked run.
+    pub fn enable_check(&mut self) {
+        self.checker = Some(Box::new(SimChecker::new()));
+    }
+
+    /// The checked-sim harness, when enabled (epoch counts, flow meters).
+    pub fn checker(&self) -> Option<&SimChecker> {
+        self.checker.as_deref()
     }
 
     /// Per-core statistics (stall breakdowns alongside issue counts).
@@ -376,14 +411,14 @@ impl<'w> GpuSystem<'w> {
         // Deal CTAs one per core per round (GPGPU-Sim's round-robin issue
         // order), so small grids spread across all cores instead of
         // saturating the first few.
-        let wpc = self.factory.wavefronts_per_cta() as usize;
+        let wpc = self.factory.wavefronts_per_cta();
         loop {
             let mut progress = false;
             for c in 0..self.cores.len() {
-                if self.cores[c].can_host_cta(wpc) {
+                if self.cores[c].can_host_cta(wpc as usize) {
                     let Some(cta) = self.dispatcher.fetch(CoreId::new(c)) else { continue };
                     let traces =
-                        (0..wpc as u32).map(|w| self.factory.wavefront_trace(cta, w)).collect();
+                        (0..wpc).map(|w| self.factory.wavefront_trace(cta, w)).collect();
                     self.cores[c].add_cta(cta, traces);
                     progress = true;
                 }
@@ -434,6 +469,9 @@ impl<'w> GpuSystem<'w> {
                             kind_str(txn.kind),
                             txn.line.raw(),
                         );
+                    }
+                    if let Some(ck) = &mut self.checker {
+                        ck.txns_issued(1);
                     }
                     self.outbox[c].push_back(txn);
                 }
@@ -558,6 +596,9 @@ impl<'w> GpuSystem<'w> {
     }
 
     fn complete_at_core(&mut self, txn: Txn) {
+        if let Some(ck) = &mut self.checker {
+            ck.txn_retired();
+        }
         self.obs.trace_end(txn.id, self.now);
         if txn.kind == MemKind::Load {
             let rtt = (self.now - txn.issued_at) as f64;
@@ -656,7 +697,7 @@ impl<'w> GpuSystem<'w> {
             let txn = reply.payload;
             // Full-line fills for loads; acks/small data otherwise.
             let data = match txn.kind {
-                MemKind::Load => self.cfg.line_bytes as u32,
+                MemKind::Load => u32::try_from(self.cfg.line_bytes).expect("line_bytes fits u32"),
                 MemKind::Aux | MemKind::Atomic => txn.bytes,
                 MemKind::Store => 0,
             };
@@ -950,6 +991,88 @@ impl<'w> GpuSystem<'w> {
         }
     }
 
+    /// Runs one checked-sim invariant sweep, panicking on any violation.
+    /// A no-op unless [`enable_check`](GpuSystem::enable_check) was called.
+    fn sweep_invariants(&mut self, at_drain: bool) {
+        let Some(mut ck) = self.checker.take() else { return };
+        ck.epochs_checked += 1;
+        if let Err(e) = self.invariant_sweep(&ck, at_drain) {
+            panic!(
+                "checked-sim violation at cycle {}{}: {e}",
+                self.now,
+                if at_drain { " (drain)" } else { "" }
+            );
+        }
+        self.checker = Some(ck);
+    }
+
+    /// The full conservation sweep (see [`crate::check`] for the laws).
+    fn invariant_sweep(
+        &self,
+        ck: &SimChecker,
+        at_drain: bool,
+    ) -> dcl1_common::InvariantResult {
+        use dcl1_common::InvariantError;
+        ck.check_txn_flow()?;
+        if at_drain {
+            ck.check_drained()?;
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.check_invariants(&format!("node{i}"))?;
+        }
+        for (i, s) in self.l2.iter().enumerate() {
+            s.check_invariants(&format!("l2_{i}"))?;
+        }
+        for (i, x) in self.noc1_req.iter().enumerate() {
+            x.check_conservation(&format!("noc1_req{i}"))?;
+        }
+        for (i, x) in self.noc1_rep.iter().enumerate() {
+            x.check_conservation(&format!("noc1_rep{i}"))?;
+        }
+        self.noc2_req.check_conservation("noc2_req")?;
+        self.noc2_rep.check_conservation("noc2_rep")?;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            if mc.queue_len() > self.cfg.dram.queue_depth {
+                return Err(InvariantError::new(
+                    format!("mc{i}"),
+                    format!(
+                        "queue occupancy {} exceeds depth {}",
+                        mc.queue_len(),
+                        self.cfg.dram.queue_depth
+                    ),
+                ));
+            }
+        }
+        // Stall attribution: every measured core cycle is exactly one of
+        // issue / classified stall — continuously, not just at exit.
+        let cycles = self.measured_cycles();
+        for (i, c) in self.cores.iter().enumerate() {
+            let cs = c.stats();
+            let instr = cs.instructions.get();
+            let stall = cs.stall.total();
+            if instr + stall != cycles {
+                return Err(InvariantError::new(
+                    format!("core{i}"),
+                    format!(
+                        "stall partition: {instr} instructions + {stall} stalls \
+                         != {cycles} measured cycles"
+                    ),
+                ));
+            }
+            if stall != cs.idle_cycles.get() + cs.mem_stall_cycles.get() {
+                return Err(InvariantError::new(
+                    format!("core{i}"),
+                    format!(
+                        "stall breakdown {stall} != idle {} + mem-stall {}",
+                        cs.idle_cycles.get(),
+                        cs.mem_stall_cycles.get()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn all_idle(&self) -> bool {
         self.dispatcher.remaining() == 0
             && self.cores.iter().all(Core::is_drained)
@@ -983,6 +1106,9 @@ impl<'w> GpuSystem<'w> {
             if self.opts.fast_forward {
                 self.fast_forward();
             }
+        }
+        if self.checker.is_some() && self.all_idle() {
+            self.sweep_invariants(true);
         }
         if !self.obs.is_off() {
             if let Err(e) = self.obs.finish(self.now) {
@@ -1178,6 +1304,9 @@ impl<'w> GpuSystem<'w> {
                 let sample = self.metrics_sample();
                 self.obs.record_metrics(&sample);
             }
+        }
+        if self.checker.is_some() && self.now.is_multiple_of(EPOCH_CYCLES) {
+            self.sweep_invariants(false);
         }
     }
 

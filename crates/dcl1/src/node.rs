@@ -268,6 +268,34 @@ impl Dcl1Node {
         self.hit_pipe.len() + self.reply_stage.len()
     }
 
+    /// Checks the node's conservation laws: each of Q1..Q4 conserves its
+    /// items and stays within capacity, the MSHR file neither leaks entries
+    /// nor loses waiters, and the hit pipe's ready times are monotone (a
+    /// violated FIFO order would release hits out of latency order).
+    /// `site` names this node in the error report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated law with its counter values.
+    pub fn check_invariants(&self, site: &str) -> dcl1_common::InvariantResult {
+        self.q1.check_conservation(&format!("{site}.q1"))?;
+        self.q2.check_conservation(&format!("{site}.q2"))?;
+        self.q3.check_conservation(&format!("{site}.q3"))?;
+        self.q4.check_conservation(&format!("{site}.q4"))?;
+        self.mshr.check_conservation(&format!("{site}.mshr"))?;
+        let mut prev = 0;
+        for &(ready, _) in &self.hit_pipe {
+            if ready < prev {
+                return Err(dcl1_common::InvariantError::new(
+                    format!("{site}.hit_pipe"),
+                    format!("ready times out of order: {ready} after {prev}"),
+                ));
+            }
+            prev = ready;
+        }
+        Ok(())
+    }
+
     /// Advances the node one core cycle.
     ///
     /// `presence` is the level-wide line-presence instrumentation shared

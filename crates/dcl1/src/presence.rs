@@ -7,12 +7,15 @@
 //! per distinct resident line. Both fall out of this map.
 
 use dcl1_common::LineAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Reference-counting presence map over all caches of one level.
 #[derive(Debug, Default, Clone)]
 pub struct PresenceMap {
-    counts: HashMap<LineAddr, u32>,
+    // BTreeMap rather than HashMap so every iteration (`mean_replicas`,
+    // any future per-line report) visits lines in address order — byte-
+    // stable output regardless of hasher seed or std release.
+    counts: BTreeMap<LineAddr, u32>,
 }
 
 impl PresenceMap {

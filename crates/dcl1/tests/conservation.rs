@@ -3,6 +3,8 @@
 //! instruction count, and keeps its statistics consistent — i.e. no
 //! transaction is ever lost or duplicated anywhere in the hierarchy.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 mod util;
 
 use dcl1::{GpuConfig, GpuSystem, SimOptions};

@@ -2,6 +2,8 @@
 //! port mapping (paper Fig 10): the invariants the machine's routing
 //! relies on.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1::{Design, GpuConfig, Noc2Kind};
 use dcl1_common::{LineAddr, SplitMix64};
 

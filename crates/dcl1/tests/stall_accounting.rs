@@ -4,6 +4,8 @@
 //! cycle lost or double-counted — for every design point, with and
 //! without fast-forward.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 mod util;
 
 use dcl1::{GpuConfig, GpuSystem, SimOptions};

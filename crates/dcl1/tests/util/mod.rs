@@ -1,6 +1,9 @@
 //! Shared machinery for the machine-level integration tests: seeded random
 //! kernels plus the design points the paper sweeps.
 
+// Test fixture: seeded-random trace math uses small, in-range casts.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1::Design;
 use dcl1_common::{LineAddr, SplitMix64};
 use dcl1_gpu::{MemAccess, MemInstr, MemKind, TraceFactory, TraceSource, WavefrontInstr};

@@ -29,6 +29,8 @@ use dcl1_common::LineAddr;
 /// assert_eq!(txns.len(), 1);
 /// assert_eq!(txns[0].bytes, 128);
 /// ```
+// SECTOR_SIZE (32) and a 4-bit sector mask both fit u32.
+#[expect(clippy::cast_possible_truncation)]
 pub fn coalesce(addrs: &[Address]) -> Vec<MemAccess> {
     let mut order: Vec<LineAddr> = Vec::new();
     let mut sectors: Vec<u8> = Vec::new(); // bitmask of touched sectors per line

@@ -434,7 +434,7 @@ impl Core {
                     }
                     let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
                     debug_assert!(!instr.accesses.is_empty(), "memory instruction with no accesses");
-                    wf.set_waiting(instr.accesses.len() as u32);
+                    wf.set_waiting(u32::try_from(instr.accesses.len()).expect("coalesced count"));
                     self.waiting_wavefronts += 1;
                     self.stats.instructions.inc();
                     self.stats.mem_instructions.inc();

@@ -36,6 +36,8 @@ impl CtaDispatcher {
     /// # Panics
     ///
     /// Panics if `cores` is zero.
+    // Core counts are two-digit configuration values.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn new(policy: CtaPolicy, total: u32, cores: usize) -> Self {
         assert!(cores > 0, "core count must be nonzero");
         let per = total.div_ceil(cores as u32);

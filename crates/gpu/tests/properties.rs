@@ -2,6 +2,8 @@
 //! conservation, issue bandwidth, and CTA accounting under seeded traces
 //! and completion orders.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1_common::{CoreId, LineAddr, SplitMix64};
 use dcl1_gpu::{
     Core, CoreConfig, MemAccess, MemInstr, MemKind, TraceSource, VecTrace, WavefrontInstr,

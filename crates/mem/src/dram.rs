@@ -170,6 +170,8 @@ impl<T> MemoryController<T> {
         line.base().raw() / self.config.row_bytes as u64
     }
 
+    // Bank index is reduced mod `banks` (< usize).
+    #[expect(clippy::cast_possible_truncation)]
     fn bank_of(&self, line: LineAddr) -> usize {
         (self.row_of(line) as usize) % self.config.banks
     }
@@ -316,11 +318,12 @@ impl<T> MemoryController<T> {
             return 0.0;
         }
         let serviced = self.stats.reads.get() + self.stats.writes.get();
-        (serviced as usize * line_bytes) as f64 / self.now as f64
+        (serviced * line_bytes as u64) as f64 / self.now as f64
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
 

@@ -2,7 +2,7 @@
 
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, MshrAllocation, SetAssocCache, SetIndexing};
 use dcl1_common::{BoundedQueue, ConfigError, Cycle, LineAddr};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// What a memory access wants from the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +117,9 @@ pub struct L2Slice<T> {
     /// Replies waiting out the access latency: ready-time ordered.
     pending_replies: VecDeque<(Cycle, L2Reply<T>)>,
     dram_out: VecDeque<DramAccess>,
-    dirty: HashSet<LineAddr>,
+    // BTreeSet rather than HashSet: membership-only today, but any future
+    // iteration (e.g. a flush phase) must be hasher-independent.
+    dirty: BTreeSet<LineAddr>,
     config: L2Config,
     stats: L2Stats,
     now: Cycle,
@@ -140,7 +142,7 @@ impl<T> L2Slice<T> {
             input: BoundedQueue::new(config.input_queue),
             pending_replies: VecDeque::new(),
             dram_out: VecDeque::new(),
-            dirty: HashSet::new(),
+            dirty: BTreeSet::new(),
             config,
             stats: L2Stats::default(),
             now: 0,
@@ -373,9 +375,25 @@ impl<T> L2Slice<T> {
             && self.dram_out.is_empty()
             && self.mshr.is_empty()
     }
+
+    /// Checks the slice's conservation laws: the input queue conserves its
+    /// items and stays within bounds, and the MSHR file neither leaks
+    /// entries nor loses waiters. (Pending-reply ready times are *not*
+    /// required to be monotone — atomics carry extra latency and release
+    /// is in order of service, not readiness.) `site` names this slice in
+    /// the error report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated law with its counter values.
+    pub fn check_invariants(&self, site: &str) -> dcl1_common::InvariantResult {
+        self.input.check_conservation(&format!("{site}.input"))?;
+        self.mshr.check_conservation(&format!("{site}.mshr"))
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
 

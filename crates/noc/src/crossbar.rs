@@ -1,6 +1,7 @@
 //! Input-queued crossbar switch with round-robin output arbitration.
 
 use crate::Packet;
+use dcl1_common::invariant::{InvariantError, InvariantResult};
 use dcl1_common::{BoundedQueue, ConfigError};
 use std::collections::VecDeque;
 
@@ -154,6 +155,16 @@ pub struct Crossbar<T> {
     ejected: usize,
     now: u64,
     stats: CrossbarStats,
+    /// Lifetime packets accepted by `try_inject`. Unlike `stats`, the
+    /// lifetime counters survive `reset_stats` — they exist to prove
+    /// conservation over the whole run, not to measure a window.
+    lifetime_injected_packets: u64,
+    /// Lifetime packets handed out by `pop_output`.
+    lifetime_delivered_packets: u64,
+    /// Lifetime flits accepted at the inputs.
+    lifetime_injected_flits: u64,
+    /// Lifetime flits moved across the switch fabric.
+    lifetime_moved_flits: u64,
 }
 
 impl<T> Crossbar<T> {
@@ -182,6 +193,10 @@ impl<T> Crossbar<T> {
                 input_flits: vec![0; config.inputs],
                 packets: 0,
             },
+            lifetime_injected_packets: 0,
+            lifetime_delivered_packets: 0,
+            lifetime_injected_flits: 0,
+            lifetime_moved_flits: 0,
             config,
         }
     }
@@ -228,6 +243,8 @@ impl<T> Crossbar<T> {
             self.set_window(src, self.window_dsts[src] | Self::dst_bit(dst));
         }
         self.stats.input_flits[src] += flits;
+        self.lifetime_injected_packets += 1;
+        self.lifetime_injected_flits += flits;
         self.pending[dst] += 1;
         self.queued += 1;
         Ok(())
@@ -397,6 +414,7 @@ impl<T> Crossbar<T> {
             let dst = tr.packet.dst;
             tr.remaining_flits -= 1;
             self.stats.output_flits[dst] += 1;
+            self.lifetime_moved_flits += 1;
             if tr.remaining_flits == 0 {
                 let tr = self.active[input].take().expect("just matched Some");
                 self.output_busy[dst] = None;
@@ -432,6 +450,11 @@ impl<T> Crossbar<T> {
         match self.eject[port].front() {
             Some((ready, _)) if *ready <= self.now => {
                 self.ejected -= 1;
+                self.lifetime_delivered_packets += 1;
+                debug_assert!(
+                    self.lifetime_delivered_packets <= self.lifetime_injected_packets,
+                    "crossbar delivered a packet it never accepted"
+                );
                 self.eject[port].pop_front().map(|(_, p)| p)
             }
             _ => None,
@@ -462,9 +485,103 @@ impl<T> Crossbar<T> {
     pub fn in_flight(&self) -> usize {
         self.queued + self.active_count + self.ejected
     }
+
+    /// Lifetime packets accepted at the inputs (survives `reset_stats`).
+    pub fn lifetime_injected_packets(&self) -> u64 {
+        self.lifetime_injected_packets
+    }
+
+    /// Lifetime packets handed out by `pop_output` (survives `reset_stats`).
+    pub fn lifetime_delivered_packets(&self) -> u64 {
+        self.lifetime_delivered_packets
+    }
+
+    /// Checks every conservation law the switch must obey, recomputing the
+    /// O(1) occupancy counters from the ground truth they summarize:
+    ///
+    /// * `queued`/`active_count`/`ejected`/`pending` match the queues they
+    ///   mirror, and each input queue conserves its own items;
+    /// * packets: lifetime injected == lifetime delivered + in flight;
+    /// * flits: lifetime injected == lifetime moved + flits still held in
+    ///   input queues and partial transfers.
+    ///
+    /// `site` names this crossbar in the error report. O(ports + queued),
+    /// intended for per-epoch checked-sim use, not the per-tick hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated law with its counter values.
+    pub fn check_conservation(&self, site: &str) -> InvariantResult {
+        let mut queued = 0usize;
+        let mut held_flits = 0u64;
+        let mut pending = vec![0usize; self.config.outputs];
+        for (port, q) in self.inputs.iter().enumerate() {
+            q.check_conservation(&format!("{site}.input{port}"))?;
+            queued += q.len();
+            for p in q.iter() {
+                pending[p.dst] += 1;
+                held_flits += p.flits as u64;
+            }
+        }
+        if queued != self.queued {
+            return Err(InvariantError::new(
+                site,
+                format!("queued counter {} != recount {}", self.queued, queued),
+            ));
+        }
+        if pending != self.pending {
+            return Err(InvariantError::new(
+                site,
+                format!("pending counters {:?} != recount {:?}", self.pending, pending),
+            ));
+        }
+        let active = self.active.iter().flatten().count();
+        if active != self.active_count || active != self.active_inputs.len() {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "active counter {} / list {} != recount {}",
+                    self.active_count,
+                    self.active_inputs.len(),
+                    active
+                ),
+            ));
+        }
+        for tr in self.active.iter().flatten() {
+            held_flits += tr.remaining_flits as u64;
+        }
+        let ejected: usize = self.eject.iter().map(VecDeque::len).sum();
+        if ejected != self.ejected {
+            return Err(InvariantError::new(
+                site,
+                format!("ejected counter {} != recount {}", self.ejected, ejected),
+            ));
+        }
+        let in_flight = self.in_flight() as u64;
+        if self.lifetime_injected_packets != self.lifetime_delivered_packets + in_flight {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "packet leak: injected {} != delivered {} + in-flight {}",
+                    self.lifetime_injected_packets, self.lifetime_delivered_packets, in_flight
+                ),
+            ));
+        }
+        if self.lifetime_injected_flits != self.lifetime_moved_flits + held_flits {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "flit leak: injected {} != moved {} + held {}",
+                    self.lifetime_injected_flits, self.lifetime_moved_flits, held_flits
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
 

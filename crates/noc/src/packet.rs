@@ -25,6 +25,8 @@ impl<T> Packet<T> {
     /// The flit count is one header/control flit plus ⌈data/32⌉ data flits,
     /// matching the paper's 32 B flit size. A pure control packet (read
     /// request, write ACK) has `data_bytes == 0` and occupies one flit.
+    // SECTOR_SIZE (32) fits u32.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn new(src: usize, dst: usize, data_bytes: u32, payload: T) -> Self {
         let data_flits = data_bytes.div_ceil(SECTOR_SIZE as u32);
         Packet { src, dst, flits: 1 + data_flits, payload }

@@ -1,6 +1,8 @@
 //! Randomized-but-deterministic tests: the crossbar conserves packets,
 //! preserves per-flow ordering, and never exceeds link bandwidth.
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1_common::SplitMix64;
 use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
 

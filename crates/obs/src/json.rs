@@ -175,7 +175,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Advance one UTF-8 character, not one byte.
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                let c = rest.chars().next().expect("Some(_) arm guarantees a byte");
                 out.push(c);
                 *pos += c.len_utf8();
             }

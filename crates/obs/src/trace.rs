@@ -8,7 +8,7 @@
 //! time axis reads directly in cycles.
 
 use crate::json::escape;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
 
@@ -28,7 +28,9 @@ struct OpenSpan {
 pub struct TxnTracer {
     sample_every: u64,
     out: io::BufWriter<Box<dyn Write + Send>>,
-    open: HashMap<u64, OpenSpan>,
+    // BTreeMap so `finish` closes dangling spans in ascending id order —
+    // the trace file is byte-stable regardless of hasher state.
+    open: BTreeMap<u64, OpenSpan>,
     wrote_any: bool,
     finished: bool,
     events: u64,
@@ -54,7 +56,7 @@ impl TxnTracer {
         Ok(TxnTracer {
             sample_every: sample_every.max(1),
             out,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             wrote_any: false,
             finished: false,
             events: 0,

@@ -1,0 +1,72 @@
+//! `simcheck` — the workspace's static determinism/integrity linter.
+//!
+//! The simulator memoizes results on disk and the paper's figures are
+//! regenerated from those bytes, so a whole class of ordinarily-benign
+//! Rust (`HashMap` iteration, wall-clock reads, silent `as` truncation,
+//! float accumulation order) is a correctness bug here. `simcheck lint`
+//! enforces, lexically and dependency-free:
+//!
+//! * [`rules`] — `hash_order`, `wall_clock`, `truncating_cast`,
+//!   `float_accum`, each suppressible per line with
+//!   `// simcheck: allow(rule): reason`;
+//! * [`schema`] — `stats_schema`: `RunStats` fields, the runner's
+//!   `CACHE_SCHEMA_VERSION`, and the deserializer's field-count guard
+//!   must move together, pinned by the committed `simcheck.lock`.
+//!
+//! The runtime half of the correctness tooling — the `--check`
+//! conservation harness — lives in the simulator itself
+//! (`dcl1::check`); this crate only checks source text.
+
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod schema;
+pub mod source;
+pub mod workspace;
+
+use rules::Finding;
+use std::path::Path;
+
+/// Aggregate result of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings across all files and the schema rule.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by well-formed annotations.
+    pub suppressed: usize,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Lints the whole workspace under `root`.
+///
+/// # Errors
+///
+/// Returns a message when a source file cannot be read or the schema
+/// inputs cannot be resolved.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    for path in workspace::source_files(root) {
+        let file = source::SourceFile::load(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = rel_label(root, &file);
+        let mut r = rules::lint_file(&rel);
+        report.findings.append(&mut r.findings);
+        report.suppressed += r.suppressed;
+        report.files += 1;
+    }
+    let state = schema::read_state(root)?;
+    let lock = std::fs::read_to_string(root.join(schema::LOCK_PATH))
+        .ok()
+        .as_deref()
+        .and_then(schema::parse_lock);
+    report.findings.extend(schema::check_schema(&state, lock.as_ref()));
+    Ok(report)
+}
+
+/// Re-labels a scanned file with its root-relative path so findings (and
+/// the crate-scoping logic in [`rules`]) are machine-independent.
+fn rel_label(root: &Path, file: &source::SourceFile) -> source::SourceFile {
+    let rel = file.path.strip_prefix(root).unwrap_or(&file.path).to_path_buf();
+    source::SourceFile { path: rel, lines: file.lines.clone() }
+}

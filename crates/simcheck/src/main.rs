@@ -1,0 +1,122 @@
+//! Thin CLI over the `simcheck` library.
+//!
+//! ```text
+//! cargo run -p simcheck -- lint [--root=PATH] [--report=PATH]
+//! cargo run -p simcheck -- schema [--root=PATH] [--update]
+//! ```
+//!
+//! `lint` exits non-zero when any unannotated finding remains; `schema
+//! --update` rewrites `simcheck.lock` after a reviewed stats change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut update = false;
+    args.retain(|arg| {
+        let (flag, value) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (arg.as_str(), None),
+        };
+        match flag {
+            "--root" => root = Some(PathBuf::from(value.unwrap_or("."))),
+            "--report" => report_path = Some(PathBuf::from(value.unwrap_or("simcheck-report.txt"))),
+            "--update" => update = true,
+            _ => return true,
+        }
+        false
+    });
+    let command = args.first().map(String::as_str).unwrap_or("lint");
+    let root = match simcheck::workspace::find_root(root.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "lint" => lint(&root, report_path.as_deref()),
+        "schema" => schema(&root, update),
+        other => {
+            eprintln!("simcheck: unknown command {other:?} (expected `lint` or `schema`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(root: &std::path::Path, report_path: Option<&std::path::Path>) -> ExitCode {
+    let report = match simcheck::run_lint(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut text = String::new();
+    for f in &report.findings {
+        let _ = writeln!(text, "{f}");
+    }
+    let _ = writeln!(
+        text,
+        "simcheck: {} finding(s) across {} files ({} suppressed by annotations)",
+        report.findings.len(),
+        report.files,
+        report.suppressed
+    );
+    print!("{text}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("simcheck: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn schema(root: &std::path::Path, update: bool) -> ExitCode {
+    let state = match simcheck::schema::read_state(root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lock_path = root.join(simcheck::schema::LOCK_PATH);
+    if update {
+        let text = simcheck::schema::render_lock(&state);
+        if let Err(e) = std::fs::write(&lock_path, text) {
+            eprintln!("simcheck: cannot write {}: {e}", lock_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "simcheck: lock updated ({} fields, cache v{})",
+            state.field_count, state.cache_version
+        );
+        return ExitCode::SUCCESS;
+    }
+    let lock = std::fs::read_to_string(&lock_path)
+        .ok()
+        .as_deref()
+        .and_then(simcheck::schema::parse_lock);
+    let findings = simcheck::schema::check_schema(&state, lock.as_ref());
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!(
+            "simcheck: stats schema locked ({} fields, cache v{})",
+            state.field_count, state.cache_version
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

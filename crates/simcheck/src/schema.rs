@@ -1,0 +1,321 @@
+//! The `stats_schema` rule: `dcl1::stats::RunStats` is serialized into the
+//! on-disk memo (`target/dcl1-cache/`), so its field list, the bench
+//! runner's `CACHE_SCHEMA_VERSION`, and the deserializer's field-count
+//! guard must move together. The committed `simcheck.lock` pins the last
+//! reviewed combination; `cargo run -p simcheck -- schema --update`
+//! refreshes it after a deliberate change.
+
+use crate::rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Relative path of the stats definition.
+pub const STATS_PATH: &str = "crates/dcl1/src/stats.rs";
+/// Relative path of the memoizing runner.
+pub const RUNNER_PATH: &str = "crates/bench/src/runner.rs";
+/// Relative path of the lock file.
+pub const LOCK_PATH: &str = "simcheck.lock";
+
+/// What the working tree currently says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemaState {
+    /// FNV-1a over `RunStats`'s `name:type` field list.
+    pub fingerprint: u64,
+    /// Number of `pub` fields in `RunStats`.
+    pub field_count: usize,
+    /// `CACHE_SCHEMA_VERSION` in the runner.
+    pub cache_version: u32,
+    /// The `seen == N` literal in the runner's deserializer.
+    pub seen_guard: Option<usize>,
+}
+
+/// The committed lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lock {
+    /// Fingerprint at last review.
+    pub fingerprint: u64,
+    /// Field count at last review.
+    pub field_count: usize,
+    /// Cache version at last review.
+    pub cache_version: u32,
+}
+
+/// Reads the current schema state from the working tree.
+///
+/// # Errors
+///
+/// Returns a description of the file or pattern that failed to resolve.
+pub fn read_state(root: &Path) -> Result<SchemaState, String> {
+    let stats = std::fs::read_to_string(root.join(STATS_PATH))
+        .map_err(|e| format!("{STATS_PATH}: {e}"))?;
+    let runner = std::fs::read_to_string(root.join(RUNNER_PATH))
+        .map_err(|e| format!("{RUNNER_PATH}: {e}"))?;
+    let (fingerprint, field_count) = fingerprint_stats(&stats)
+        .ok_or_else(|| format!("{STATS_PATH}: `pub struct RunStats` not found"))?;
+    let cache_version = parse_cache_version(&runner)
+        .ok_or_else(|| format!("{RUNNER_PATH}: `CACHE_SCHEMA_VERSION` not found"))?;
+    Ok(SchemaState { fingerprint, field_count, cache_version, seen_guard: parse_seen_guard(&runner) })
+}
+
+/// FNV-1a fingerprint and field count of the `RunStats` struct in
+/// `stats.rs` source text. Comments are stripped first, so doc edits do
+/// not change the fingerprint; field renames, retypes, reorders, adds,
+/// and removals all do.
+pub fn fingerprint_stats(src: &str) -> Option<(u64, usize)> {
+    let file = crate::source::SourceFile::from_source("stats.rs", src);
+    let code: String =
+        file.lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+    let start = code.find("pub struct RunStats {")?;
+    let body_start = start + code[start..].find('{')?;
+    let mut depth = 0usize;
+    let mut end = body_start;
+    for (i, c) in code[body_start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = body_start + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut hash = Fnv64::new();
+    let mut count = 0usize;
+    for line in code[body_start..end].lines() {
+        let t = line.trim();
+        let Some(rest) = t.strip_prefix("pub ") else { continue };
+        let Some((name, ty)) = rest.split_once(':') else { continue };
+        let name = name.trim();
+        if name.contains('(') || name.is_empty() {
+            continue; // `pub fn` etc. cannot appear in a struct body; be safe anyway
+        }
+        let ty = ty.trim().trim_end_matches(',').trim();
+        hash.write(name.as_bytes());
+        hash.write(b":");
+        hash.write(ty.as_bytes());
+        hash.write(b"\n");
+        count += 1;
+    }
+    Some((hash.finish(), count))
+}
+
+/// Extracts `const CACHE_SCHEMA_VERSION: u32 = N`.
+pub fn parse_cache_version(runner_src: &str) -> Option<u32> {
+    let at = runner_src.find("CACHE_SCHEMA_VERSION: u32 =")?;
+    runner_src[at..]
+        .split('=')
+        .nth(1)?
+        .trim()
+        .split(';')
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Extracts the deserializer's `seen == N` field-count guard.
+pub fn parse_seen_guard(runner_src: &str) -> Option<usize> {
+    let at = runner_src.find("seen == ")?;
+    runner_src[at + "seen == ".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Parses a lock file.
+pub fn parse_lock(text: &str) -> Option<Lock> {
+    let mut fingerprint = None;
+    let mut field_count = None;
+    let mut cache_version = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("run_stats_fingerprint = ") {
+            fingerprint = u64::from_str_radix(v.trim().trim_start_matches("0x"), 16).ok();
+        } else if let Some(v) = line.strip_prefix("run_stats_fields = ") {
+            field_count = v.trim().parse().ok();
+        } else if let Some(v) = line.strip_prefix("cache_schema_version = ") {
+            cache_version = v.trim().parse().ok();
+        }
+    }
+    Some(Lock {
+        fingerprint: fingerprint?,
+        field_count: field_count?,
+        cache_version: cache_version?,
+    })
+}
+
+/// Renders the lock for the given state.
+pub fn render_lock(state: &SchemaState) -> String {
+    format!(
+        "# simcheck stats-schema lock — do not edit by hand.\n\
+         # Regenerate after a reviewed RunStats/cache change with:\n\
+         #   cargo run -p simcheck -- schema --update\n\
+         run_stats_fingerprint = {:#018x}\n\
+         run_stats_fields = {}\n\
+         cache_schema_version = {}\n",
+        state.fingerprint, state.field_count, state.cache_version
+    )
+}
+
+/// The rule proper: compares the working tree against the lock.
+pub fn check_schema(state: &SchemaState, lock: Option<&Lock>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let finding = |path: &str, message: String| Finding {
+        rule: "stats_schema",
+        path: PathBuf::from(path),
+        line: 1,
+        message,
+    };
+    match lock {
+        None => out.push(finding(
+            LOCK_PATH,
+            "missing simcheck.lock; run `cargo run -p simcheck -- schema --update`".into(),
+        )),
+        Some(lock) => {
+            if state.fingerprint != lock.fingerprint && state.cache_version == lock.cache_version {
+                out.push(finding(
+                    STATS_PATH,
+                    format!(
+                        "RunStats fields changed ({} -> {} fields) without bumping \
+                         CACHE_SCHEMA_VERSION (still {}): stale on-disk results would be read \
+                         back as the new schema; bump the version in {RUNNER_PATH}, then run \
+                         `cargo run -p simcheck -- schema --update`",
+                        lock.field_count, state.field_count, state.cache_version
+                    ),
+                ));
+            } else if state.fingerprint != lock.fingerprint || state.cache_version != lock.cache_version {
+                out.push(finding(
+                    LOCK_PATH,
+                    format!(
+                        "simcheck.lock is stale (lock v{}, tree v{}); after reviewing the \
+                         RunStats/cache change, run `cargo run -p simcheck -- schema --update`",
+                        lock.cache_version, state.cache_version
+                    ),
+                ));
+            }
+        }
+    }
+    if let Some(seen) = state.seen_guard {
+        if seen != state.field_count {
+            out.push(finding(
+                RUNNER_PATH,
+                format!(
+                    "deserializer guard `seen == {seen}` does not match RunStats's {} fields; \
+                     cached entries would be silently rejected (or truncated ones accepted)",
+                    state.field_count
+                ),
+            ));
+        }
+    } else {
+        out.push(finding(
+            RUNNER_PATH,
+            "deserializer field-count guard (`seen == N`) not found".into(),
+        ));
+    }
+    out
+}
+
+/// 64-bit FNV-1a (runner.rs carries the 128-bit variant for memo keys;
+/// this one only fingerprints source text).
+struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64 { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS_A: &str = "pub struct RunStats {\n    /// doc\n    pub cycles: u64,\n    pub ipc: f64,\n}\n";
+    const STATS_B: &str = "pub struct RunStats {\n    pub cycles: u64,\n    pub ipc: f64,\n    pub extra: u64,\n}\n";
+
+    fn state(src: &str, ver: u32, seen: usize) -> SchemaState {
+        let (fingerprint, field_count) = fingerprint_stats(src).unwrap();
+        SchemaState { fingerprint, field_count, cache_version: ver, seen_guard: Some(seen) }
+    }
+
+    #[test]
+    fn doc_edits_do_not_change_fingerprint() {
+        let with_doc = fingerprint_stats(STATS_A).unwrap();
+        let no_doc =
+            fingerprint_stats("pub struct RunStats {\n    pub cycles: u64,\n    pub ipc: f64,\n}\n")
+                .unwrap();
+        assert_eq!(with_doc, no_doc);
+        assert_eq!(with_doc.1, 2);
+    }
+
+    #[test]
+    fn matching_lock_is_clean() {
+        let s = state(STATS_A, 2, 2);
+        let lock = Lock { fingerprint: s.fingerprint, field_count: 2, cache_version: 2 };
+        assert!(check_schema(&s, Some(&lock)).is_empty());
+    }
+
+    #[test]
+    fn field_change_without_version_bump_fails() {
+        let old = state(STATS_A, 2, 3);
+        let lock = Lock { fingerprint: old.fingerprint, field_count: 2, cache_version: 2 };
+        let new = state(STATS_B, 2, 3);
+        let findings = check_schema(&new, Some(&lock));
+        assert!(
+            findings.iter().any(|f| f.message.contains("without bumping CACHE_SCHEMA_VERSION")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn field_change_with_version_bump_wants_lock_update() {
+        let old = state(STATS_A, 2, 3);
+        let lock = Lock { fingerprint: old.fingerprint, field_count: 2, cache_version: 2 };
+        let new = state(STATS_B, 3, 3);
+        let findings = check_schema(&new, Some(&lock));
+        assert!(findings.iter().any(|f| f.message.contains("schema --update")), "{findings:?}");
+        assert!(
+            !findings.iter().any(|f| f.message.contains("without bumping")),
+            "a bumped version is the sanctioned path: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn seen_guard_mismatch_fails() {
+        let s = state(STATS_A, 2, 7);
+        let lock = Lock { fingerprint: s.fingerprint, field_count: 2, cache_version: 2 };
+        let findings = check_schema(&s, Some(&lock));
+        assert!(findings.iter().any(|f| f.message.contains("seen == 7")), "{findings:?}");
+    }
+
+    #[test]
+    fn lock_round_trips() {
+        let s = state(STATS_A, 5, 2);
+        let lock = parse_lock(&render_lock(&s)).unwrap();
+        assert_eq!(lock.fingerprint, s.fingerprint);
+        assert_eq!(lock.cache_version, 5);
+    }
+
+    #[test]
+    fn runner_literals_parse() {
+        let src = "const CACHE_SCHEMA_VERSION: u32 = 2;\n ... if seen == 29 {";
+        assert_eq!(parse_cache_version(src), Some(2));
+        assert_eq!(parse_seen_guard(src), Some(29));
+    }
+}

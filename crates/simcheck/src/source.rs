@@ -1,0 +1,422 @@
+//! A minimal Rust source scanner: comment/string stripping, `#[cfg(test)]`
+//! block detection, and `// simcheck: allow(rule): reason` annotations.
+//!
+//! This is deliberately a lexer, not a parser — the rules in
+//! [`crate::rules`] are lexical patterns, and a hand-rolled scanner keeps
+//! the crate dependency-free (the build environment is hermetic; no `syn`).
+
+use std::path::{Path, PathBuf};
+
+/// One scanned line of a source file.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments removed and string/char-literal contents
+    /// blanked to spaces (quotes kept, so code structure survives).
+    pub code: String,
+    /// Concatenated comment text on this line (for annotations).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+/// A scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path the file was loaded from (or labeled with, for fixtures).
+    pub path: PathBuf,
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// A `simcheck: allow(...)` annotation found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty `: reason` followed the closing parenthesis.
+    pub has_reason: bool,
+}
+
+impl SourceFile {
+    /// Scans `text`, labeling it as `path`.
+    pub fn from_source(path: impl Into<PathBuf>, text: &str) -> SourceFile {
+        let (scrubbed, comments) = scrub(text);
+        let in_test = test_lines(&scrubbed);
+        let lines = scrubbed
+            .lines()
+            .enumerate()
+            .map(|(i, code)| Line {
+                number: i + 1,
+                code: code.to_string(),
+                comment: comments.get(i).cloned().unwrap_or_default(),
+                in_test: in_test.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        SourceFile { path: path.into(), lines }
+    }
+
+    /// Reads and scans the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error.
+    pub fn load(path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(SourceFile::from_source(path, &text))
+    }
+
+    /// All annotations on the given 1-based line.
+    pub fn allows_on(&self, number: usize) -> Vec<Allow> {
+        self.lines
+            .get(number.wrapping_sub(1))
+            .map(|l| parse_allows(&l.comment))
+            .unwrap_or_default()
+    }
+}
+
+/// Extracts every `simcheck: allow(rule)[: reason]` from comment text.
+pub fn parse_allows(comment: &str) -> Vec<Allow> {
+    const MARKER: &str = "simcheck: allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        let after = &rest[pos + MARKER.len()..];
+        let Some(close) = after.find(')') else { break };
+        let rule = after[..close].trim().to_string();
+        let tail = after[close + 1..].trim_start();
+        let has_reason = tail
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        out.push(Allow { rule, has_reason });
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+/// Strips comments and blanks string/char-literal contents, preserving the
+/// line structure. Returns the scrubbed text and per-line comment text.
+fn scrub(text: &str) -> (String, Vec<String>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code = String::with_capacity(text.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut i = 0;
+    let push_nl = |code: &mut String, comments: &mut Vec<String>| {
+        code.push('\n');
+        comments.push(String::new());
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                push_nl(&mut code, &mut comments);
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    comments.last_mut().expect("line").push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            push_nl(&mut code, &mut comments);
+                        } else {
+                            comments.last_mut().expect("line").push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            code.push(' ');
+                            if i + 1 < chars.len() {
+                                code.push(if chars[i + 1] == '\n' { '\n' } else { ' ' });
+                            }
+                            if chars.get(i + 1) == Some(&'\n') {
+                                comments.push(String::new());
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            push_nl(&mut code, &mut comments);
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' | 'b' | 'c'
+                if !prev_is_ident(&chars, i)
+                    && raw_or_byte_string_len(&chars[i..]).is_some() =>
+            {
+                let (prefix_len, hashes) = raw_or_byte_string_len(&chars[i..]).expect("probe");
+                for _ in 0..prefix_len {
+                    code.push(' ');
+                }
+                code.push('"');
+                i += prefix_len + 1;
+                // Scan to the closing quote followed by `hashes` '#'s (or a
+                // bare quote for non-raw byte/C strings, honoring escapes).
+                if hashes == usize::MAX {
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => {
+                                code.push(' ');
+                                if chars.get(i + 1) == Some(&'\n') {
+                                    push_nl(&mut code, &mut comments);
+                                } else if i + 1 < chars.len() {
+                                    code.push(' ');
+                                }
+                                i += 2;
+                            }
+                            '"' => {
+                                code.push('"');
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                push_nl(&mut code, &mut comments);
+                                i += 1;
+                            }
+                            _ => {
+                                code.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                } else {
+                    while i < chars.len() {
+                        if chars[i] == '"' && chars[i + 1..].iter().take(hashes).filter(|&&h| h == '#').count() == hashes {
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        if chars[i] == '\n' {
+                            push_nl(&mut code, &mut comments);
+                        } else {
+                            code.push(' ');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs. lifetime: a literal is 'x' or '\...'.
+                let is_char = chars.get(i + 1) == Some(&'\\')
+                    || (chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\''));
+                if is_char {
+                    code.push('\'');
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => {
+                                code.push(' ');
+                                if i + 1 < chars.len() {
+                                    code.push(' ');
+                                }
+                                i += 2;
+                            }
+                            '\'' => {
+                                code.push('\'');
+                                i += 1;
+                                break;
+                            }
+                            _ => {
+                                code.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comments)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `rest` starts a raw/byte/C string literal (`r"`, `r#"`, `br#"`,
+/// `b"`, `c"`, …), returns `(prefix_len_before_quote, hash_count)`;
+/// `hash_count == usize::MAX` marks a non-raw (escape-honoring) literal.
+fn raw_or_byte_string_len(rest: &[char]) -> Option<(usize, usize)> {
+    let mut raw = false;
+    let j = match rest.first()? {
+        'r' => {
+            raw = true;
+            1
+        }
+        'b' | 'c' => {
+            if rest.get(1) == Some(&'r') {
+                raw = true;
+                2
+            } else {
+                1
+            }
+        }
+        _ => return None,
+    };
+    let mut hashes = 0;
+    while rest.get(j + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if rest.get(j + hashes) == Some(&'"') {
+        if raw {
+            Some((j + hashes, hashes))
+        } else if hashes == 0 {
+            Some((j, usize::MAX))
+        } else {
+            None
+        }
+    } else {
+        None
+    }
+}
+
+/// Marks the lines covered by `#[cfg(test)]`-gated blocks in scrubbed text.
+fn test_lines(scrubbed: &str) -> Vec<bool> {
+    let n_lines = scrubbed.lines().count();
+    let mut flags = vec![false; n_lines.max(1)];
+    let markers: Vec<usize> = scrubbed.match_indices("#[cfg(test)]").map(|(p, _)| p).collect();
+    let mut next_marker = 0usize;
+    let mut line = 0usize;
+    let mut depth = 0usize;
+    let mut pending = false;
+    let mut test_exit_depth: Option<usize> = None;
+    for (pos, c) in scrubbed.char_indices() {
+        if next_marker < markers.len() && pos == markers[next_marker] {
+            pending = true;
+            next_marker += 1;
+        }
+        if test_exit_depth.is_some() {
+            if let Some(f) = flags.get_mut(line) {
+                *f = true;
+            }
+        }
+        match c {
+            '{' => {
+                if pending {
+                    // This brace opens the gated item (mod or fn).
+                    test_exit_depth = test_exit_depth.or(Some(depth));
+                    pending = false;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if test_exit_depth == Some(depth) {
+                    test_exit_depth = None;
+                }
+            }
+            ';' if pending && test_exit_depth.is_none() => {
+                // `#[cfg(test)] use …;` — gates a single statement, not a
+                // block; nothing to skip.
+                pending = false;
+            }
+            '\n' => line += 1,
+            _ => {}
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(f: &SourceFile) -> Vec<&str> {
+        f.lines.iter().map(|l| l.code.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_and_captured() {
+        let f = SourceFile::from_source("x.rs", "let a = 1; // HashMap here\nlet b = 2;");
+        assert_eq!(codes(&f), ["let a = 1; ", "let b = 2;"]);
+        assert!(f.lines[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = SourceFile::from_source("x.rs", "let s = \"HashMap::new()\";");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_scan() {
+        let f = SourceFile::from_source(
+            "x.rs",
+            "let r = r#\"Instant \" inside\"#;\nlet c = 'x';\nfn f<'a>(v: &'a u8) {}",
+        );
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[2].code.contains("<'a>"), "{:?}", f.lines[2].code);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::from_source("x.rs", "a /* x\ny */ b");
+        assert_eq!(codes(&f), ["a ", " b"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let m = 1; }\n}\nfn tail() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        let in_test: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        // The `mod tests {` line is marked from its opening brace onward.
+        assert_eq!(in_test, [false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_does_not_gate_rest_of_file() {
+        let src = "#[cfg(test)]\nuse std::x;\nfn prod() { body(); }\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn allows_parse_with_and_without_reason() {
+        let a = parse_allows(" simcheck: allow(hash_order): tiny fixed map");
+        assert_eq!(a, [Allow { rule: "hash_order".into(), has_reason: true }]);
+        let b = parse_allows(" simcheck: allow(wall_clock)");
+        assert_eq!(b, [Allow { rule: "wall_clock".into(), has_reason: false }]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Workspace discovery: which files the lint scans.
+
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: `--root` when given, else the nearest
+/// ancestor of the current directory containing both `Cargo.toml` and
+/// `crates/`.
+///
+/// # Errors
+///
+/// Returns a message when no ancestor qualifies.
+pub fn find_root(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(r) = explicit {
+        return Ok(r.to_path_buf());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return Err(format!("no workspace root above {}", cwd.display())),
+        }
+    }
+}
+
+/// Every production source file the lint scans: `src/` trees of all
+/// workspace crates plus the root package, excluding `simcheck` itself
+/// (the linter is not sim state) and any `tests/` / `benches/` trees.
+pub fn source_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("src"), &mut out);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for krate in crates {
+            if krate.file_name().is_some_and(|n| n == "simcheck") {
+                continue;
+            }
+            collect_rs(&krate.join("src"), &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if name == "tests" || name == "benches" || name == "target" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

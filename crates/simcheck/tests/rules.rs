@@ -1,0 +1,138 @@
+//! Seeded regression fixtures: every rule must fire on a deliberately-bad
+//! source, stay quiet on the fixed/annotated variant, and the real
+//! workspace must lint clean (the acceptance criterion for every PR).
+
+use simcheck::rules::{lint_file, Finding};
+use simcheck::schema;
+use simcheck::source::SourceFile;
+
+fn findings(path: &str, src: &str) -> Vec<Finding> {
+    lint_file(&SourceFile::from_source(path, src)).findings
+}
+
+fn fires(path: &str, src: &str, rule: &str) -> bool {
+    findings(path, src).iter().any(|f| f.rule == rule)
+}
+
+#[test]
+fn hash_order_fires_on_default_hashmap() {
+    let bad = "use std::collections::HashMap;\npub struct S { m: HashMap<u64, u64> }\n";
+    assert!(fires("crates/dcl1/src/bad.rs", bad, "hash_order"));
+    let set = "fn f() { let s = std::collections::HashSet::new(); }\n";
+    assert!(fires("crates/mem/src/bad.rs", set, "hash_order"));
+}
+
+#[test]
+fn hash_order_accepts_btree_explicit_hasher_and_tests() {
+    assert!(!fires(
+        "crates/dcl1/src/ok.rs",
+        "use std::collections::BTreeMap;\npub struct S { m: BTreeMap<u64, u64> }\n",
+        "hash_order"
+    ));
+    assert!(!fires(
+        "crates/dcl1/src/ok.rs",
+        "fn f() { let m: HashMap<u8, u8, Fnv> = HashMap::with_hasher(Fnv); }\n",
+        "hash_order"
+    ));
+    assert!(!fires(
+        "crates/dcl1/src/ok.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t() { let m = std::collections::HashMap::new(); }\n}\n",
+        "hash_order"
+    ));
+}
+
+#[test]
+fn wall_clock_fires_only_in_hot_crates() {
+    let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+    for krate in ["gpu", "dcl1", "noc", "mem", "cache"] {
+        assert!(fires(&format!("crates/{krate}/src/bad.rs"), bad, "wall_clock"), "{krate}");
+    }
+    // The bench runner legitimately measures wall time.
+    assert!(!fires("crates/bench/src/runner.rs", bad, "wall_clock"));
+    let env = "fn f() { let v = std::env::var(\"DCL1_SCALE\"); }\n";
+    assert!(fires("crates/gpu/src/bad.rs", env, "wall_clock"));
+}
+
+#[test]
+fn truncating_cast_fires_on_counter_narrowing() {
+    let bad = "fn f(&self) -> u32 { self.cycles as u32 }\n";
+    assert!(fires("crates/noc/src/bad.rs", bad, "truncating_cast"));
+    let flits = "let x = packet.data_flits as u16;\n";
+    assert!(fires("crates/noc/src/bad.rs", flits, "truncating_cast"));
+}
+
+#[test]
+fn truncating_cast_accepts_widening_lengths_and_expect() {
+    assert!(!fires("crates/noc/src/ok.rs", "let x = self.cycles as u64;\n", "truncating_cast"));
+    assert!(!fires("crates/noc/src/ok.rs", "let x = v.len() as u32;\n", "truncating_cast"));
+    let waived = "#[expect(clippy::cast_possible_truncation)]\nfn f(&self) -> u32 { self.cycles as u32 }\n";
+    assert!(!fires("crates/noc/src/ok.rs", waived, "truncating_cast"));
+}
+
+#[test]
+fn float_accum_fires_on_running_float_sum() {
+    let bad = "pub struct S { acc: f64 }\nimpl S { fn add(&mut self, v: f64) { self.acc += v; } }\n";
+    assert!(fires("crates/obs/src/bad.rs", bad, "float_accum"));
+    let local = "fn f(vs: &[f64]) -> f64 { let mut sum = 0.0; for v in vs { sum += v; } sum }\n";
+    assert!(fires("crates/bench/src/bad.rs", local, "float_accum"));
+}
+
+#[test]
+fn float_accum_exempts_the_welford_home_and_integers() {
+    let welford = "pub struct M { wmean: f64 }\nimpl M { fn p(&mut self, d: f64) { self.wmean += d; } }\n";
+    assert!(!fires("crates/common/src/stats.rs", welford, "float_accum"));
+    assert!(!fires("crates/dcl1/src/ok.rs", "fn f(&mut self) { self.now += 1; }\n", "float_accum"));
+}
+
+#[test]
+fn annotations_suppress_with_reason_and_report_without() {
+    let with_reason = "// simcheck: allow(hash_order): insertion-only, never iterated\nlet m: HashMap<u8, u8> = mk();\n";
+    let r = lint_file(&SourceFile::from_source("crates/dcl1/src/x.rs", with_reason));
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+
+    let bare = "let m: HashMap<u8, u8> = mk(); // simcheck: allow(hash_order)\n";
+    let r = lint_file(&SourceFile::from_source("crates/dcl1/src/x.rs", bare));
+    assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("reason"));
+
+    let typo = "// simcheck: allow(hash_ordering): oops\nfn f() {}\n";
+    let r = lint_file(&SourceFile::from_source("crates/dcl1/src/x.rs", typo));
+    assert!(r.findings[0].message.contains("unknown rule"), "{:?}", r.findings);
+}
+
+#[test]
+fn stats_schema_fires_on_unbumped_field_change() {
+    let old = "pub struct RunStats {\n    pub cycles: u64,\n}\n";
+    let new = "pub struct RunStats {\n    pub cycles: u64,\n    pub extra: u64,\n}\n";
+    let (old_fp, _) = schema::fingerprint_stats(old).unwrap();
+    let (new_fp, new_count) = schema::fingerprint_stats(new).unwrap();
+    assert_ne!(old_fp, new_fp);
+    let lock = schema::Lock { fingerprint: old_fp, field_count: 1, cache_version: 2 };
+    let state = schema::SchemaState {
+        fingerprint: new_fp,
+        field_count: new_count,
+        cache_version: 2, // not bumped
+        seen_guard: Some(new_count),
+    };
+    let findings = schema::check_schema(&state, Some(&lock));
+    assert!(
+        findings.iter().any(|f| f.rule == "stats_schema"
+            && f.message.contains("without bumping CACHE_SCHEMA_VERSION")),
+        "{findings:?}"
+    );
+}
+
+/// The acceptance criterion: the real workspace lints clean.
+#[test]
+fn workspace_is_simcheck_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let report = simcheck::run_lint(&root).expect("lint runs");
+    assert!(report.files > 50, "workspace discovery broke: {} files", report.files);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(rendered.is_empty(), "workspace has findings:\n{}", rendered.join("\n"));
+}

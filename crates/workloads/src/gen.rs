@@ -108,6 +108,8 @@ impl AppTrace {
 }
 
 impl TraceSource for AppTrace {
+    // access_span is a single-digit spec constant; the draw fits u32.
+    #[expect(clippy::cast_possible_truncation)]
     fn next_instr(&mut self) -> WavefrontInstr {
         if self.remaining == 0 {
             return WavefrontInstr::Done;
@@ -166,6 +168,7 @@ impl TraceFactory for AppSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
     use crate::spec::catalog;

@@ -64,6 +64,9 @@ fn tag_kind(tag: u8) -> Option<MemKind> {
 /// # Errors
 ///
 /// Returns any I/O error from creating or writing the file.
+// On-disk field widths (u32 counts, u8 latencies/sector counts) bound
+// every cast; values above them cannot be produced by the generators.
+#[expect(clippy::cast_possible_truncation)]
 pub fn record_trace(factory: &dyn TraceFactory, path: impl AsRef<Path>) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
@@ -138,6 +141,8 @@ impl FileTraceFactory {
     ///
     /// Returns an I/O error on read failure, or `InvalidData` if the file
     /// is not a well-formed `DCL1TRC1` trace.
+    // Sector counts were stored as u8; the u32 product is exact.
+    #[expect(clippy::cast_possible_truncation)]
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut r = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 8];
@@ -203,6 +208,7 @@ impl TraceFactory for FileTraceFactory {
 }
 
 #[cfg(test)]
+#[allow(clippy::cast_possible_truncation)] // test values are tiny
 mod tests {
     use super::*;
     use crate::by_name;

@@ -3,6 +3,9 @@
 //! schema shape, span-phase coverage per sampled load, sampling cadence —
 //! and check that attaching an observer does not perturb the simulation.
 
+// Integration test: unwraps on fixture setup are the right failure mode.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1_repro::common::{LineAddr, SplitMix64};
 use dcl1_repro::dcl1::{
     Design, GpuConfig, GpuSystem, MetricsFormat, Observer, SimOptions,

@@ -7,6 +7,8 @@
 //! cargo test --release --test paper_claims -- --ignored
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use dcl1_repro::dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimOptions};
 use dcl1_repro::workloads::by_name;
 
