@@ -1,0 +1,188 @@
+//! Allocation smoke test for the simulator's hot paths.
+//!
+//! Installs a counting global allocator, warms each structure up, then
+//! drives its steady-state loop with counting enabled:
+//!
+//! * **Component probes** — the slab MSHR (allocate / merge /
+//!   `complete_into` with a caller scratch buffer), the open-addressed
+//!   `PresenceMap` (fill / probe / evict / `mean_replicas`), and the
+//!   `FlatMap` index behind both (insert / probe / remove at stable
+//!   capacity). These must perform **exactly zero** heap allocations in
+//!   steady state: that is the contract the allocation-free refactor
+//!   established, and this binary is the tripwire that keeps it.
+//!
+//! * **System probe** — steps a full `GpuSystem` and reports allocations
+//!   per cycle. The end-to-end loop is *not* zero-alloc by design (CTA
+//!   dispatch boxes new wavefront traces; every generated memory
+//!   instruction carries its coalesced-access `Vec`), so this probe
+//!   asserts a generous per-cycle bound instead — enough headroom for
+//!   trace generation, little enough that reintroducing a per-event
+//!   tree-node or per-completion `Vec` trips it.
+//!
+//! Exits nonzero on any violation, so CI can run it as a plain step.
+
+use dcl1::{Design, GpuConfig, GpuSystem, PresenceMap, SimOptions};
+use dcl1_cache::Mshr;
+use dcl1_common::{FlatMap, LineAddr};
+use dcl1_workloads::by_name;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Global toggle: the shim only counts while a probe window is open, so
+/// setup and reporting don't pollute the numbers.
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator shim that counts allocations while enabled. Only
+/// `alloc` and `dealloc` are implemented: the default `realloc` /
+/// `alloc_zeroed` route through `alloc`, so growth is counted too.
+struct CountingAlloc;
+
+// The only unsafe in the workspace: two direct delegations to the system
+// allocator, with the same layout contract the caller already upheld.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting enabled; returns (allocs, bytes).
+fn count<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    ALLOCS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let r = f();
+    COUNTING.store(false, Ordering::Relaxed);
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed), r)
+}
+
+/// Asserts a probe window allocated nothing; reports and flips `failed`
+/// otherwise.
+fn expect_zero(name: &str, allocs: u64, bytes: u64, failed: &mut bool) {
+    if allocs == 0 {
+        println!("{name:<44} OK   (0 allocations)");
+    } else {
+        println!("{name:<44} FAIL ({allocs} allocations, {bytes} bytes)");
+        *failed = true;
+    }
+}
+
+const STEADY_OPS: u64 = 1_000_000;
+
+fn probe_mshr(failed: &mut bool) {
+    let mut mshr: Mshr<u64> = Mshr::new(64, 8);
+    let mut scratch: Vec<u64> = Vec::new();
+    let drive = |mshr: &mut Mshr<u64>, scratch: &mut Vec<u64>, iters: u64| {
+        for i in 0..iters {
+            let line = LineAddr::new(i % 48);
+            let _ = mshr.try_allocate(line, i);
+            let _ = mshr.try_allocate(line, i + 1);
+            if i % 3 == 0 {
+                scratch.clear();
+                mshr.complete_into(line, scratch);
+            }
+        }
+    };
+    // Warm up: first-touch growth of waiter vectors and the scratch.
+    drive(&mut mshr, &mut scratch, 10_000);
+    let (allocs, bytes, ()) = count(|| drive(&mut mshr, &mut scratch, STEADY_OPS));
+    expect_zero("mshr slab (alloc/merge/complete_into)", allocs, bytes, failed);
+}
+
+fn probe_presence(failed: &mut bool) {
+    const LINES: u64 = 4096;
+    let mut p = PresenceMap::with_capacity(LINES as usize);
+    let drive = |p: &mut PresenceMap, iters: u64| {
+        let mut mean = 0.0;
+        for i in 0..iters {
+            let line = LineAddr::new(i % LINES);
+            p.on_fill(line);
+            if i % 2 == 0 {
+                p.on_evict(line);
+            }
+            if i % 64 == 0 {
+                mean = p.mean_replicas();
+            }
+        }
+        mean
+    };
+    drive(&mut p, 2 * LINES);
+    let (allocs, bytes, mean) = count(|| drive(&mut p, STEADY_OPS));
+    assert!(mean >= 0.0, "mean_replicas must be defined");
+    expect_zero("presence map (fill/evict/mean_replicas)", allocs, bytes, failed);
+}
+
+fn probe_flatmap(failed: &mut bool) {
+    const KEYS: u64 = 4096;
+    let mut map: FlatMap<u64> = FlatMap::with_capacity(KEYS as usize);
+    let drive = |map: &mut FlatMap<u64>, iters: u64| {
+        for i in 0..iters {
+            let key = i % KEYS;
+            map.insert(key, i);
+            std::hint::black_box(map.get(key));
+            if i % 2 == 1 {
+                map.remove(key);
+            }
+        }
+    };
+    drive(&mut map, 2 * KEYS);
+    let (allocs, bytes, ()) = count(|| drive(&mut map, STEADY_OPS));
+    expect_zero("flat map (insert/probe/remove at capacity)", allocs, bytes, failed);
+}
+
+fn probe_system(failed: &mut bool) {
+    // Generous tripwire, not a zero-alloc claim: trace generation
+    // legitimately allocates (one access `Vec` per memory instruction,
+    // CTA dispatch boxes wavefront traces). Reintroducing per-event heap
+    // structures on the completion paths multiplies this figure.
+    const MAX_ALLOCS_PER_STEP: f64 = 8.0;
+    const WARMUP_STEPS: u64 = 20_000;
+    const PROBE_STEPS: u64 = 20_000;
+    let cfg = GpuConfig::default();
+    let app = by_name("T-AlexNet").expect("known workload");
+    let mut sys = GpuSystem::build(&cfg, &Design::flagship(&cfg), &app, SimOptions::default())
+        .expect("flagship design builds");
+    for _ in 0..WARMUP_STEPS {
+        sys.step();
+    }
+    let (allocs, bytes, ()) = count(|| {
+        for _ in 0..PROBE_STEPS {
+            sys.step();
+        }
+    });
+    let per_step = allocs as f64 / PROBE_STEPS as f64;
+    let ok = per_step <= MAX_ALLOCS_PER_STEP;
+    println!(
+        "system step loop (bound {MAX_ALLOCS_PER_STEP}/cycle)          {} ({per_step:.2} allocs/cycle, {bytes} bytes over {PROBE_STEPS} cycles)",
+        if ok { "OK  " } else { "FAIL" },
+    );
+    if !ok {
+        *failed = true;
+    }
+}
+
+fn main() {
+    println!("alloc-probe: steady-state allocation audit ({STEADY_OPS} ops per component)\n");
+    let mut failed = false;
+    probe_mshr(&mut failed);
+    probe_presence(&mut failed);
+    probe_flatmap(&mut failed);
+    probe_system(&mut failed);
+    if failed {
+        println!("\nalloc-probe: FAILED — a hot path allocated in steady state");
+        std::process::exit(1);
+    }
+    println!("\nalloc-probe: all probes passed");
+}

@@ -102,6 +102,43 @@ fn bench_mshr() {
     });
 }
 
+fn bench_mshr_complete_into() {
+    use dcl1_cache::Mshr;
+    // The steady-state hot path: allocate + merge waiters, then drain a
+    // fill through a caller-owned scratch buffer. After warm-up neither
+    // the slab nor the scratch allocates.
+    let mut mshr: Mshr<u64> = Mshr::new(64, 8);
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut i = 0u64;
+    bench("mshr_merge_complete_into", || {
+        i += 1;
+        let line = LineAddr::new(i % 32);
+        let _ = mshr.try_allocate(black_box(line), i);
+        let _ = mshr.try_allocate(line, i + 1); // merge on the same entry
+        if i.is_multiple_of(4) {
+            scratch.clear();
+            black_box(mshr.complete_into(line, &mut scratch));
+        }
+    });
+}
+
+fn bench_flatmap() {
+    use dcl1_common::FlatMap;
+    // Insert/probe/remove churn over a clustered key range: the access
+    // pattern the MSHR index and dirty-line set see.
+    let mut map: FlatMap<u64> = FlatMap::with_capacity(4096);
+    let mut i = 0u64;
+    bench("flatmap_insert_probe_remove", || {
+        i += 1;
+        let key = i % 4096;
+        map.insert(black_box(key), i);
+        black_box(map.get(key));
+        if i.is_multiple_of(2) {
+            map.remove(key.wrapping_sub(7) % 4096);
+        }
+    });
+}
+
 fn bench_dram() {
     use dcl1_mem::{DramConfig, MemoryController};
     let mut mc: MemoryController<u32> = MemoryController::new(DramConfig::default());
@@ -131,6 +168,23 @@ fn bench_presence() {
     });
 }
 
+fn bench_presence_mean() {
+    use dcl1::PresenceMap;
+    // `mean_replicas` runs every replica-sampling interval; with the
+    // incrementally maintained aggregates it must be O(1) in the number
+    // of resident lines, not a walk over them.
+    let mut p = PresenceMap::with_capacity(10_000);
+    for i in 0..10_000u64 {
+        p.on_fill(LineAddr::new(i));
+        if i.is_multiple_of(3) {
+            p.on_fill(LineAddr::new(i)); // some replication
+        }
+    }
+    bench("presence_mean_replicas_10k_lines", || {
+        black_box(p.mean_replicas());
+    });
+}
+
 fn bench_system_step() {
     let cfg = GpuConfig::default();
     let app = by_name("T-AlexNet").unwrap();
@@ -148,7 +202,10 @@ fn main() {
     bench_crossbar_idle();
     bench_trace();
     bench_mshr();
+    bench_mshr_complete_into();
+    bench_flatmap();
     bench_dram();
     bench_presence();
+    bench_presence_mean();
     bench_system_step();
 }

@@ -3,6 +3,9 @@
 //!
 //! Usage: `DCL1_SCALE=full cargo run --release -p dcl1-bench --bin experiments [figNN ...]`
 //!
+//! `--workers=N` pins the simulation worker-thread count (default: one
+//! per available core).
+//!
 //! Observability: `--trace[=PATH]`, `--metrics[=PATH]`,
 //! `--metrics-interval=N` and `--observe=APP/DESIGN` additionally run one
 //! instrumented point and print its stall-attribution table (see
@@ -18,6 +21,19 @@ fn main() {
     let scale = Scale::from_env();
     let mut filter: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsCli::parse(&mut filter);
+    filter.retain(|a| match a.strip_prefix("--workers=") {
+        None => true,
+        Some(w) => {
+            match w.parse::<usize>() {
+                Ok(n) if n > 0 => dcl1_bench::runner::set_worker_override(n),
+                _ => {
+                    eprintln!("experiments: bad --workers={w}: expected a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            false
+        }
+    });
     obs.run_if_enabled(scale);
     let all: Vec<(&str, Experiment)> = vec![
         ("tab1", ex::tab1_private_configs::run),

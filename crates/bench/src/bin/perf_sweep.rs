@@ -12,6 +12,8 @@
 //!   ... --json=PATH         # where to write the JSON report
 //!   ... --only=SUBSTR       # keep only points whose "APP/DESIGN" name
 //!                           # contains SUBSTR (repeatable)
+//!   ... --workers=N         # pin the worker-thread count (default: one
+//!                           # per available core); recorded in the JSON
 //!   ... --design=NAME       # sweep these designs instead of the default
 //!                           # four (repeatable; names per Design::from_str,
 //!                           # e.g. pr4, sh16, sh16+c8+boost)
@@ -40,7 +42,8 @@ fn sweep_json(
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"points\": [",
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"workers\": {},\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"points\": [",
+        runner::effective_workers(),
         m.simulated,
         m.memory_hits + m.disk_hits,
     );
@@ -71,6 +74,15 @@ fn main() {
         .unwrap_or("BENCH_sweep.json")
         .to_string();
     let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
+    if let Some(w) = args.iter().find_map(|a| a.strip_prefix("--workers=")) {
+        match w.parse::<usize>() {
+            Ok(n) if n > 0 => runner::set_worker_override(n),
+            _ => {
+                eprintln!("perf_sweep: bad --workers={w}: expected a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
     let scale = Scale::from_env();
 
     if !keep_cache {

@@ -565,16 +565,34 @@ pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) 
         .collect()
 }
 
-/// Runs many simulation points across all CPU cores, preserving input
-/// order in the output.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker-thread count used by [`run_apps`] for every subsequent
+/// call in this process; `0` restores the default (one thread per
+/// available core). Benchmark drivers expose this as `--workers=N` so
+/// throughput numbers taken on shared machines are reproducible.
+pub fn set_worker_override(workers: usize) {
+    WORKER_OVERRIDE.store(workers, Ordering::Relaxed);
+}
+
+/// The worker-thread count [`run_apps`] will use: the override if one is
+/// set, otherwise the number of available cores.
+pub fn effective_workers() -> usize {
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        n => n,
+    }
+}
+
+/// Runs many simulation points across [`effective_workers`] threads,
+/// preserving input order in the output.
 ///
 /// # Panics
 ///
 /// Re-panics with the failing request's app/design name if any worker
 /// panics.
 pub fn run_apps(reqs: &[RunRequest], scale: Scale) -> Vec<RunStats> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    run_apps_with_workers(reqs, scale, workers)
+    run_apps_with_workers(reqs, scale, effective_workers())
 }
 
 #[cfg(test)]

@@ -5,11 +5,24 @@
 //! the hierarchy; when the fill returns, every merged requester is woken.
 //! The paper's lite cores drop the per-core L1 **and its MSHRs** — in the
 //! DC-L1 designs the MSHR file lives in the DC-L1 node instead.
+//!
+//! # Representation
+//!
+//! The file is a *slab*: a flat `Vec` of `max_entries` slots allocated
+//! once at construction, a free-list of slot indices, and a deterministic
+//! FNV-keyed open-addressed index ([`dcl1_common::FlatMap`]) from line
+//! address to slot. The per-transaction operations (`try_allocate`,
+//! `is_pending`, `can_accept`, `complete_into`) are O(1) expected and
+//! allocation-free in steady state: waiter vectors live inside their slot
+//! and are drained, never dropped, so their capacity is reused across
+//! allocations. Where ordered iteration over outstanding entries is
+//! needed, [`lines_sorted`](Mshr::lines_sorted) sorts the ≤`max_entries`
+//! live lines by address — the same guarantee the previous `BTreeMap`
+//! representation provided implicitly, now paid for only on demand.
 
 use dcl1_common::invariant::{InvariantError, InvariantResult};
 use dcl1_common::stats::Counter;
-use dcl1_common::LineAddr;
-use std::collections::BTreeMap;
+use dcl1_common::{FlatMap, LineAddr};
 
 /// Outcome of a successful MSHR allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +31,14 @@ pub enum MshrAllocation {
     Allocated,
     /// The miss merged into an existing entry: no new fill request needed.
     Merged,
+}
+
+/// One slab slot. A slot is live iff its waiter list is non-empty (a live
+/// MSHR entry always holds at least its first requester).
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    line: LineAddr,
+    waiters: Vec<T>,
 }
 
 /// A file of miss status holding registers, generic over the requester
@@ -33,14 +54,23 @@ pub enum MshrAllocation {
 /// let line = LineAddr::new(9);
 /// assert_eq!(mshr.try_allocate(line, 100), Ok(MshrAllocation::Allocated));
 /// assert_eq!(mshr.try_allocate(line, 101), Ok(MshrAllocation::Merged));
-/// assert_eq!(mshr.complete(line), vec![100, 101]);
+/// // Hot paths reuse a caller-owned scratch buffer…
+/// let mut woken: Vec<u32> = Vec::new();
+/// assert_eq!(mshr.complete_into(line, &mut woken), 2);
+/// assert_eq!(woken, vec![100, 101]);
+/// // …while the allocating convenience wrapper stays available.
+/// assert_eq!(mshr.try_allocate(line, 102), Ok(MshrAllocation::Allocated));
+/// assert_eq!(mshr.complete(line), vec![102]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Mshr<T> {
-    // A BTreeMap rather than HashMap so any future iteration over
-    // outstanding entries is ordered by line address, independent of
-    // hasher state — part of the simulator's determinism contract.
-    entries: BTreeMap<LineAddr, Vec<T>>,
+    /// `max_entries` slots, allocated once; never grows.
+    slots: Vec<Slot<T>>,
+    /// Free slot indices (LIFO — recently drained slots, whose waiter
+    /// vectors have warmed-up capacity, are reused first).
+    free: Vec<usize>,
+    /// Deterministic line→slot index; pre-sized so it never re-hashes.
+    index: FlatMap<usize>,
     max_entries: usize,
     max_merges: usize,
     /// Lifetime entry allocations (first miss on a line).
@@ -69,8 +99,15 @@ impl<T> Mshr<T> {
     pub fn new(max_entries: usize, max_merges: usize) -> Self {
         assert!(max_entries > 0, "MSHR entry count must be nonzero");
         assert!(max_merges > 0, "MSHR merge limit must be nonzero");
+        let mut slots = Vec::with_capacity(max_entries);
+        slots.resize_with(max_entries, || Slot { line: LineAddr::new(0), waiters: Vec::new() });
+        // LIFO free list popping from the back: seed it reversed so the
+        // very first allocations hand out slots 0, 1, 2, …
+        let free: Vec<usize> = (0..max_entries).rev().collect();
         Mshr {
-            entries: BTreeMap::new(),
+            slots,
+            free,
+            index: FlatMap::with_capacity(max_entries),
             max_entries,
             max_merges,
             allocs: 0,
@@ -90,7 +127,8 @@ impl<T> Mshr<T> {
     /// Returns `Err(token)` — a structural stall, handing the token back —
     /// when no entry is free (new line) or the entry's merge list is full.
     pub fn try_allocate(&mut self, line: LineAddr, token: T) -> Result<MshrAllocation, T> {
-        if let Some(waiters) = self.entries.get_mut(&line) {
+        if let Some(&slot) = self.index.get(line.raw()) {
+            let waiters = &mut self.slots[slot].waiters;
             if waiters.len() >= self.max_merges {
                 self.merge_stalls.inc();
                 return Err(token);
@@ -100,11 +138,14 @@ impl<T> Mshr<T> {
             self.waiters_in += 1;
             return Ok(MshrAllocation::Merged);
         }
-        if self.entries.len() >= self.max_entries {
+        let Some(slot) = self.free.pop() else {
             self.entry_stalls.inc();
             return Err(token);
-        }
-        self.entries.insert(line, vec![token]);
+        };
+        debug_assert!(self.slots[slot].waiters.is_empty(), "free slot held waiters");
+        self.slots[slot].line = line;
+        self.slots[slot].waiters.push(token);
+        self.index.insert(line.raw(), slot);
         self.allocs += 1;
         self.waiters_in += 1;
         Ok(MshrAllocation::Allocated)
@@ -112,7 +153,7 @@ impl<T> Mshr<T> {
 
     /// Whether a fill for `line` is already outstanding.
     pub fn is_pending(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.index.contains_key(line.raw())
     }
 
     /// Whether `try_allocate(line, …)` would succeed right now — i.e. the
@@ -120,37 +161,56 @@ impl<T> Mshr<T> {
     /// cannot afford to lose a request (FIFO heads) must check this
     /// *before* dequeuing it.
     pub fn can_accept(&self, line: LineAddr) -> bool {
-        match self.entries.get(&line) {
-            Some(waiters) => waiters.len() < self.max_merges,
-            None => self.entries.len() < self.max_entries,
+        match self.index.get(line.raw()) {
+            Some(&slot) => self.slots[slot].waiters.len() < self.max_merges,
+            None => !self.free.is_empty(),
         }
     }
 
+    /// Completes the fill for `line`, appending all waiting tokens to
+    /// `out` in arrival order and returning how many were appended (zero
+    /// if the line had no entry). The freed slot keeps its waiter
+    /// vector's capacity, so a warmed-up file never allocates here.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<T>) -> usize {
+        let Some(slot) = self.index.remove(line.raw()) else {
+            return 0;
+        };
+        debug_assert_eq!(self.slots[slot].line, line, "MSHR index points at wrong slot");
+        let waiters = &mut self.slots[slot].waiters;
+        let n = waiters.len();
+        debug_assert!(n > 0, "indexed MSHR slot had no waiters");
+        out.append(waiters);
+        self.free.push(slot);
+        self.frees += 1;
+        self.waiters_out += n as u64;
+        debug_assert!(self.frees <= self.allocs, "MSHR free without alloc");
+        n
+    }
+
     /// Completes the fill for `line`, returning all waiting tokens in
-    /// arrival order (empty if the line had no entry).
+    /// arrival order (empty if the line had no entry). Convenience
+    /// wrapper over [`complete_into`](Mshr::complete_into) that allocates
+    /// the returned vector — hot paths should pass their own scratch
+    /// buffer to `complete_into` instead.
     pub fn complete(&mut self, line: LineAddr) -> Vec<T> {
-        let waiters = self.entries.remove(&line).unwrap_or_default();
-        if !waiters.is_empty() {
-            self.frees += 1;
-            self.waiters_out += waiters.len() as u64;
-            debug_assert!(self.frees <= self.allocs, "MSHR free without alloc");
-        }
-        waiters
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
     }
 
     /// Number of entries currently in use.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether no entries are in use.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether every entry is in use.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.max_entries
+        self.free.is_empty()
     }
 
     /// The configured entry capacity.
@@ -160,9 +220,20 @@ impl<T> Mshr<T> {
 
     /// Total requesters waiting across all entries (each entry counts its
     /// first requester plus merges) — the metrics sampler's occupancy
-    /// gauge, finer-grained than [`len`](Mshr::len).
+    /// gauge, finer-grained than [`len`](Mshr::len). Derived from the
+    /// lifetime conservation counters, so it is O(1).
     pub fn total_waiters(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        #[expect(clippy::cast_possible_truncation)] // bounded by entries×merges
+        let waiting = (self.waiters_in - self.waiters_out) as usize;
+        waiting
+    }
+
+    /// Lines with outstanding fills, in ascending address order — the
+    /// ordered-iteration guarantee the slab representation preserves from
+    /// the previous `BTreeMap`. Allocates the returned vector; intended
+    /// for reports and debugging, not per-cycle use.
+    pub fn lines_sorted(&self) -> Vec<LineAddr> {
+        self.index.sorted_keys().into_iter().map(LineAddr::new).collect()
     }
 
     /// Lifetime entry allocations.
@@ -186,8 +257,8 @@ impl<T> Mshr<T> {
     ///
     /// Returns the first violated law with its counter values.
     pub fn check_conservation(&self, site: &str) -> InvariantResult {
-        let live = self.entries.len() as u64;
-        if self.entries.len() > self.max_entries {
+        let live = self.index.len() as u64;
+        if self.index.len() > self.max_entries {
             return Err(InvariantError::new(
                 site,
                 format!("{} live entries exceed capacity {}", live, self.max_entries),
@@ -202,13 +273,26 @@ impl<T> Mshr<T> {
                 ),
             ));
         }
-        let waiting = self.total_waiters() as u64;
+        // Recount waiters from the slots themselves rather than trusting
+        // the O(1) derived gauge — this is the checker, after all.
+        let waiting: u64 = self.slots.iter().map(|s| s.waiters.len() as u64).sum();
         if self.waiters_in != self.waiters_out + waiting {
             return Err(InvariantError::new(
                 site,
                 format!(
                     "waiter leak: parked {} != released {} + waiting {}",
                     self.waiters_in, self.waiters_out, waiting
+                ),
+            ));
+        }
+        if self.index.len() + self.free.len() != self.max_entries {
+            return Err(InvariantError::new(
+                site,
+                format!(
+                    "slot leak: {} live + {} free != {} slots",
+                    self.index.len(),
+                    self.free.len(),
+                    self.max_entries
                 ),
             ));
         }
@@ -265,6 +349,19 @@ mod tests {
     }
 
     #[test]
+    fn complete_into_appends_and_reuses_scratch() {
+        let mut m: Mshr<u8> = Mshr::new(2, 2);
+        let (a, b) = (LineAddr::new(1), LineAddr::new(2));
+        m.try_allocate(a, 1).unwrap();
+        m.try_allocate(b, 2).unwrap();
+        let mut scratch = Vec::new();
+        assert_eq!(m.complete_into(a, &mut scratch), 1);
+        assert_eq!(m.complete_into(b, &mut scratch), 1);
+        assert_eq!(scratch, vec![1, 2], "tokens append, not overwrite");
+        assert_eq!(m.complete_into(a, &mut scratch), 0, "unknown line appends nothing");
+    }
+
+    #[test]
     fn freed_entry_is_reusable() {
         let mut m: Mshr<u8> = Mshr::new(1, 1);
         let (a, b) = (LineAddr::new(1), LineAddr::new(2));
@@ -272,5 +369,15 @@ mod tests {
         assert_eq!(m.try_allocate(b, 1), Err(1));
         m.complete(a);
         assert_eq!(m.try_allocate(b, 1), Ok(MshrAllocation::Allocated));
+    }
+
+    #[test]
+    fn lines_sorted_is_address_ordered() {
+        let mut m: Mshr<u8> = Mshr::new(4, 1);
+        for raw in [7, 3, 11, 5] {
+            m.try_allocate(LineAddr::new(raw), 0).unwrap();
+        }
+        let lines: Vec<u64> = m.lines_sorted().iter().map(|l| l.raw()).collect();
+        assert_eq!(lines, vec![3, 5, 7, 11]);
     }
 }

@@ -64,3 +64,71 @@ fn random_alloc_free_sequences_conserve_entries_and_waiters() {
         m.check_conservation("prop.mshr.drained").expect("drained check");
     }
 }
+
+/// Differential test of the slab MSHR against the old `BTreeMap`-backed
+/// implementation as a reference model: the same random
+/// allocate/merge/complete sequence must produce identical admission
+/// decisions, stall counters, waiter hand-back order, and — the part the
+/// slab must synthesize on demand — identical address-ordered line
+/// iteration.
+#[test]
+fn slab_matches_btreemap_reference_model() {
+    for seed in 0..12u64 {
+        let mut rng = SplitMix64::new(0x5AB0_CAFE ^ (seed << 5));
+        let entries = 1 + (rng.next_u64() % 5) as usize;
+        let merges = 1 + (rng.next_u64() % 3) as usize;
+        let mut m: Mshr<u64> = Mshr::new(entries, merges);
+        let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut model_entry_stalls = 0u64;
+        let mut model_merge_stalls = 0u64;
+        let mut model_merges = 0u64;
+        let mut scratch: Vec<u64> = Vec::new();
+        for step in 0..4000u64 {
+            let line = rng.next_u64() % 10;
+            if rng.next_u64() % 3 < 2 {
+                // Reference admission: merge if present with room, else
+                // allocate if an entry is free, else stall.
+                let model_result = if let Some(w) = model.get_mut(&line) {
+                    if w.len() < merges {
+                        w.push(step);
+                        model_merges += 1;
+                        Ok(MshrAllocation::Merged)
+                    } else {
+                        model_merge_stalls += 1;
+                        Err(step)
+                    }
+                } else if model.len() < entries {
+                    model.insert(line, vec![step]);
+                    Ok(MshrAllocation::Allocated)
+                } else {
+                    model_entry_stalls += 1;
+                    Err(step)
+                };
+                assert_eq!(
+                    m.try_allocate(LineAddr::new(line), step),
+                    model_result,
+                    "admission diverged at step {step}"
+                );
+            } else {
+                scratch.clear();
+                let n = m.complete_into(LineAddr::new(line), &mut scratch);
+                let expected = model.remove(&line).unwrap_or_default();
+                assert_eq!(scratch, expected, "waiter order diverged");
+                assert_eq!(n, expected.len(), "waiter count diverged");
+            }
+            assert_eq!(m.len(), model.len(), "entry count diverged");
+            assert_eq!(
+                m.total_waiters(),
+                model.values().map(Vec::len).sum::<usize>(),
+                "waiter population diverged"
+            );
+            assert_eq!(m.entry_stalls.get(), model_entry_stalls, "entry stalls diverged");
+            assert_eq!(m.merge_stalls.get(), model_merge_stalls, "merge stalls diverged");
+            assert_eq!(m.merges.get(), model_merges, "merge count diverged");
+            let sorted: Vec<u64> = m.lines_sorted().into_iter().map(LineAddr::raw).collect();
+            let model_sorted: Vec<u64> = model.keys().copied().collect();
+            assert_eq!(sorted, model_sorted, "ordered line iteration diverged");
+            assert_eq!(m.is_pending(LineAddr::new(line)), model.contains_key(&line));
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! * [`ids`] — strongly-typed identifiers for cores, DC-L1 nodes, L2 slices,
 //!   memory controllers and clusters;
 //! * [`clock`] — cycle counting and rational frequency-domain ticking;
+//! * [`flat`] — deterministic open-addressed maps/sets for hot-path state;
 //! * [`invariant`] — conservation-law meters backing checked-sim mode;
 //! * [`queue`] — bounded FIFO queues with occupancy/backpressure statistics;
 //! * [`stats`] — counters, running means and utilization helpers;
@@ -28,6 +29,7 @@
 pub mod addr;
 pub mod clock;
 pub mod error;
+pub mod flat;
 pub mod hist;
 pub mod ids;
 pub mod invariant;
@@ -38,6 +40,7 @@ pub mod stats;
 pub use addr::{Address, LineAddr, LINE_SIZE};
 pub use clock::{ClockDomain, Cycle};
 pub use error::ConfigError;
+pub use flat::{FlatMap, FlatSet};
 pub use hist::Histogram;
 pub use ids::{ClusterId, CoreId, McId, NodeId, SliceId, WavefrontId};
 pub use invariant::{FlowMeter, InvariantError, InvariantResult};

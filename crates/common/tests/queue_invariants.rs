@@ -7,7 +7,8 @@
 
 #![allow(clippy::cast_possible_truncation)] // test values are tiny
 
-use dcl1_common::{BoundedQueue, FlowMeter, SplitMix64};
+use dcl1_common::{BoundedQueue, FlatMap, FlatSet, FlowMeter, SplitMix64};
+use std::collections::{BTreeMap, BTreeSet};
 
 #[test]
 fn random_ops_conserve_items_and_respect_capacity() {
@@ -69,4 +70,82 @@ fn flowmeter_leak_is_reported_not_panicked() {
     m.consume(1);
     let err = m.check_drained().expect_err("2 in flight is a leak at drain");
     assert!(err.detail.contains("leak"), "{err}");
+}
+
+/// Differential test of the open-addressed `FlatMap` against `BTreeMap`
+/// as a reference model: random insert/remove/get sequences (with enough
+/// churn to exercise backward-shift deletion and growth) must agree on
+/// every return value, the live population, and the address-sorted
+/// iteration the map synthesizes on demand.
+#[test]
+fn flatmap_matches_btreemap_reference_model() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xF1A7_0000 ^ (seed * 0x9E37));
+        let mut map: FlatMap<u64> = if seed.is_multiple_of(2) {
+            FlatMap::new() // exercise growth from the minimum table
+        } else {
+            FlatMap::with_capacity(8)
+        };
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for step in 0..5000u64 {
+            // A mix of clustered (sequential) and scattered keys: the
+            // clustered half stresses probe-chain displacement.
+            let key = if rng.next_u64().is_multiple_of(2) {
+                rng.next_u64() % 48
+            } else {
+                rng.next_u64() << 6
+            };
+            match rng.next_u64() % 4 {
+                0 | 1 => {
+                    assert_eq!(
+                        map.insert(key, step),
+                        model.insert(key, step),
+                        "insert return diverged for key {key}"
+                    );
+                }
+                2 => {
+                    assert_eq!(
+                        map.remove(key),
+                        model.remove(&key),
+                        "remove return diverged for key {key}"
+                    );
+                }
+                _ => {
+                    assert_eq!(map.get(key), model.get(&key), "get diverged for key {key}");
+                    assert_eq!(map.contains_key(key), model.contains_key(&key));
+                }
+            }
+            assert_eq!(map.len(), model.len(), "population diverged");
+        }
+        let sorted = map.sorted_keys();
+        let model_sorted: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(sorted, model_sorted, "ordered iteration diverged");
+        let mut via_iter: Vec<(u64, u64)> = map.iter().map(|(k, &v)| (k, v)).collect();
+        via_iter.sort_unstable();
+        let model_pairs: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(via_iter, model_pairs, "key/value pairs diverged");
+    }
+}
+
+/// Same differential discipline for `FlatSet` (used for the L2 dirty-line
+/// set) against `BTreeSet`.
+#[test]
+fn flatset_matches_btreeset_reference_model() {
+    for seed in 0..8u64 {
+        let mut rng = SplitMix64::new(0x5E7_5E7 ^ (seed << 9));
+        let mut set = FlatSet::with_capacity(4);
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..3000 {
+            let key = rng.next_u64() % 96;
+            if rng.next_u64() % 3 < 2 {
+                assert_eq!(set.insert(key), model.insert(key), "insert diverged for {key}");
+            } else {
+                assert_eq!(set.remove(key), model.remove(&key), "remove diverged for {key}");
+            }
+            assert_eq!(set.contains(key), model.contains(&key));
+            assert_eq!(set.len(), model.len(), "population diverged");
+        }
+        let model_sorted: Vec<u64> = model.into_iter().collect();
+        assert_eq!(set.sorted_keys(), model_sorted, "ordered iteration diverged");
+    }
 }

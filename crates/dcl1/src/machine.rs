@@ -300,7 +300,11 @@ impl<'w> GpuSystem<'w> {
             dispatcher: CtaDispatcher::new(opts.cta_policy, factory.total_ctas(), cfg.cores),
             outbox: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
             outbox_cause: vec![MemBlock::OutboxDrain; cfg.cores],
-            presence: PresenceMap::new(),
+            // Distinct presence-tracked lines are bounded by the level's
+            // aggregate capacity; pre-sizing means the map never re-hashes.
+            presence: PresenceMap::with_capacity(
+                node_cfg.size_bytes / cfg.line_bytes.max(1) * topo.nodes,
+            ),
             l2_reply_stash: (0..l).map(|_| None).collect(),
             dram_stash: (0..l).map(|_| None).collect(),
             noc2_clock: ClockDomain::new(cfg.noc_mhz * topo.noc2_freq_mult, cfg.core_mhz),

@@ -90,6 +90,9 @@ pub struct Dcl1Node {
     hit_pipe: VecDeque<(Cycle, Txn)>,
     /// Replies (fills' waiters, acks, bypass returns) waiting for Q2 room.
     reply_stage: VecDeque<Txn>,
+    /// Scratch buffer for MSHR completions — reused every fill so the
+    /// per-transaction path never allocates in steady state.
+    fill_scratch: Vec<Txn>,
     config: NodeConfig,
     stats: NodeStats,
     now: Cycle,
@@ -120,6 +123,7 @@ impl Dcl1Node {
             q4: BoundedQueue::new(config.queue_entries),
             hit_pipe: VecDeque::new(),
             reply_stage: VecDeque::new(),
+            fill_scratch: Vec::new(),
             config,
             stats: NodeStats::default(),
             now: 0,
@@ -324,17 +328,15 @@ impl Dcl1Node {
                 MemKind::Load => {
                     // Install the line and wake every merged waiter.
                     self.install(txn.line, presence);
-                    let waiters = self.mshr.complete(txn.line);
-                    debug_assert!(
-                        !waiters.is_empty(),
-                        "fill for line with no MSHR entry"
-                    );
+                    self.fill_scratch.clear();
+                    let woken = self.mshr.complete_into(txn.line, &mut self.fill_scratch);
+                    debug_assert!(woken > 0, "fill for line with no MSHR entry");
                     if obs.tracing() {
-                        for w in &waiters {
+                        for w in &self.fill_scratch {
                             obs.trace_hop(w.id, "reply", self.now);
                         }
                     }
-                    self.reply_stage.extend(waiters);
+                    self.reply_stage.extend(self.fill_scratch.drain(..));
                 }
                 // Write ACKs, atomics and non-L1 replies bypass the cache.
                 MemKind::Store | MemKind::Atomic | MemKind::Aux => {

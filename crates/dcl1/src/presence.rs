@@ -5,17 +5,26 @@
 //! (Fig 1) is "L1 misses that could have been found in another L1 / total
 //! L1 misses", and Fig 16's replica counts are the mean number of copies
 //! per distinct resident line. Both fall out of this map.
+//!
+//! The map is a deterministic open-addressed table
+//! ([`dcl1_common::FlatMap`]) with incrementally maintained aggregates:
+//! `total_copies` and `distinct_lines` are updated on every fill/evict, so
+//! [`mean_replicas`](PresenceMap::mean_replicas) — which the metrics
+//! sampler calls every sampling interval — is O(1) instead of a walk over
+//! every resident line. Per-line reports get address-sorted output on
+//! demand from [`lines_sorted`](PresenceMap::lines_sorted), preserving the
+//! byte-stable iteration order the previous `BTreeMap` provided.
 
-use dcl1_common::LineAddr;
-use std::collections::BTreeMap;
+use dcl1_common::{FlatMap, LineAddr};
 
 /// Reference-counting presence map over all caches of one level.
 #[derive(Debug, Default, Clone)]
 pub struct PresenceMap {
-    // BTreeMap rather than HashMap so every iteration (`mean_replicas`,
-    // any future per-line report) visits lines in address order — byte-
-    // stable output regardless of hasher seed or std release.
-    counts: BTreeMap<LineAddr, u32>,
+    counts: FlatMap<u32>,
+    /// Sum of all per-line copy counts — kept in lockstep with `counts`
+    /// so the mean is a division, not a sum. An exact integer, so the
+    /// derived mean is bit-identical to the old on-demand summation.
+    total_copies: u64,
 }
 
 impl PresenceMap {
@@ -24,9 +33,23 @@ impl PresenceMap {
         PresenceMap::default()
     }
 
+    /// Creates an empty map pre-sized for `lines` distinct resident
+    /// lines. Presence is bounded by the level's aggregate capacity, so a
+    /// map sized for it never re-hashes — fills and evicts are
+    /// allocation-free for the whole run.
+    pub fn with_capacity(lines: usize) -> Self {
+        PresenceMap { counts: FlatMap::with_capacity(lines), total_copies: 0 }
+    }
+
     /// Records that some cache filled `line`.
     pub fn on_fill(&mut self, line: LineAddr) {
-        *self.counts.entry(line).or_insert(0) += 1;
+        match self.counts.get_mut(line.raw()) {
+            Some(c) => *c += 1,
+            None => {
+                self.counts.insert(line.raw(), 1);
+            }
+        }
+        self.total_copies += 1;
     }
 
     /// Records that some cache dropped `line` (eviction or write-evict).
@@ -36,10 +59,14 @@ impl PresenceMap {
     /// Panics in debug builds if the line was not present (an
     /// instrumentation bug in the caller).
     pub fn on_evict(&mut self, line: LineAddr) {
-        match self.counts.get_mut(&line) {
-            Some(c) if *c > 1 => *c -= 1,
+        match self.counts.get_mut(line.raw()) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.total_copies -= 1;
+            }
             Some(_) => {
-                self.counts.remove(&line);
+                self.counts.remove(line.raw());
+                self.total_copies -= 1;
             }
             None => debug_assert!(false, "evict of untracked line {line}"),
         }
@@ -47,7 +74,7 @@ impl PresenceMap {
 
     /// Copies of `line` currently resident across the level.
     pub fn copies(&self, line: LineAddr) -> u32 {
-        self.counts.get(&line).copied().unwrap_or(0)
+        self.counts.get(line.raw()).copied().unwrap_or(0)
     }
 
     /// Number of distinct lines resident anywhere in the level.
@@ -55,20 +82,42 @@ impl PresenceMap {
         self.counts.len()
     }
 
+    /// Total resident copies summed over every line. O(1): maintained
+    /// incrementally on fill/evict.
+    pub fn total_copies(&self) -> u64 {
+        self.total_copies
+    }
+
     /// Mean copies per distinct resident line (Fig 16's replica count);
-    /// 0.0 when the level is empty.
+    /// 0.0 when the level is empty. O(1) — safe to call every metrics
+    /// sampling interval.
     pub fn mean_replicas(&self) -> f64 {
         if self.counts.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.counts.values().map(|&c| c as u64).sum();
-        total as f64 / self.counts.len() as f64
+        self.total_copies as f64 / self.counts.len() as f64
+    }
+
+    /// Resident lines in ascending address order — the deterministic
+    /// iteration order any per-line report must use. Allocates the
+    /// returned vector; not for per-cycle use.
+    pub fn lines_sorted(&self) -> Vec<(LineAddr, u32)> {
+        self.counts
+            .sorted_keys()
+            .into_iter()
+            .map(|raw| {
+                let line = LineAddr::new(raw);
+                (line, self.copies(line))
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcl1_common::SplitMix64;
+    use std::collections::BTreeMap;
 
     #[test]
     fn fill_evict_round_trip() {
@@ -83,6 +132,7 @@ mod tests {
         p.on_evict(l);
         assert_eq!(p.copies(l), 0);
         assert_eq!(p.distinct_lines(), 0);
+        assert_eq!(p.total_copies(), 0);
     }
 
     #[test]
@@ -95,5 +145,65 @@ mod tests {
         p.on_fill(LineAddr::new(2));
         assert!((p.mean_replicas() - 2.0).abs() < 1e-12);
         assert_eq!(p.distinct_lines(), 2);
+        assert_eq!(p.total_copies(), 4);
+    }
+
+    #[test]
+    fn lines_sorted_is_address_ordered() {
+        let mut p = PresenceMap::with_capacity(8);
+        for raw in [30, 10, 20] {
+            p.on_fill(LineAddr::new(raw));
+        }
+        p.on_fill(LineAddr::new(10));
+        let report: Vec<(u64, u32)> =
+            p.lines_sorted().into_iter().map(|(l, c)| (l.raw(), c)).collect();
+        assert_eq!(report, vec![(10, 2), (20, 1), (30, 1)]);
+    }
+
+    /// Differential property test: the open-addressed map against the old
+    /// `BTreeMap` implementation as a reference model — same random
+    /// fill/evict sequence ⇒ same copies, distinct-line count,
+    /// bit-identical mean, and identical sorted iteration.
+    #[test]
+    fn matches_btreemap_reference_model() {
+        for seed in 0..8u64 {
+            let mut p = PresenceMap::with_capacity(16);
+            let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+            let mut rng = SplitMix64::new(0x9E37_79B9 ^ (seed << 4));
+            for _ in 0..4000 {
+                let raw = rng.next_u64() % 64;
+                let line = LineAddr::new(raw);
+                if rng.next_u64().is_multiple_of(2) || !model.contains_key(&raw) {
+                    p.on_fill(line);
+                    *model.entry(raw).or_insert(0) += 1;
+                } else {
+                    p.on_evict(line);
+                    match model.get_mut(&raw) {
+                        Some(c) if *c > 1 => *c -= 1,
+                        _ => {
+                            model.remove(&raw);
+                        }
+                    }
+                }
+                assert_eq!(p.copies(line), model.get(&raw).copied().unwrap_or(0));
+                assert_eq!(p.distinct_lines(), model.len());
+                let model_total: u64 = model.values().map(|&c| u64::from(c)).sum();
+                assert_eq!(p.total_copies(), model_total);
+                let model_mean = if model.is_empty() {
+                    0.0
+                } else {
+                    model_total as f64 / model.len() as f64
+                };
+                assert_eq!(
+                    p.mean_replicas().to_bits(),
+                    model_mean.to_bits(),
+                    "mean must be bit-identical to the reference"
+                );
+            }
+            let sorted: Vec<(u64, u32)> =
+                p.lines_sorted().into_iter().map(|(l, c)| (l.raw(), c)).collect();
+            let model_sorted: Vec<(u64, u32)> = model.into_iter().collect();
+            assert_eq!(sorted, model_sorted, "ordered iteration diverged");
+        }
     }
 }

@@ -123,6 +123,24 @@ pub struct IssuedMem {
     pub instr: MemInstr,
 }
 
+/// Outcome of visiting one slot during an issue scan.
+enum Visit {
+    /// Nothing issued from this slot; keep scanning.
+    Continue,
+    /// An ALU instruction issued; the cycle is consumed.
+    Alu,
+    /// A memory instruction issued; the cycle is consumed.
+    Mem(IssuedMem),
+}
+
+/// Scan-wide accumulators threaded through [`Core::visit_slot`].
+struct ScanAcc {
+    mem_blocked: bool,
+    any_ready: bool,
+    ready_blocked: usize,
+    min_busy: Cycle,
+}
+
 /// One GPU core: wavefront contexts plus a greedy round-robin issue stage.
 #[derive(Debug)]
 pub struct Core {
@@ -145,6 +163,17 @@ pub struct Core {
     /// classification: any waiter makes an idle cycle a fill-wait).
     waiting_wavefronts: usize,
     rr: usize,
+    /// Schedulable-slot bitmask, valid when `use_mask`: bit `i` is set iff
+    /// slot `i` holds a wavefront that is *not* `WaitingMem` — i.e. stored
+    /// `Ready` or `Busy` (lazy `Busy → Ready` resolution happens during
+    /// the scan, so `Busy` slots must stay visible to it). Issue scans walk
+    /// only set bits, making scan cost proportional to schedulable
+    /// wavefronts instead of `max_wavefronts`; in memory-bound phases most
+    /// slots are `WaitingMem` and the scan collapses to a few bit tricks.
+    sched_mask: u64,
+    /// Whether `sched_mask` covers every slot (`max_wavefronts <= 64`).
+    /// Larger cores fall back to the full rotated scan.
+    use_mask: bool,
     /// Reusable scratch buffer for GTO ordering (avoids per-tick allocs).
     order_buf: Vec<usize>,
     /// Inert-tick memo: when `scan_valid`, the last full scan issued
@@ -180,6 +209,8 @@ impl Core {
             resident_wavefronts: 0,
             waiting_wavefronts: 0,
             rr: 0,
+            sched_mask: 0,
+            use_mask: config.max_wavefronts <= 64,
             order_buf: Vec::with_capacity(config.max_wavefronts),
             scan_valid: false,
             ready_count: 0,
@@ -204,10 +235,44 @@ impl Core {
         self.stats = CoreStats::default();
     }
 
-    /// Whether another CTA of `wavefronts` wavefronts fits.
+    /// Whether another CTA of `wavefronts` wavefronts fits. O(1): free
+    /// slots are `max_wavefronts - resident_wavefronts` by construction.
     pub fn can_host_cta(&self, wavefronts: usize) -> bool {
         self.resident_ctas < self.config.max_ctas
-            && self.slots.iter().filter(|s| s.is_none()).count() >= wavefronts
+            && self.slots.len() - self.resident_wavefronts >= wavefronts
+    }
+
+    /// Marks slot `idx` schedulable (no-op on mask-less large cores).
+    #[inline]
+    fn mask_set(&mut self, idx: usize) {
+        if self.use_mask {
+            self.sched_mask |= 1 << idx;
+        }
+    }
+
+    /// Marks slot `idx` unschedulable (no-op on mask-less large cores).
+    #[inline]
+    fn mask_clear(&mut self, idx: usize) {
+        if self.use_mask {
+            self.sched_mask &= !(1 << idx);
+        }
+    }
+
+    /// Debug-build check that `sched_mask` mirrors the slots: bit set iff
+    /// the slot is occupied by a non-`WaitingMem` wavefront.
+    #[cfg(debug_assertions)]
+    fn debug_assert_mask(&self) {
+        if !self.use_mask {
+            return;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let want = matches!(slot, Some(wf) if !wf.is_waiting_mem());
+            debug_assert_eq!(
+                self.sched_mask & (1 << i) != 0,
+                want,
+                "sched_mask out of sync at slot {i}"
+            );
+        }
     }
 
     /// Installs a CTA's wavefronts into free slots.
@@ -229,6 +294,9 @@ impl Core {
                         self.resident_wavefronts += 1;
                         // The new wavefront is stored-`Ready`.
                         self.ready_count += 1;
+                        if self.use_mask {
+                            self.sched_mask |= 1 << i;
+                        }
                         self.age_counter += 1;
                         self.slot_age[i] = self.age_counter;
                     }
@@ -310,6 +378,22 @@ impl Core {
     /// [`tick`](Core::tick)'s scan would.
     pub fn blocked_until(&mut self, now: Cycle) -> Option<Cycle> {
         let mut horizon = Cycle::MAX;
+        if self.use_mask {
+            // Only schedulable (`Ready`/`Busy`) slots can affect the
+            // answer; `WaitingMem` slots neither resolve nor bound it.
+            let mut m = self.sched_mask;
+            while m != 0 {
+                let idx = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let wf = self.slots[idx].as_mut().expect("masked slot is occupied");
+                match wf.state(now) {
+                    WavefrontState::Ready => return None,
+                    WavefrontState::Busy { until } => horizon = horizon.min(until),
+                    WavefrontState::WaitingMem { .. } | WavefrontState::Finished => {}
+                }
+            }
+            return Some(horizon);
+        }
         for slot in self.slots.iter_mut().flatten() {
             match slot.state(now) {
                 WavefrontState::Ready => return None,
@@ -370,107 +454,179 @@ impl Core {
         }
 
         let n = self.slots.len();
-        let mut mem_blocked = false;
-        let mut any_ready = false;
-        let mut ready_blocked = 0usize;
-        let mut min_busy = Cycle::MAX;
+        let mut acc = ScanAcc {
+            mem_blocked: false,
+            any_ready: false,
+            ready_blocked: 0,
+            min_busy: Cycle::MAX,
+        };
 
-        // Build the scan order for this cycle.
-        if self.config.issue_policy == IssuePolicy::GreedyThenOldest {
-            self.order_buf.clear();
-            if let Some(last) = self.last_issued {
-                if self.slots[last].is_some() {
-                    self.order_buf.push(last);
-                }
-            }
-            let last = self.last_issued;
-            let mut rest: Vec<usize> = (0..n)
-                .filter(|&i| Some(i) != last && self.slots[i].is_some())
-                .collect();
-            rest.sort_by_key(|&i| self.slot_age[i]);
-            self.order_buf.extend(rest);
-        }
-
-        for k in 0..n {
-            let idx = match self.config.issue_policy {
-                IssuePolicy::GreedyRoundRobin => (self.rr + k) % n,
-                IssuePolicy::GreedyThenOldest => match self.order_buf.get(k) {
-                    Some(&i) => i,
-                    None => break,
-                },
-            };
-            let Some(wf) = self.slots[idx].as_mut() else { continue };
-            match wf.state(now) {
-                WavefrontState::Ready => {}
-                WavefrontState::Busy { until } => {
-                    min_busy = min_busy.min(until);
-                    continue;
-                }
-                WavefrontState::WaitingMem { .. } | WavefrontState::Finished => continue,
-            }
-            match wf.peek() {
-                WavefrontInstr::Done => {
-                    wf.set_finished();
-                    self.retire_slot(idx);
-                    continue;
-                }
-                WavefrontInstr::Alu { .. } => {
-                    let WavefrontInstr::Alu { latency } = wf.take() else { unreachable!() };
-                    wf.set_busy(now + 1 + latency as Cycle);
-                    self.stats.instructions.inc();
-                    self.rr = (idx + 1) % n;
-                    self.last_issued = Some(idx);
-                    self.scan_valid = false;
-                    return None;
-                }
-                WavefrontInstr::Mem(_) => {
-                    any_ready = true;
-                    if !mem_ready {
-                        // Port busy: remember the stall, try other
-                        // wavefronts for ALU work.
-                        mem_blocked = true;
-                        ready_blocked += 1;
-                        continue;
-                    }
-                    let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
-                    debug_assert!(!instr.accesses.is_empty(), "memory instruction with no accesses");
-                    wf.set_waiting(u32::try_from(instr.accesses.len()).expect("coalesced count"));
-                    self.waiting_wavefronts += 1;
-                    self.stats.instructions.inc();
-                    self.stats.mem_instructions.inc();
-                    let issued = IssuedMem {
-                        core: self.id,
-                        wavefront: WavefrontId::new(idx),
-                        instr,
+        // Walk schedulable slots in policy order. `WaitingMem` slots are
+        // never visited on the masked paths: observing one is a pure no-op
+        // in the full scan (`state()` does not resolve anything for
+        // waiters and the scan just `continue`s), so skipping them is
+        // observably identical. `Busy` slots stay in the mask so their
+        // lazy `Busy → Ready` resolution and `min_busy` bound happen
+        // exactly as the full scan would.
+        match self.config.issue_policy {
+            IssuePolicy::GreedyRoundRobin if self.use_mask => {
+                // Rotated-mask round robin: visit set bits at indices
+                // `rr..n` in ascending order, then `0..rr` — the same
+                // sequence as `(rr + k) % n` filtered to schedulable
+                // slots. `rr < n <= 64`, so the shift is in range.
+                let mut hi = self.sched_mask & (!0u64 << self.rr);
+                let mut lo = self.sched_mask & !(!0u64 << self.rr);
+                loop {
+                    let m = if hi != 0 {
+                        &mut hi
+                    } else if lo != 0 {
+                        &mut lo
+                    } else {
+                        break;
                     };
-                    self.rr = (idx + 1) % n;
-                    self.last_issued = Some(idx);
-                    self.scan_valid = false;
-                    return Some(issued);
+                        let idx = m.trailing_zeros() as usize;
+                    *m &= *m - 1;
+                    match self.visit_slot(idx, now, mem_ready, &mut acc) {
+                        Visit::Continue => {}
+                        Visit::Alu => return None,
+                        Visit::Mem(issued) => return Some(issued),
+                    }
+                }
+            }
+            IssuePolicy::GreedyRoundRobin => {
+                for k in 0..n {
+                    let idx = (self.rr + k) % n;
+                    match self.visit_slot(idx, now, mem_ready, &mut acc) {
+                        Visit::Continue => {}
+                        Visit::Alu => return None,
+                        Visit::Mem(issued) => return Some(issued),
+                    }
+                }
+            }
+            IssuePolicy::GreedyThenOldest => {
+                // Last issuer first (greediness), then the remaining
+                // schedulable slots oldest-first. Built in `order_buf` and
+                // sorted in place — no per-scan allocation.
+                self.order_buf.clear();
+                let last = self.last_issued.filter(|&l| self.slots[l].is_some());
+                if let Some(l) = last {
+                    self.order_buf.push(l);
+                }
+                let tail = self.order_buf.len();
+                if self.use_mask {
+                    let mut m = self.sched_mask;
+                    while m != 0 {
+                                let idx = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        if Some(idx) != last {
+                            self.order_buf.push(idx);
+                        }
+                    }
+                } else {
+                    for i in 0..n {
+                        if Some(i) != last && self.slots[i].is_some() {
+                            self.order_buf.push(i);
+                        }
+                    }
+                }
+                // Ages are unique (monotone assignment counter), so the
+                // order is total and independent of collection order.
+                let ages = &self.slot_age;
+                self.order_buf[tail..].sort_unstable_by_key(|&i| ages[i]);
+                for k in 0..self.order_buf.len() {
+                    let idx = self.order_buf[k];
+                    match self.visit_slot(idx, now, mem_ready, &mut acc) {
+                        Visit::Continue => {}
+                        Visit::Alu => return None,
+                        Visit::Mem(issued) => return Some(issued),
+                    }
                 }
             }
         }
 
-        // Nothing issued: every occupied slot was observed, so the inert
-        // memo can be (re)validated exactly. The surviving stored-`Ready`
-        // wavefronts are precisely the memory-blocked ones.
-        self.ready_count = ready_blocked;
-        self.validated_ready = ready_blocked;
-        self.next_busy_expiry = min_busy;
+        #[cfg(debug_assertions)]
+        self.debug_assert_mask();
+
+        // Nothing issued: every schedulable slot was observed, so the
+        // inert memo can be (re)validated exactly. The surviving
+        // stored-`Ready` wavefronts are precisely the memory-blocked ones.
+        self.ready_count = acc.ready_blocked;
+        self.validated_ready = acc.ready_blocked;
+        self.next_busy_expiry = acc.min_busy;
         self.scan_valid = true;
 
-        if mem_blocked {
+        if acc.mem_blocked {
             // `mem_blocked` only becomes true behind a closed port, so the
             // cause is always present.
             self.count_mem_stall(block.unwrap_or(MemBlock::OutboxDrain));
-        } else if !any_ready {
+        } else if !acc.any_ready {
             self.count_idle(1);
         }
         None
     }
 
+    /// Examines one slot during an issue scan: resolves its state against
+    /// `now`, retires finished wavefronts, and issues at most one
+    /// instruction. Scan-wide observations accumulate in `acc`.
+    #[inline]
+    fn visit_slot(&mut self, idx: usize, now: Cycle, mem_ready: bool, acc: &mut ScanAcc) -> Visit {
+        let n = self.slots.len();
+        let Some(wf) = self.slots[idx].as_mut() else { return Visit::Continue };
+        match wf.state(now) {
+            WavefrontState::Ready => {}
+            WavefrontState::Busy { until } => {
+                acc.min_busy = acc.min_busy.min(until);
+                return Visit::Continue;
+            }
+            WavefrontState::WaitingMem { .. } | WavefrontState::Finished => return Visit::Continue,
+        }
+        match wf.peek() {
+            WavefrontInstr::Done => {
+                wf.set_finished();
+                self.retire_slot(idx);
+                Visit::Continue
+            }
+            WavefrontInstr::Alu { .. } => {
+                let WavefrontInstr::Alu { latency } = wf.take() else { unreachable!() };
+                wf.set_busy(now + 1 + latency as Cycle);
+                self.stats.instructions.inc();
+                self.rr = (idx + 1) % n;
+                self.last_issued = Some(idx);
+                self.scan_valid = false;
+                Visit::Alu
+            }
+            WavefrontInstr::Mem(_) => {
+                acc.any_ready = true;
+                if !mem_ready {
+                    // Port busy: remember the stall, try other wavefronts
+                    // for ALU work.
+                    acc.mem_blocked = true;
+                    acc.ready_blocked += 1;
+                    return Visit::Continue;
+                }
+                let WavefrontInstr::Mem(instr) = wf.take() else { unreachable!() };
+                debug_assert!(!instr.accesses.is_empty(), "memory instruction with no accesses");
+                wf.set_waiting(u32::try_from(instr.accesses.len()).expect("coalesced count"));
+                self.mask_clear(idx);
+                self.waiting_wavefronts += 1;
+                self.stats.instructions.inc();
+                self.stats.mem_instructions.inc();
+                let issued = IssuedMem {
+                    core: self.id,
+                    wavefront: WavefrontId::new(idx),
+                    instr,
+                };
+                self.rr = (idx + 1) % n;
+                self.last_issued = Some(idx);
+                self.scan_valid = false;
+                Visit::Mem(issued)
+            }
+        }
+    }
+
     fn retire_slot(&mut self, idx: usize) {
         self.slots[idx] = None;
+        self.mask_clear(idx);
         self.resident_wavefronts -= 1;
         if self.last_issued == Some(idx) {
             self.last_issued = None;
@@ -499,6 +655,7 @@ impl Core {
             // the `ready_count == validated_ready` comparison.
             self.ready_count += 1;
             self.waiting_wavefronts -= 1;
+            self.mask_set(wavefront.index());
         }
     }
 }

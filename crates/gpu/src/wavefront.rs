@@ -82,6 +82,13 @@ impl Wavefront {
         self.state = WavefrontState::Finished;
     }
 
+    /// Whether the wavefront is blocked on memory. A non-resolving query
+    /// (unlike [`state`](Wavefront::state), never mutates `Busy` expiry),
+    /// so schedulers can use it for bookkeeping checks.
+    pub fn is_waiting_mem(&self) -> bool {
+        matches!(self.state, WavefrontState::WaitingMem { .. })
+    }
+
     /// Signals completion of one outstanding memory transaction.
     ///
     /// Returns `true` if the wavefront became ready.

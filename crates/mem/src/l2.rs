@@ -1,8 +1,8 @@
 //! One address-sliced L2 cache bank.
 
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, MshrAllocation, SetAssocCache, SetIndexing};
-use dcl1_common::{BoundedQueue, ConfigError, Cycle, LineAddr};
-use std::collections::{BTreeSet, VecDeque};
+use dcl1_common::{BoundedQueue, ConfigError, Cycle, FlatSet, LineAddr};
+use std::collections::VecDeque;
 
 /// What a memory access wants from the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,9 +117,13 @@ pub struct L2Slice<T> {
     /// Replies waiting out the access latency: ready-time ordered.
     pending_replies: VecDeque<(Cycle, L2Reply<T>)>,
     dram_out: VecDeque<DramAccess>,
-    // BTreeSet rather than HashSet: membership-only today, but any future
-    // iteration (e.g. a flush phase) must be hasher-independent.
-    dirty: BTreeSet<LineAddr>,
+    // Deterministic open-addressed set: membership-only today, but any
+    // future iteration (e.g. a flush phase) must be hasher-independent —
+    // FlatSet::sorted_keys provides that on demand.
+    dirty: FlatSet,
+    /// Scratch buffer for MSHR completions, reused across fills so the
+    /// fan-out never allocates in steady state.
+    fill_scratch: Vec<(MemAccessKind, T)>,
     config: L2Config,
     stats: L2Stats,
     now: Cycle,
@@ -142,7 +146,10 @@ impl<T> L2Slice<T> {
             input: BoundedQueue::new(config.input_queue),
             pending_replies: VecDeque::new(),
             dram_out: VecDeque::new(),
-            dirty: BTreeSet::new(),
+            // Dirty lines are resident lines, so sizing the set at the
+            // slice's line capacity means it never re-hashes.
+            dirty: FlatSet::with_capacity(config.size_bytes / config.line_size),
+            fill_scratch: Vec::new(),
             config,
             stats: L2Stats::default(),
             now: 0,
@@ -221,11 +228,11 @@ impl<T> L2Slice<T> {
                 self.stats.accesses.inc();
                 if hit { self.stats.hits.inc() } else { self.stats.misses.inc() }
                 if let Some(evicted) = self.cache.fill(line) {
-                    if self.dirty.remove(&evicted) {
+                    if self.dirty.remove(evicted.raw()) {
                         self.dram_out.push_back(DramAccess { line: evicted, is_write: true });
                     }
                 }
-                self.dirty.insert(line);
+                self.dirty.insert(line.raw());
                 self.queue_reply(line, kind, hit, req.payload, self.config.latency);
             }
             MemAccessKind::Atomic => {
@@ -243,7 +250,7 @@ impl<T> L2Slice<T> {
                 match self.cache.lookup(line) {
                     LookupResult::Hit => {
                         let req = self.input.pop().expect("front was Some");
-                        self.dirty.insert(line);
+                        self.dirty.insert(line.raw());
                         self.queue_reply(
                             line,
                             kind,
@@ -278,16 +285,23 @@ impl<T> L2Slice<T> {
     /// requesters.
     pub fn dram_fill(&mut self, line: LineAddr) {
         if let Some(evicted) = self.cache.fill(line) {
-            if self.dirty.remove(&evicted) {
+            if self.dirty.remove(evicted.raw()) {
                 self.dram_out.push_back(DramAccess { line: evicted, is_write: true });
             }
         }
-        for (kind, payload) in self.mshr.complete(line) {
+        // Drain the waiters through the reusable scratch buffer (taken out
+        // of `self` so `queue_reply` can borrow `&mut self`), keeping its
+        // capacity for the next fill.
+        let mut woken = std::mem::take(&mut self.fill_scratch);
+        woken.clear();
+        self.mshr.complete_into(line, &mut woken);
+        for (kind, payload) in woken.drain(..) {
             if kind == MemAccessKind::Atomic {
-                self.dirty.insert(line);
+                self.dirty.insert(line.raw());
             }
             self.queue_reply(line, kind, false, payload, self.config.latency);
         }
+        self.fill_scratch = woken;
     }
 
     /// Pops the oldest reply whose latency has elapsed.
