@@ -10,9 +10,15 @@
 //! `--metrics-interval=N` and `--observe=APP/DESIGN` additionally run one
 //! instrumented point and print its stall-attribution table (see
 //! `dcl1_bench::ObsCli`).
+//!
+//! Supervision: `--journal[=PATH]` checkpoints each completed point,
+//! `--resume[=PATH]` preloads the journal so a killed run resimulates
+//! only unfinished points, and `--chaos=SEED` / `--deadline=SECS` /
+//! `--watchdog=CYCLES` configure fault injection and hang detection (see
+//! `dcl1_bench::ResCli`).
 
 use dcl1_bench::experiments as ex;
-use dcl1_bench::{ObsCli, Scale, Table};
+use dcl1_bench::{ObsCli, ResCli, Scale, Table};
 
 /// One experiment entry point.
 type Experiment = fn(Scale) -> Vec<Table>;
@@ -21,6 +27,8 @@ fn main() {
     let scale = Scale::from_env();
     let mut filter: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsCli::parse(&mut filter);
+    let res = ResCli::parse(&mut filter);
+    eprintln!("[experiments] {}", res.banner());
     filter.retain(|a| match a.strip_prefix("--workers=") {
         None => true,
         Some(w) => {
@@ -67,4 +75,20 @@ fn main() {
         eprintln!("[{name}] done in {:.1?} (total {:.1?})", t.elapsed(), t0.elapsed());
     }
     println!("{}", dcl1_bench::runner::throughput_summary());
+    let recovery = dcl1_bench::runner::recovery_log();
+    if !recovery.is_clean() {
+        eprintln!(
+            "[experiments] recovery: {} retries, {} quarantines, {} cache corruptions, \
+             {} livelocks, {} deadlines, {} resumed",
+            recovery.retries,
+            recovery.quarantines,
+            recovery.cache_corruptions,
+            recovery.livelocks,
+            recovery.deadlines,
+            recovery.resumed_points
+        );
+        for line in recovery.events() {
+            eprintln!("[experiments]   {line}");
+        }
+    }
 }

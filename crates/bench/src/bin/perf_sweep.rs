@@ -5,11 +5,19 @@
 //! then prints per-point timings and the aggregate throughput table, and
 //! writes the same data machine-readably to `BENCH_sweep.json`.
 //!
+//! The sweep is supervised: worker panics and watchdog-detected hangs are
+//! retried with deterministic backoff and, on exhaustion, quarantined —
+//! the sweep completes, the quarantined points are listed in the JSON
+//! report, and the exit code is nonzero only when a point failed without
+//! fault injection armed.
+//!
 //! Usage:
 //!   DCL1_SCALE=smoke cargo run --release -p dcl1-bench --bin perf_sweep
 //!   ... --no-fast-forward   # disable the idle fast-forward (A/B baseline)
 //!   ... --keep-cache        # skip the cache clear (measure warm behavior)
 //!   ... --json=PATH         # where to write the JSON report
+//!   ... --stats-out=PATH    # also write the canonical per-point stats
+//!                           # dump (byte-comparable across runs)
 //!   ... --only=SUBSTR       # keep only points whose "APP/DESIGN" name
 //!                           # contains SUBSTR (repeatable)
 //!   ... --workers=N         # pin the worker-thread count (default: one
@@ -17,36 +25,57 @@
 //!   ... --design=NAME       # sweep these designs instead of the default
 //!                           # four (repeatable; names per Design::from_str,
 //!                           # e.g. pr4, sh16, sh16+c8+boost)
+//!   ... --journal[=PATH] --resume[=PATH] --chaos=SEED --deadline=SECS
+//!                           # supervision knobs (see ResCli)
 //!   ... --trace[=PATH] --metrics[=PATH] --metrics-interval=N
 //!                           # also run one observed point (see ObsCli)
 
 use dcl1::{Design, GpuConfig, SimOptions};
-use dcl1_bench::runner::{self, RunRequest};
-use dcl1_bench::{ObsCli, Scale, Table};
+use dcl1_bench::runner::{self, RunRequest, SweepOutcome};
+use dcl1_bench::{ObsCli, ResCli, Scale, Table};
 use dcl1_obs::json::escape;
 use dcl1_workloads::all_apps;
 use std::fmt::Write as _;
 
 /// Renders the sweep report as a JSON document.
+#[expect(clippy::too_many_arguments)] // a report has many independent facts
 fn sweep_json(
     scale: Scale,
     fast_forward: bool,
     timings: &[runner::PointTiming],
+    outcome: &SweepOutcome,
     total_points: usize,
     total_sim_cycles: u64,
     end_to_end_wall: f64,
+    chaos_seed: Option<u64>,
+    digest: &str,
 ) -> String {
     let m = runner::memo_stats();
     let sim_wall = m.wall_nanos as f64 / 1e9;
     let khz = if sim_wall > 0.0 { m.sim_cycles as f64 / sim_wall / 1e3 } else { 0.0 };
+    let recovery = runner::recovery_log();
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"workers\": {},\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"points\": [",
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"workers\": {},\n  \"chaos_seed\": {},\n  \"stats_digest\": \"{digest}\",\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"recovery\": {{ {} }},\n  \"quarantined\": [",
         runner::effective_workers(),
+        chaos_seed.map_or("null".to_string(), |s| s.to_string()),
         m.simulated,
         m.memory_hits + m.disk_hits,
+        recovery.json_fields(),
     );
+    for (i, q) in outcome.quarantined.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"point\": \"{}\", \"attempts\": {}, \"class\": \"{}\", \"error\": \"{}\"}}",
+            if i == 0 { "" } else { "," },
+            escape(&q.point),
+            q.attempts,
+            escape(&q.class),
+            escape(&q.error),
+        );
+    }
+    out.push_str("\n  ],\n  \"points\": [");
     for (i, t) in timings.iter().enumerate() {
         let _ = write!(
             out,
@@ -66,6 +95,7 @@ fn sweep_json(
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs = ObsCli::parse(&mut args);
+    let res = ResCli::parse(&mut args);
     let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
     let keep_cache = args.iter().any(|a| a == "--keep-cache");
     let json_path = args
@@ -73,6 +103,7 @@ fn main() {
         .find_map(|a| a.strip_prefix("--json="))
         .unwrap_or("BENCH_sweep.json")
         .to_string();
+    let stats_out = args.iter().find_map(|a| a.strip_prefix("--stats-out=")).map(String::from);
     let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
     if let Some(w) = args.iter().find_map(|a| a.strip_prefix("--workers=")) {
         match w.parse::<usize>() {
@@ -88,6 +119,7 @@ fn main() {
     if !keep_cache {
         runner::clear_disk_cache();
     }
+    eprintln!("[perf_sweep] {}", res.banner());
     let cfg = GpuConfig::default();
     let designs: Vec<Design> = {
         let named: Vec<Design> = args
@@ -124,7 +156,7 @@ fn main() {
     }
 
     let t0 = std::time::Instant::now();
-    let stats = runner::run_apps(&reqs, scale);
+    let outcome = runner::run_apps_supervised(&reqs, scale, runner::effective_workers());
     let wall = t0.elapsed();
 
     let mut per_point = Table::new(
@@ -144,19 +176,70 @@ fn main() {
     }
     println!("{per_point}");
     println!("{}", runner::throughput_summary());
-    let total: u64 = stats.iter().map(|s| s.cycles).sum();
+    let completed = outcome.completed();
+    let total: u64 = completed.iter().map(|s| s.cycles).sum();
     println!(
-        "sweep: {} points, {total} sim-cycles, {:.2} s end-to-end wall",
-        stats.len(),
+        "sweep: {} points ({} quarantined), {total} sim-cycles, {:.2} s end-to-end wall",
+        reqs.len(),
+        outcome.quarantined.len(),
         wall.as_secs_f64()
     );
+    let recovery = runner::recovery_log();
+    if !recovery.is_clean() {
+        eprintln!(
+            "[perf_sweep] recovery: {} retries, {} quarantines, {} cache corruptions, \
+             {} livelocks, {} deadlines, {} resumed",
+            recovery.retries,
+            recovery.quarantines,
+            recovery.cache_corruptions,
+            recovery.livelocks,
+            recovery.deadlines,
+            recovery.resumed_points
+        );
+        for line in recovery.events() {
+            eprintln!("[perf_sweep]   {line}");
+        }
+    }
 
-    let report =
-        sweep_json(scale, fast_forward, &timings, stats.len(), total, wall.as_secs_f64());
+    // Canonical per-point stats: the byte-comparable artifact resume and
+    // chaos CI jobs diff against a fault-free reference run.
+    let labeled: Vec<(String, dcl1::RunStats)> = reqs
+        .iter()
+        .zip(&outcome.results)
+        .filter_map(|(req, r)| r.as_ref().map(|s| (runner::point_label(req), s.clone())))
+        .collect();
+    let digest = runner::stats_digest(&labeled);
+    if let Some(path) = &stats_out {
+        match std::fs::write(path, runner::canonical_stats_dump(&labeled)) {
+            Ok(()) => eprintln!("[perf_sweep] wrote {path}"),
+            Err(e) => eprintln!("[perf_sweep] cannot write {path}: {e}"),
+        }
+    }
+
+    let report = sweep_json(
+        scale,
+        fast_forward,
+        &timings,
+        &outcome,
+        reqs.len(),
+        total,
+        wall.as_secs_f64(),
+        res.chaos_seed,
+        &digest,
+    );
     match std::fs::write(&json_path, report) {
         Ok(()) => eprintln!("[perf_sweep] wrote {json_path}"),
         Err(e) => eprintln!("[perf_sweep] cannot write {json_path}: {e}"),
     }
 
     obs.run_if_enabled(scale);
+
+    // Under chaos, quarantines are injected on purpose (persistent-panic
+    // points); the proof of robustness is the byte-identical digest plus
+    // the quarantine report, so the sweep still exits 0. Without chaos, a
+    // quarantined point is a genuine failure.
+    if !outcome.quarantined.is_empty() && res.chaos_seed.is_none() {
+        eprintln!("[perf_sweep] {} point(s) failed supervision", outcome.quarantined.len());
+        std::process::exit(1);
+    }
 }

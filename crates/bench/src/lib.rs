@@ -14,9 +14,14 @@
 
 pub mod experiments;
 pub mod obscli;
+pub mod rescli;
 pub mod runner;
 pub mod table;
 
 pub use obscli::ObsCli;
-pub use runner::{run_app, run_app_observed, run_apps, RunRequest, Scale};
+pub use rescli::ResCli;
+pub use runner::{
+    run_app, run_app_observed, run_app_result, run_apps, run_apps_supervised, RunRequest, Scale,
+    SweepOutcome,
+};
 pub use table::Table;

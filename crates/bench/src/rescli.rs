@@ -1,0 +1,187 @@
+//! Shared supervision/recovery command-line handling for the bench
+//! binaries: checkpoint journal, resume, chaos injection, watchdog and
+//! deadline knobs.
+
+use crate::runner;
+use std::path::PathBuf;
+
+/// Default checkpoint-journal path.
+pub const DEFAULT_JOURNAL_PATH: &str = "BENCH_journal.jsonl";
+
+/// Parsed supervision flags.
+///
+/// Recognized (and removed from the argument list by [`ResCli::parse`]):
+///
+/// * `--journal[=PATH]` — append each completed point to a checkpoint
+///   journal (default `BENCH_journal.jsonl`);
+/// * `--resume[=PATH]` — preload the journal before sweeping, so only
+///   unfinished points are resimulated; implies `--journal` at the same
+///   path;
+/// * `--chaos=SEED` — deterministic fault injection (worker panics,
+///   stalls, cache corruption; see `dcl1_resilience::Chaos`). Also drops
+///   the retry backoff to zero so recovery does not slow the sweep;
+/// * `--deadline=SECS` — per-point wall-clock budget; a point exceeding it
+///   fails the attempt (and is retried, then quarantined);
+/// * `--watchdog=CYCLES` — progress-watchdog epoch override (`0`
+///   disables; default `dcl1::DEFAULT_WATCHDOG_EPOCH`);
+/// * `--retry-backoff-ms=N` — retry backoff unit (attempt `n` sleeps
+///   `n × N` ms; default 50).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResCli {
+    /// Journal path, when journaling was requested.
+    pub journal: Option<PathBuf>,
+    /// Whether `--resume` was given.
+    pub resume: bool,
+    /// Chaos seed, when fault injection was requested.
+    pub chaos_seed: Option<u64>,
+    /// Points restored from the journal by `--resume`.
+    pub resumed_points: usize,
+    /// Journal lines skipped as torn/corrupt during `--resume`.
+    pub skipped_lines: usize,
+}
+
+impl ResCli {
+    /// Extracts supervision flags from `args`, applies them to the runner
+    /// (chaos, watchdog, deadline, journal, resume), and leaves every
+    /// other argument in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed value (e.g. a
+    /// non-numeric `--chaos`) or an unopenable journal.
+    pub fn parse(args: &mut Vec<String>) -> ResCli {
+        let mut cli = ResCli::default();
+        args.retain(|arg| {
+            let (flag, value) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            match flag {
+                "--journal" => {
+                    cli.journal = Some(PathBuf::from(value.unwrap_or(DEFAULT_JOURNAL_PATH)));
+                }
+                "--resume" => {
+                    cli.resume = true;
+                    if cli.journal.is_none() {
+                        cli.journal = Some(PathBuf::from(value.unwrap_or(DEFAULT_JOURNAL_PATH)));
+                    }
+                }
+                "--chaos" => {
+                    cli.chaos_seed = Some(
+                        value
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--chaos needs =SEED, got {arg:?}")),
+                    );
+                }
+                "--deadline" => {
+                    let secs: u64 = value
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--deadline needs =SECS, got {arg:?}"));
+                    runner::set_point_deadline_secs(secs);
+                }
+                "--watchdog" => {
+                    let epoch: u64 = value
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--watchdog needs =CYCLES, got {arg:?}"));
+                    runner::set_watchdog_epoch(epoch);
+                }
+                "--retry-backoff-ms" => {
+                    let ms: u64 = value
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--retry-backoff-ms needs =N, got {arg:?}"));
+                    runner::set_retry_backoff_ms(ms);
+                }
+                _ => return true,
+            }
+            false
+        });
+        runner::set_chaos(cli.chaos_seed);
+        if cli.chaos_seed.is_some() {
+            // Chaos sweeps recover dozens of injected faults; sleeping
+            // through linear backoff on each would dominate CI time
+            // without making the proof any stronger.
+            runner::set_retry_backoff_ms(0);
+        }
+        if let Some(path) = &cli.journal {
+            if cli.resume {
+                let (restored, skipped) = runner::resume_from_journal(path);
+                cli.resumed_points = restored;
+                cli.skipped_lines = skipped;
+            }
+            runner::set_journal(path)
+                .unwrap_or_else(|e| panic!("cannot open journal {}: {e}", path.display()));
+        }
+        cli
+    }
+
+    /// One-line summary of what supervision was configured, for banners.
+    #[must_use]
+    pub fn banner(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(p) = &self.journal {
+            parts.push(format!("journal={}", p.display()));
+        }
+        if self.resume {
+            parts.push(format!(
+                "resumed {} point(s), skipped {} line(s)",
+                self.resumed_points, self.skipped_lines
+            ));
+        }
+        if let Some(seed) = self.chaos_seed {
+            parts.push(format!("chaos seed={seed}"));
+        }
+        if parts.is_empty() {
+            "supervision: defaults".to_string()
+        } else {
+            format!("supervision: {}", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_strips_only_supervision_flags() {
+        let _guard = runner::test_env_lock();
+        let mut args: Vec<String> = [
+            "--only=C-BLK",
+            "--chaos=42",
+            "--deadline=120",
+            "--watchdog=65536",
+            "--retry-backoff-ms=0",
+            "--keep-cache",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = ResCli::parse(&mut args);
+        assert_eq!(args, vec!["--only=C-BLK".to_string(), "--keep-cache".to_string()]);
+        assert_eq!(cli.chaos_seed, Some(42));
+        assert!(cli.journal.is_none());
+        assert!(!cli.resume);
+        assert!(cli.banner().contains("chaos seed=42"));
+        // Leave process-wide knobs as other tests expect them.
+        runner::set_chaos(None);
+        runner::set_point_deadline_secs(0);
+        runner::set_watchdog_epoch(dcl1::DEFAULT_WATCHDOG_EPOCH);
+        runner::set_retry_backoff_ms(50);
+    }
+
+    #[test]
+    fn resume_implies_journal_at_same_path() {
+        let _guard = runner::test_env_lock();
+        let dir = std::env::temp_dir().join(format!("dcl1-rescli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("j.jsonl");
+        let mut args = vec![format!("--resume={}", jpath.display())];
+        let cli = ResCli::parse(&mut args);
+        assert!(args.is_empty());
+        assert!(cli.resume);
+        assert_eq!(cli.journal.as_deref(), Some(jpath.as_path()));
+        assert_eq!(cli.resumed_points, 0, "empty journal restores nothing");
+        runner::clear_journal();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,17 +1,34 @@
-//! Simulation execution: single runs and parallel sweeps.
+//! Simulation execution: single runs and supervised parallel sweeps.
 //!
-//! Results are memoized twice: in-process (a `HashMap` behind a mutex) and
+//! Results are memoized twice: in-process (a `BTreeMap` behind a mutex) and
 //! on disk under `target/dcl1-cache/`, keyed by a structured hash of the
 //! full (app, design, config, options, scale) point. Experiment modules
 //! that share points (e.g. every figure's baseline runs) pay for them once
 //! per machine, not once per process.
+//!
+//! Sweeps run under supervision ([`run_apps_supervised`]): each point is
+//! executed behind panic containment with retry-and-deterministic-backoff
+//! ([`dcl1_resilience::supervise`]), hangs are converted into structured
+//! livelock/deadline errors by the machine's progress watchdog, and a point
+//! that exhausts its retry budget is *quarantined* — reported in the sweep
+//! outcome while every other point completes. On-disk cache entries carry a
+//! content checksum and are written via temp-file + atomic rename (safe for
+//! concurrent writers); a corrupt entry is moved to a `quarantine/` subdir
+//! and transparently recomputed. An optional append-only checkpoint journal
+//! ([`set_journal`] / [`resume_from_journal`]) makes long sweeps resumable
+//! after a kill, and deterministic fault injection ([`set_chaos`]) exists
+//! to prove all of the above actually works.
 
-use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimOptions};
+use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimError, SimOptions};
+use dcl1_common::{checksum, journal};
+use dcl1_obs::recovery::RecoveryLog;
+use dcl1_resilience::{
+    supervise, Chaos, QuarantineRecord, RetryPolicy, SupervisionEvent,
+};
 use dcl1_workloads::AppSpec;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -281,20 +298,106 @@ fn deserialize_stats(text: &str) -> Option<RunStats> {
     }
 }
 
-fn disk_load(key: u128) -> Option<RunStats> {
-    let path = disk_cache_dir().join(format!("{key:032x}.stats"));
-    let text = std::fs::read_to_string(path).ok()?;
-    deserialize_stats(&text)
+/// Renders the on-disk cache entry: a `checksum <16 hex>` header covering
+/// the serialized statistics body. Readers verify it before trusting the
+/// body; legacy headerless v2 entries remain readable (the 29-field shape
+/// guard still rejects truncation there), so adding the header did not
+/// require a schema bump.
+fn serialize_entry(stats: &RunStats) -> String {
+    let body = serialize_stats(stats);
+    format!("checksum {}\n{body}", checksum::fnv64_hex(body.as_bytes()))
 }
+
+/// Parses a cache entry, verifying its checksum header when present.
+/// The error is a human-readable reason for the corruption report.
+fn parse_entry(text: &str) -> Result<RunStats, String> {
+    if let Some(rest) = text.strip_prefix("checksum ") {
+        let (digest, body) = rest.split_once('\n').ok_or("truncated checksum header")?;
+        if !checksum::verify_hex(body.as_bytes(), digest) {
+            return Err("checksum mismatch".to_string());
+        }
+        deserialize_stats(body).ok_or_else(|| "malformed body under valid checksum".to_string())
+    } else {
+        // Legacy headerless entry: the field-count guard is the only
+        // integrity check, as it was before checksums existed.
+        deserialize_stats(text).ok_or_else(|| "malformed legacy entry".to_string())
+    }
+}
+
+/// Outcome of a checked disk-cache lookup.
+enum DiskEntry {
+    /// No entry on disk.
+    Miss,
+    /// An intact entry.
+    Hit(Box<RunStats>),
+    /// A corrupt entry; it has already been moved to the `quarantine/`
+    /// subdirectory (or deleted) so it can never satisfy another lookup.
+    Corrupt {
+        /// Path the corrupt entry was found at.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+fn disk_load_checked(key: u128) -> DiskEntry {
+    let path = disk_cache_dir().join(format!("{key:032x}.stats"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskEntry::Miss,
+        Err(e) => {
+            quarantine_entry(&path);
+            return DiskEntry::Corrupt {
+                path: path.display().to_string(),
+                reason: format!("unreadable: {e}"),
+            };
+        }
+    };
+    match parse_entry(&text) {
+        Ok(stats) => DiskEntry::Hit(Box::new(stats)),
+        Err(reason) => {
+            quarantine_entry(&path);
+            DiskEntry::Corrupt { path: path.display().to_string(), reason }
+        }
+    }
+}
+
+/// Moves a corrupt entry into the cache's `quarantine/` subdirectory
+/// (keeping the evidence for inspection), falling back to deletion —
+/// either way the entry cannot satisfy another lookup.
+fn quarantine_entry(path: &Path) {
+    let mut moved = false;
+    if let (Some(dir), Some(name)) = (path.parent(), path.file_name()) {
+        let qdir = dir.join("quarantine");
+        if std::fs::create_dir_all(&qdir).is_ok() {
+            moved = std::fs::rename(path, qdir.join(name)).is_ok();
+        }
+    }
+    if !moved {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Distinguishes concurrent writers' temp files *within* one process;
+/// combined with the PID this makes temp names unique across the whole
+/// machine, closing the race where two threads of one process clobbered
+/// each other's in-flight temp file.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn disk_store(key: u128, stats: &RunStats) {
     let dir = disk_cache_dir();
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    // Temp-file + rename so concurrent writers never expose a torn file.
-    let tmp = dir.join(format!("{key:032x}.tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, serialize_stats(stats)).is_ok() {
+    // Temp-file + atomic rename so readers and concurrent writers never
+    // observe a torn file; the (pid, seq) suffix keeps every writer's
+    // temp file private.
+    let tmp = dir.join(format!(
+        "{key:032x}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if std::fs::write(&tmp, serialize_entry(stats)).is_ok() {
         let _ = std::fs::rename(&tmp, dir.join(format!("{key:032x}.stats")));
     }
 }
@@ -400,16 +503,259 @@ fn timings() -> &'static Mutex<Vec<PointTiming>> {
 }
 
 // ---------------------------------------------------------------------------
+// Supervision configuration
+// ---------------------------------------------------------------------------
+
+/// Watchdog epoch applied to supervised runs; `0` disables the watchdog.
+/// Defaults to [`dcl1::DEFAULT_WATCHDOG_EPOCH`] — the probe only reads
+/// gauges, so arming it never changes statistics.
+static WATCHDOG_EPOCH: AtomicU64 = AtomicU64::new(dcl1::DEFAULT_WATCHDOG_EPOCH);
+
+/// Per-point wall-clock deadline in seconds; `0` means none.
+static DEADLINE_SECS: AtomicU64 = AtomicU64::new(0);
+
+/// Retry backoff unit in milliseconds (attempt `n` sleeps `n × base`).
+static BACKOFF_MS: AtomicU64 = AtomicU64::new(50);
+
+/// Overrides the progress-watchdog epoch for supervised runs (`0`
+/// disables the watchdog entirely).
+pub fn set_watchdog_epoch(epoch_cycles: u64) {
+    WATCHDOG_EPOCH.store(epoch_cycles, Ordering::Relaxed);
+}
+
+/// Sets the per-point wall-clock deadline, in whole seconds (`0` = none).
+/// A point that exceeds it fails the attempt with `SimError::Deadline`.
+pub fn set_point_deadline_secs(secs: u64) {
+    DEADLINE_SECS.store(secs, Ordering::Relaxed);
+}
+
+/// Sets the retry backoff unit in milliseconds (`0` retries immediately —
+/// what the chaos CI job uses to stay fast).
+pub fn set_retry_backoff_ms(ms: u64) {
+    BACKOFF_MS.store(ms, Ordering::Relaxed);
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        backoff: std::time::Duration::from_millis(BACKOFF_MS.load(Ordering::Relaxed)),
+    }
+}
+
+/// Human-readable `APP/DESIGN` label of a request — the identity used by
+/// quarantine reports, the journal, and chaos fault assignment.
+pub fn point_label(req: &RunRequest) -> String {
+    format!("{}/{}", req.app.name, req.design.name())
+}
+
+// ---------------------------------------------------------------------------
+// Chaos (deterministic fault injection)
+// ---------------------------------------------------------------------------
+
+/// Watchdog epoch used for chaos-injected stalls: small enough that the
+/// livelock is detected in milliseconds, large enough to be a real epoch.
+const CHAOS_STALL_EPOCH: u64 = 1 << 14;
+
+/// Cycle at which a chaos stall freezes the machine — early enough that
+/// even the shortest smoke-scale point (~1.2k cycles) is still mid-kernel,
+/// so every injected stall actually engages the watchdog.
+const CHAOS_STALL_CYCLE: u64 = 512;
+
+fn chaos_slot() -> &'static Mutex<Option<Chaos>> {
+    static CHAOS: std::sync::OnceLock<Mutex<Option<Chaos>>> = std::sync::OnceLock::new();
+    CHAOS.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms (or with `None` disarms) deterministic fault injection for every
+/// subsequent supervised run in this process. See [`dcl1_resilience::Chaos`]
+/// for the fault classes; the same seed faults the same points every run.
+pub fn set_chaos(seed: Option<u64>) {
+    *chaos_slot().lock().expect("chaos lock") = seed.map(Chaos::new);
+}
+
+/// Serializes tests that mutate process-global supervision state (chaos,
+/// backoff, journal) against each other — without it, a concurrently
+/// running sweep test could absorb another test's injected faults.
+#[cfg(test)]
+pub(crate) fn test_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The currently armed chaos engine, if any.
+pub fn active_chaos() -> Option<Chaos> {
+    *chaos_slot().lock().expect("chaos lock")
+}
+
+/// Damages the on-disk cache entry for `key` the way `chaos` dictates for
+/// `point` — called right after a store so the corruption-recovery path
+/// (checksum reject → quarantine → recompute/re-store) runs in-sweep.
+fn chaos_corrupt_disk_entry(chaos: &Chaos, point: &str, key: u128) {
+    let path = disk_cache_dir().join(format!("{key:032x}.stats"));
+    let Ok(mut bytes) = std::fs::read(&path) else { return };
+    chaos.corrupt(point, &mut bytes);
+    let _ = std::fs::write(&path, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery telemetry
+// ---------------------------------------------------------------------------
+
+fn recovery() -> &'static Mutex<RecoveryLog> {
+    static RECOVERY: std::sync::OnceLock<Mutex<RecoveryLog>> = std::sync::OnceLock::new();
+    RECOVERY.get_or_init(|| Mutex::new(RecoveryLog::new()))
+}
+
+/// A snapshot of this process's recovery ledger: retries, quarantines,
+/// cache corruptions, watchdog firings, journal resumes. All zeros unless
+/// something actually went wrong (chaos off on a healthy sweep keeps it
+/// clean — that's what the no-op test asserts).
+pub fn recovery_log() -> RecoveryLog {
+    recovery().lock().expect("recovery lock").clone()
+}
+
+fn record_supervision_event(point: &str, event: &SupervisionEvent) {
+    let mut log = recovery().lock().expect("recovery lock");
+    match event {
+        SupervisionEvent::Retrying { attempt, error, .. } => {
+            log.retries += 1;
+            match error {
+                SimError::Livelock { .. } => log.livelocks += 1,
+                SimError::Deadline { .. } => log.deadlines += 1,
+                _ => {}
+            }
+            log.note(format!("retry {point} after attempt {attempt}: [{}] {error}", error.class()));
+        }
+        SupervisionEvent::Quarantined(rec) => {
+            log.quarantines += 1;
+            if rec.class == "livelock" {
+                log.livelocks += 1;
+            } else if rec.class == "deadline" {
+                log.deadlines += 1;
+            }
+            log.note(rec.to_string());
+        }
+    }
+}
+
+fn record_cache_corruption(point: &str, path: &str, reason: &str) {
+    let mut log = recovery().lock().expect("recovery lock");
+    log.cache_corruptions += 1;
+    log.note(format!("cache entry for {point} quarantined ({reason}): {path}"));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint journal
+// ---------------------------------------------------------------------------
+
+struct JournalState {
+    writer: Option<journal::JournalWriter>,
+    /// Keys already appended this process, so shared points (every
+    /// figure's baselines) produce one line each, not one per sweep.
+    written: BTreeSet<u128>,
+}
+
+fn journal_state() -> &'static Mutex<JournalState> {
+    static JOURNAL: std::sync::OnceLock<Mutex<JournalState>> = std::sync::OnceLock::new();
+    JOURNAL.get_or_init(|| Mutex::new(JournalState { writer: None, written: BTreeSet::new() }))
+}
+
+/// Opens (appending) the checkpoint journal at `path`; every point
+/// completed by a supervised sweep from now on is recorded there, one
+/// flushed JSONL line per point, so a killed process loses at most the
+/// line being written.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] when the journal file cannot be opened.
+pub fn set_journal(path: &Path) -> Result<(), SimError> {
+    let writer = journal::JournalWriter::open(path).map_err(|e| SimError::Io {
+        context: format!("opening journal {}", path.display()),
+        message: e.to_string(),
+    })?;
+    let mut state = journal_state().lock().expect("journal lock");
+    state.writer = Some(writer);
+    Ok(())
+}
+
+/// Stops journaling (the already-written file is left intact).
+pub fn clear_journal() {
+    journal_state().lock().expect("journal lock").writer = None;
+}
+
+/// Preloads the in-process memo from an existing checkpoint journal:
+/// every intact line becomes a memo hit, so a re-run of the same sweep
+/// resimulates only the points the killed run never finished. Torn or
+/// corrupt lines are skipped, not fatal. Returns `(restored, skipped)`.
+pub fn resume_from_journal(path: &Path) -> (usize, usize) {
+    let (entries, mut skipped) = journal::read_entries(path);
+    let mut restored = 0usize;
+    for e in entries {
+        match deserialize_stats(&e.payload) {
+            Some(stats) => {
+                cache().lock().expect("memo lock").insert(e.key, stats);
+                journal_state().lock().expect("journal lock").written.insert(e.key);
+                restored += 1;
+            }
+            None => skipped += 1,
+        }
+    }
+    if restored > 0 || skipped > 0 {
+        let mut log = recovery().lock().expect("recovery lock");
+        log.resumed_points += restored as u64;
+        log.note(format!(
+            "resumed {restored} point(s) from {} ({skipped} line(s) skipped)",
+            path.display()
+        ));
+    }
+    (restored, skipped)
+}
+
+fn journal_append(key: u128, point: &str, stats: &RunStats) {
+    let mut state = journal_state().lock().expect("journal lock");
+    if state.writer.is_none() || state.written.contains(&key) {
+        return;
+    }
+    let payload = serialize_stats(stats);
+    let result = state
+        .writer
+        .as_mut()
+        .map(|w| w.append(key, point, &payload))
+        .unwrap_or(Ok(()));
+    state.written.insert(key);
+    drop(state);
+    if let Err(e) = result {
+        // A failing journal degrades resumability, never the sweep.
+        recovery()
+            .lock()
+            .expect("recovery lock")
+            .note(format!("journal append failed for {point}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
 /// Runs one simulation point at the given scale, memoized in-process and
-/// on disk (see the module docs).
+/// on disk (see the module docs). `attempt` is the 0-based retry index —
+/// chaos keys its per-attempt faults on it; unsupervised callers pass 0.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the design fails to resolve (an experiment-definition bug).
-pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
+/// Returns [`SimError::Config`] when the design fails to resolve, and
+/// [`SimError::Livelock`] / [`SimError::Deadline`] when the armed watchdog
+/// aborts the run. Cache corruption never surfaces here: a corrupt entry
+/// is quarantined, recorded in the [`recovery_log`], and the point is
+/// recomputed.
+pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<RunStats, SimError> {
+    let point = point_label(req);
+    let chaos = active_chaos();
+    if let Some(c) = &chaos {
+        if c.should_panic(&point, attempt) {
+            panic!("chaos: injected worker panic at {point} (attempt {attempt})");
+        }
+    }
     let checked = check_mode();
     let key = memo_key(req, scale);
     // Checked mode bypasses the memo in both directions: the point of
@@ -420,12 +766,20 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
     if !checked {
         if let Some(hit) = cache().lock().expect("memo lock").get(&key) {
             MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return Ok(hit.clone());
         }
-        if let Some(hit) = disk_load(key) {
-            DISK_HITS.fetch_add(1, Ordering::Relaxed);
-            cache().lock().expect("memo lock").insert(key, hit.clone());
-            return hit;
+        match disk_load_checked(key) {
+            DiskEntry::Hit(hit) => {
+                DISK_HITS.fetch_add(1, Ordering::Relaxed);
+                cache().lock().expect("memo lock").insert(key, (*hit).clone());
+                return Ok(*hit);
+            }
+            DiskEntry::Corrupt { path, reason } => {
+                // The entry is already quarantined; fall through and
+                // recompute — corruption degrades to a cache miss.
+                record_cache_corruption(&point, &path, &reason);
+            }
+            DiskEntry::Miss => {}
         }
     }
     let (num, den) = scale.ratio();
@@ -439,11 +793,28 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
     }
     let start = Instant::now();
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
-        .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
+        .map_err(|e| SimError::Config(format!("{}: {e}", req.design.name())))?;
     if checked {
         sys.enable_check();
     }
-    let stats = sys.run();
+    let epoch = WATCHDOG_EPOCH.load(Ordering::Relaxed);
+    if epoch > 0 {
+        sys.set_watchdog(epoch);
+    }
+    let deadline = DEADLINE_SECS.load(Ordering::Relaxed);
+    if deadline > 0 {
+        sys.set_deadline_secs(deadline);
+    }
+    if let Some(c) = &chaos {
+        if c.should_stall(&point, attempt) {
+            // Freeze progress mid-run and tighten the epoch so the
+            // watchdog converts the hang into a livelock within
+            // milliseconds instead of the default ~1M cycles.
+            sys.inject_stall_from(CHAOS_STALL_CYCLE);
+            sys.set_watchdog(CHAOS_STALL_EPOCH);
+        }
+    }
+    let stats = sys.run_result()?;
     let wall = start.elapsed();
 
     SIMULATED.fetch_add(1, Ordering::Relaxed);
@@ -458,9 +829,34 @@ pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
 
     if !checked {
         disk_store(key, &stats);
+        if let Some(c) = &chaos {
+            if c.should_corrupt(&point) {
+                // Damage the entry we just wrote, then read it back: the
+                // checksum rejects it, the file is quarantined, and the
+                // clean result is re-persisted — the full corruption
+                // recovery path, exercised in-sweep.
+                chaos_corrupt_disk_entry(c, &point, key);
+                if let DiskEntry::Corrupt { path, reason } = disk_load_checked(key) {
+                    record_cache_corruption(&point, &path, &reason);
+                    disk_store(key, &stats);
+                }
+            }
+        }
         cache().lock().expect("memo lock").insert(key, stats.clone());
     }
-    stats
+    Ok(stats)
+}
+
+/// Runs one simulation point at the given scale, memoized in-process and
+/// on disk (see the module docs).
+///
+/// # Panics
+///
+/// Panics if the design fails to resolve (an experiment-definition bug)
+/// or an armed watchdog reports a hang — supervised sweeps use
+/// [`run_app_result`] and recover instead.
+pub fn run_app(req: &RunRequest, scale: Scale) -> RunStats {
+    run_app_result(req, scale, 0).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Whether checked-sim mode is on (see [`set_check_mode`]).
@@ -479,17 +875,23 @@ pub fn set_check_mode(enabled: bool) {
 
 static CHECK_MODE: AtomicBool = AtomicBool::new(false);
 
-/// Runs one simulation point with observability sinks attached.
+/// Runs one simulation point with observability sinks attached, returning
+/// a structured error instead of panicking on a bad design or a hang.
 ///
 /// Bypasses both memo layers in both directions: tracing and metrics are
 /// side effects of actually simulating, so a cached result would produce
 /// empty output files — and an observed run is never written back, keeping
 /// the cache free of runs the observer may have slowed down.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the design fails to resolve (an experiment-definition bug).
-pub fn run_app_observed(req: &RunRequest, scale: Scale, obs: dcl1::Observer) -> RunStats {
+/// Returns [`SimError::Config`] when the design fails to resolve, and
+/// watchdog errors when one is armed and fires.
+pub fn run_app_observed_result(
+    req: &RunRequest,
+    scale: Scale,
+    obs: dcl1::Observer,
+) -> Result<RunStats, SimError> {
     let (num, den) = scale.ratio();
     let app = req.app.scaled(num, den);
     let mut opts = req.opts;
@@ -497,9 +899,49 @@ pub fn run_app_observed(req: &RunRequest, scale: Scale, obs: dcl1::Observer) -> 
         opts.warmup_instructions = app.total_instructions() / 3;
     }
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
-        .unwrap_or_else(|e| panic!("{}: {e}", req.design.name()));
+        .map_err(|e| SimError::Config(format!("{}: {e}", req.design.name())))?;
     sys.attach_observer(obs);
-    sys.run()
+    let epoch = WATCHDOG_EPOCH.load(Ordering::Relaxed);
+    if epoch > 0 {
+        sys.set_watchdog(epoch);
+    }
+    sys.run_result()
+}
+
+/// Runs one simulation point with observability sinks attached.
+///
+/// # Panics
+///
+/// Panics if the design fails to resolve (an experiment-definition bug).
+pub fn run_app_observed(req: &RunRequest, scale: Scale, obs: dcl1::Observer) -> RunStats {
+    run_app_observed_result(req, scale, obs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Renders completed points as one canonical, byte-stable document: each
+/// `(label, stats)` pair sorted by label, serialized exactly as the disk
+/// cache serializes stats (f64 as bit patterns). Two sweeps over the same
+/// points produced identical statistics iff their dumps are byte-equal —
+/// the artifact the resume/chaos CI jobs diff.
+#[must_use]
+pub fn canonical_stats_dump(points: &[(String, RunStats)]) -> String {
+    let mut sorted: Vec<&(String, RunStats)> = points.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (label, stats) in sorted {
+        out.push_str("=== ");
+        out.push_str(label);
+        out.push('\n');
+        out.push_str(&serialize_stats(stats));
+    }
+    out
+}
+
+/// The FNV-1a digest of [`canonical_stats_dump`], as fixed-width hex —
+/// what `BENCH_sweep.json` records so two runs can be compared without
+/// keeping both dumps.
+#[must_use]
+pub fn stats_digest(points: &[(String, RunStats)]) -> String {
+    checksum::fnv64_hex(canonical_stats_dump(points).as_bytes())
 }
 
 // BTreeMap rather than HashMap so any future iteration over memoized
@@ -509,27 +951,35 @@ fn cache() -> &'static Mutex<BTreeMap<u128, RunStats>> {
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+/// The outcome of a supervised sweep: per-point results in input order
+/// (`None` where the point was quarantined) plus the quarantine records.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One slot per request, input order; `None` marks a quarantined point.
+    pub results: Vec<Option<RunStats>>,
+    /// Points the supervisor gave up on, in input order.
+    pub quarantined: Vec<QuarantineRecord>,
+}
+
+impl SweepOutcome {
+    /// The completed statistics, skipping quarantined slots.
+    #[must_use]
+    pub fn completed(&self) -> Vec<&RunStats> {
+        self.results.iter().flatten().collect()
     }
 }
 
-/// Runs many simulation points across `workers` threads, preserving input
-/// order in the output.
-///
-/// # Panics
-///
-/// Re-panics with the failing request's app/design name if any worker
-/// panics.
-pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) -> Vec<RunStats> {
+/// Runs many simulation points across `workers` threads under full
+/// supervision: each point executes behind panic containment, transient
+/// failures (panics, watchdog livelocks/deadlines, I/O) are retried with
+/// deterministic backoff, and a point that exhausts its budget is
+/// quarantined — recorded in the outcome while the rest of the sweep
+/// completes. Input order is preserved in the output.
+pub fn run_apps_supervised(reqs: &[RunRequest], scale: Scale, workers: usize) -> SweepOutcome {
+    let policy = retry_policy();
     let results: Vec<Mutex<Option<RunStats>>> = reqs.iter().map(|_| Mutex::new(None)).collect();
+    let quarantined: Mutex<Vec<(usize, QuarantineRecord)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
-    let failure: Mutex<Option<String>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..workers.max(1).min(reqs.len().max(1)) {
             s.spawn(|| loop {
@@ -538,30 +988,59 @@ pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) 
                     break;
                 }
                 let req = &reqs[i];
-                match catch_unwind(AssertUnwindSafe(|| run_app(req, scale))) {
+                let point = point_label(req);
+                let outcome = supervise(
+                    &point,
+                    &policy,
+                    |attempt| run_app_result(req, scale, attempt),
+                    |event| record_supervision_event(&point, event),
+                );
+                match outcome {
                     Ok(stats) => {
+                        journal_append(memo_key(req, scale), &point, &stats);
                         *results[i].lock().expect("result lock") = Some(stats);
                     }
-                    Err(payload) => {
-                        let msg = format!(
-                            "simulation of app {} on design {} panicked: {}",
-                            req.app.name,
-                            req.design.name(),
-                            panic_message(payload.as_ref())
-                        );
-                        failure.lock().expect("failure lock").get_or_insert(msg);
-                        break;
+                    Err(record) => {
+                        quarantined.lock().expect("quarantine lock").push((i, record));
                     }
                 }
             });
         }
     });
-    if let Some(msg) = failure.into_inner().expect("failure lock") {
-        panic!("{msg}");
+    let mut quarantined = quarantined.into_inner().expect("quarantine lock");
+    quarantined.sort_by_key(|(i, _)| *i);
+    SweepOutcome {
+        results: results
+            .into_iter()
+            .map(|m| m.into_inner().expect("result lock"))
+            .collect(),
+        quarantined: quarantined.into_iter().map(|(_, r)| r).collect(),
     }
-    results
+}
+
+/// Runs many simulation points across `workers` threads, preserving input
+/// order in the output.
+///
+/// # Panics
+///
+/// Panics — naming every quarantined point — if any point failed all its
+/// supervised attempts. Unlike the pre-supervision runner the sweep runs
+/// to completion first, so the panic reports every failing point, not
+/// just the first.
+pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) -> Vec<RunStats> {
+    let outcome = run_apps_supervised(reqs, scale, workers);
+    if !outcome.quarantined.is_empty() {
+        let list: Vec<String> = outcome.quarantined.iter().map(ToString::to_string).collect();
+        panic!(
+            "sweep completed with {} unrecovered point(s):\n  {}",
+            outcome.quarantined.len(),
+            list.join("\n  ")
+        );
+    }
+    outcome
+        .results
         .into_iter()
-        .map(|m| m.into_inner().expect("result lock").expect("every request was processed"))
+        .map(|r| r.expect("no quarantines, so every slot is filled"))
         .collect()
 }
 
@@ -598,7 +1077,11 @@ pub fn run_apps(reqs: &[RunRequest], scale: Scale) -> Vec<RunStats> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcl1_resilience::supervisor::panic_message;
     use dcl1_workloads::by_name;
+    // Test-only: asserting on panics is the test's job; production code
+    // routes panics through the resilience supervisor.
+    use std::panic::{catch_unwind, AssertUnwindSafe}; // simcheck: allow(bare_catch_unwind): test asserts on panic propagation
 
     #[test]
     fn scale_ratios() {
@@ -680,6 +1163,86 @@ mod tests {
         let text = serialize_stats(&s);
         let truncated = &text[..text.len() / 2];
         assert!(deserialize_stats(truncated).is_none());
+    }
+
+    #[test]
+    fn entry_checksum_detects_scribble_and_accepts_legacy() {
+        let stats = RunStats { design: "Baseline".to_string(), cycles: 42, ..RunStats::default() };
+        let entry = serialize_entry(&stats);
+        assert!(entry.starts_with("checksum "));
+        assert_eq!(parse_entry(&entry).unwrap(), stats);
+
+        // One flipped byte in the body fails the checksum.
+        let scribbled = entry.replace("cycles 42", "cycles 43");
+        assert!(parse_entry(&scribbled).unwrap_err().contains("checksum mismatch"));
+
+        // Truncation fails too (either the checksum or the field count).
+        assert!(parse_entry(&entry[..entry.len() / 2]).is_err());
+
+        // A legacy headerless v2 entry still parses — adding checksums did
+        // not invalidate existing caches.
+        let legacy = serialize_stats(&stats);
+        assert_eq!(parse_entry(&legacy).unwrap(), stats);
+    }
+
+    #[test]
+    fn quarantine_moves_the_corrupt_file_aside() {
+        let dir = std::env::temp_dir().join(format!("dcl1-quarantine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let victim = dir.join("deadbeef.stats");
+        std::fs::write(&victim, "garbage").unwrap();
+        quarantine_entry(&victim);
+        assert!(!victim.exists(), "corrupt entry must leave the lookup path");
+        assert!(
+            dir.join("quarantine").join("deadbeef.stats").exists(),
+            "evidence must be preserved in quarantine/"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn canonical_dump_is_sorted_and_digest_is_stable() {
+        let a = ("B-APP/Pr4".to_string(), RunStats { cycles: 2, ..RunStats::default() });
+        let b = ("A-APP/Sh16".to_string(), RunStats { cycles: 1, ..RunStats::default() });
+        let d1 = canonical_stats_dump(&[a.clone(), b.clone()]);
+        let d2 = canonical_stats_dump(&[b.clone(), a.clone()]);
+        assert_eq!(d1, d2, "dump must not depend on completion order");
+        assert!(d1.find("A-APP").unwrap() < d1.find("B-APP").unwrap());
+        assert_eq!(stats_digest(&[a.clone(), b.clone()]), stats_digest(&[b, a]));
+    }
+
+    #[test]
+    fn chaos_transient_faults_recover_within_a_supervised_sweep() {
+        // Pick a seed whose fault for this point is a transient panic, so
+        // the supervised sweep must retry exactly once and then succeed
+        // with byte-identical stats.
+        let app = by_name("C-BLK").unwrap();
+        let req = RunRequest::new(app, Design::Baseline);
+        let point = point_label(&req);
+        let seed = (0u64..10_000)
+            .find(|s| {
+                Chaos::new(*s).fault_for(&point) == Some(dcl1_resilience::Fault::TransientPanic)
+            })
+            .expect("some seed assigns a transient panic");
+
+        let clean = run_apps(std::slice::from_ref(&req), Scale::Smoke);
+        let _guard = test_env_lock();
+        let before = recovery_log();
+        set_chaos(Some(seed));
+        set_retry_backoff_ms(0);
+        // Bypass the memo (the clean run filled it) by dropping the key:
+        // chaos panics fire before the memo lookup, so the retry still
+        // exercises the full path; the memo then serves the clean result.
+        let outcome = run_apps_supervised(&[req], Scale::Smoke, 1);
+        set_chaos(None);
+        set_retry_backoff_ms(50);
+
+        assert!(outcome.quarantined.is_empty(), "{:?}", outcome.quarantined);
+        assert_eq!(outcome.results[0].as_ref().unwrap(), &clean[0], "retry changed stats");
+        let after = recovery_log();
+        assert_eq!(after.retries, before.retries + 1, "exactly one retry");
+        assert_eq!(after.quarantines, before.quarantines);
     }
 
     #[test]

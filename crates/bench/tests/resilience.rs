@@ -1,0 +1,228 @@
+//! End-to-end supervision acceptance against the real `perf_sweep`
+//! binary: a killed sweep resumes from its checkpoint journal to
+//! byte-identical statistics, a chaos-riddled sweep converges to the
+//! fault-free bytes, and with chaos off the whole layer is a no-op
+//! (clean recovery counters, unchanged v2 cache schema).
+//!
+//! Each test spawns the binary with its own `DCL1_CACHE_DIR` and scratch
+//! directory, so nothing here races the in-process runner tests or a
+//! developer's real cache.
+
+use dcl1_resilience::Chaos;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Scratch directory unique to one test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcl1-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A `perf_sweep` invocation at smoke scale with an isolated cache.
+fn sweep_cmd(dir: &Path, args: &[String]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_perf_sweep"));
+    cmd.args(args)
+        .env("DCL1_SCALE", "smoke")
+        .env("DCL1_CACHE_DIR", dir.join("cache"))
+        .current_dir(dir);
+    cmd
+}
+
+/// Runs the command to completion, panicking with its stderr on spawn
+/// failure. Returns (exit-ok, stdout, stderr).
+fn run(mut cmd: Command) -> (bool, String, String) {
+    let out = cmd.output().expect("spawn perf_sweep");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The apps the chaos test sweeps (pinned one `--only` each, so the label
+/// set below models the sweep's point set exactly).
+const CHAOS_APPS: [&str; 4] = ["C-BLK", "C-RAY", "C-BFS", "C-NN"];
+
+/// The point labels the chaos subset produces, in the same form the
+/// runner hands to the chaos engine.
+fn subset_labels() -> Vec<String> {
+    CHAOS_APPS
+        .iter()
+        .flat_map(|app| ["Pr4", "Sh16"].iter().map(move |d| format!("{app}/{d}")))
+        .collect()
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_stats() {
+    let dir = scratch("resume");
+    let journal = dir.join("journal.jsonl");
+    let common = || {
+        vec![
+            "--only=C-".to_string(),
+            "--design=pr4".to_string(),
+            "--design=sh16".to_string(),
+            "--workers=1".to_string(),
+        ]
+    };
+
+    // Reference: one uninterrupted sweep.
+    let ref_stats = dir.join("ref-stats.txt");
+    let mut args = common();
+    args.push(format!("--stats-out={}", ref_stats.display()));
+    args.push(format!("--json={}", dir.join("ref.json").display()));
+    let (ok, _, err) = run(sweep_cmd(&dir, &args));
+    assert!(ok, "reference sweep failed:\n{err}");
+
+    // Victim: same sweep with a journal, killed once the journal shows
+    // at least one checkpointed point. (If the sweep finishes before the
+    // kill lands, the journal simply holds every point — the resume
+    // contract below is identical.)
+    let mut args = common();
+    args.push(format!("--journal={}", journal.display()));
+    let mut child = sweep_cmd(&dir, &args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim sweep");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let lines =
+            std::fs::read_to_string(&journal).map(|s| s.lines().count()).unwrap_or(0);
+        let exited = child.try_wait().expect("poll victim").is_some();
+        if lines >= 1 || exited {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "victim never checkpointed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    let checkpointed = read(&journal).lines().count();
+    assert!(checkpointed >= 1, "journal is empty after the kill");
+
+    // Resume: only unfinished points are resimulated; the merged output
+    // must be byte-identical to the uninterrupted reference.
+    let resumed_stats = dir.join("resumed-stats.txt");
+    let mut args = common();
+    args.push(format!("--resume={}", journal.display()));
+    args.push(format!("--stats-out={}", resumed_stats.display()));
+    args.push(format!("--json={}", dir.join("resumed.json").display()));
+    let (ok, _, err) = run(sweep_cmd(&dir, &args));
+    assert!(ok, "resumed sweep failed:\n{err}");
+    assert!(
+        err.contains(&format!("resumed {checkpointed} point(s)")),
+        "banner does not report the restored checkpoint: {err}"
+    );
+    assert_eq!(
+        read(&ref_stats),
+        read(&resumed_stats),
+        "resume changed the statistics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_sweep_converges_to_fault_free_bytes() {
+    let dir = scratch("chaos");
+    let labels = subset_labels();
+    // A seed that injects recoverable faults (no persistent panics) into
+    // this subset, so every point completes and the dumps must match
+    // byte for byte.
+    let seed = (0..200_000u64)
+        .find(|&s| {
+            let c = Chaos::new(s).census(&labels);
+            c.persistent_panics == 0 && c.total() >= 2
+        })
+        .expect("no recoverable-fault seed in range");
+
+    let common = || {
+        let mut v: Vec<String> = CHAOS_APPS.iter().map(|a| format!("--only={a}")).collect();
+        v.push("--design=pr4".to_string());
+        v.push("--design=sh16".to_string());
+        v
+    };
+
+    let ref_stats = dir.join("ref-stats.txt");
+    let mut args = common();
+    args.push(format!("--stats-out={}", ref_stats.display()));
+    args.push(format!("--json={}", dir.join("ref.json").display()));
+    let (ok, _, err) = run(sweep_cmd(&dir, &args));
+    assert!(ok, "fault-free sweep failed:\n{err}");
+
+    let chaos_stats = dir.join("chaos-stats.txt");
+    let chaos_json = dir.join("chaos.json");
+    let mut args = common();
+    args.push(format!("--chaos={seed}"));
+    args.push(format!("--stats-out={}", chaos_stats.display()));
+    args.push(format!("--json={}", chaos_json.display()));
+    let (ok, _, err) = run(sweep_cmd(&dir, &args));
+    assert!(ok, "chaos sweep (seed {seed}) did not exit 0:\n{err}");
+
+    assert_eq!(
+        read(&ref_stats),
+        read(&chaos_stats),
+        "seed {seed}: chaos changed the statistics"
+    );
+    let report = read(&chaos_json);
+    assert!(report.contains(&format!("\"chaos_seed\": {seed}")), "seed missing from report");
+    let census = Chaos::new(seed).census(&labels);
+    if census.transient_panics + census.stalls > 0 {
+        assert!(!report.contains("\"retries\": 0"), "faults injected but no retries recorded");
+    }
+    if census.corruptions > 0 {
+        assert!(
+            !report.contains("\"cache_corruptions\": 0"),
+            "cache corruption injected but not detected"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_off_supervision_is_a_no_op() {
+    let dir = scratch("noop");
+    let json = dir.join("sweep.json");
+    let args = vec![
+        "--only=C-BLK".to_string(),
+        "--design=pr4".to_string(),
+        format!("--json={}", json.display()),
+    ];
+    let (ok, _, err) = run(sweep_cmd(&dir, &args));
+    assert!(ok, "plain sweep failed:\n{err}");
+
+    let report = read(&json);
+    assert!(report.contains("\"chaos_seed\": null"), "chaos armed without a flag");
+    for field in
+        ["retries", "quarantines", "cache_corruptions", "livelocks", "deadlines", "resumed_points"]
+    {
+        assert!(
+            report.contains(&format!("\"{field}\": 0")),
+            "recovery counter {field} nonzero on a clean run:\n{report}"
+        );
+    }
+    assert!(report.contains("\"quarantined\": [\n  ]"), "quarantine list not empty");
+
+    // The cache schema is unchanged: entries still live under v2/, and
+    // the (optional) integrity header is the only addition.
+    let v2 = dir.join("cache").join("v2");
+    let entries: Vec<PathBuf> = std::fs::read_dir(&v2)
+        .expect("v2 cache dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "stats"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cached point in {}", v2.display());
+    let entry = read(&entries[0]);
+    let first = entry.lines().next().unwrap_or_default();
+    assert!(
+        first.starts_with("checksum ") && first.len() == "checksum ".len() + 16,
+        "entry header is not a 16-hex checksum line: {first:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,70 @@
+//! Content checksums for crash-safe persistence.
+//!
+//! Cached simulation results and checkpoint-journal entries survive process
+//! kills, disk-full truncation, and concurrent writers only if a reader can
+//! tell a complete payload from a torn one. This module provides the 64-bit
+//! FNV-1a digest those readers verify: not cryptographic, but stable across
+//! processes and Rust releases (unlike `DefaultHasher`), cheap, and
+//! sensitive to truncation, bit flips, and reordering.
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The 64-bit FNV-1a digest of `bytes`.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut state = OFFSET;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+/// [`fnv64`] rendered as the fixed-width lowercase hex used in cache
+/// entries and journal lines.
+#[must_use]
+pub fn fnv64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv64(bytes))
+}
+
+/// Verifies a payload against its recorded hex digest. Returns `false` on
+/// a malformed digest string as well as a mismatch — a corrupt header is
+/// just as disqualifying as corrupt content.
+#[must_use]
+pub fn verify_hex(bytes: &[u8], digest_hex: &str) -> bool {
+    matches!(u64::from_str_radix(digest_hex, 16), Ok(d) if d == fnv64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hex_roundtrip_verifies() {
+        let payload = b"cycles 123\ninstructions 456\n";
+        let digest = fnv64_hex(payload);
+        assert_eq!(digest.len(), 16);
+        assert!(verify_hex(payload, &digest));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let payload = b"cycles 123\n";
+        let digest = fnv64_hex(payload);
+        assert!(!verify_hex(b"cycles 124\n", &digest), "bit flip");
+        assert!(!verify_hex(&payload[..5], &digest), "truncation");
+        assert!(!verify_hex(payload, "not-hex"), "malformed digest");
+        assert!(!verify_hex(payload, ""), "empty digest");
+    }
+}

@@ -3,6 +3,9 @@
 //! This crate deliberately contains no simulation logic. It provides:
 //!
 //! * [`addr`] — byte addresses, cache-line addresses and sector arithmetic;
+//! * [`checksum`] — stable FNV-1a content digests for crash-safe persistence;
+//! * [`journal`] — append-only JSONL checkpoint records with per-line
+//!   checksums, backing `--resume` on the bench binaries;
 //! * [`ids`] — strongly-typed identifiers for cores, DC-L1 nodes, L2 slices,
 //!   memory controllers and clusters;
 //! * [`clock`] — cycle counting and rational frequency-domain ticking;
@@ -27,8 +30,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod checksum;
 pub mod clock;
 pub mod error;
+pub mod journal;
 pub mod flat;
 pub mod hist;
 pub mod ids;

@@ -60,7 +60,8 @@ pub mod txn;
 pub use check::SimChecker;
 pub use config::GpuConfig;
 pub use design::{Attachment, Design, Noc2Kind, Topology};
-pub use machine::{GpuSystem, SimOptions};
+pub use dcl1_resilience::SimError;
+pub use machine::{GpuSystem, SimOptions, DEFAULT_WATCHDOG_EPOCH};
 pub use node::{Dcl1Node, NodeConfig, NodeStats};
 pub use presence::PresenceMap;
 pub use dcl1_obs::metrics::{MetricsFormat, MetricsSample};

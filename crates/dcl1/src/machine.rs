@@ -36,7 +36,19 @@ use dcl1_mem::{DramAccess, L2Reply, L2Request, L2Slice, MemAccessKind, MemoryCon
 use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
 use dcl1_obs::metrics::MetricsSample;
 use dcl1_obs::Observer;
+use dcl1_resilience::SimError;
 use std::collections::VecDeque;
+// Wall time is read only by the deadline watchdog, which compares it
+// against a supervision budget and aborts the attempt; it never feeds
+// statistics.
+// simcheck: allow(wall_clock): supervision-only deadline check, never feeds stats
+use std::time::Instant;
+
+/// Default cycles between progress-watchdog checks once
+/// [`GpuSystem::set_watchdog`] arms it: long enough that any real traffic
+/// (load RTTs are hundreds of cycles) advances the progress signature many
+/// times over, so a firing is a genuine hang, not a slow point.
+pub const DEFAULT_WATCHDOG_EPOCH: u64 = 1 << 20;
 
 /// Static name of a transaction kind for trace span args.
 fn kind_str(kind: MemKind) -> &'static str {
@@ -176,6 +188,20 @@ pub struct GpuSystem<'w> {
     /// Checked-sim harness (`--check`); `None` by default, in which case
     /// every invariant hook is a skipped branch and no epoch sweeps run.
     checker: Option<Box<SimChecker>>,
+
+    /// Progress-watchdog epoch in cycles; `None` (the default) disables
+    /// the watchdog, so [`run`](GpuSystem::run) keeps its historical
+    /// never-fails behavior.
+    watchdog_epoch: Option<u64>,
+    /// Wall-clock budget for one run, in whole seconds (`None` = none).
+    deadline_secs: Option<u64>,
+    /// Chaos/testing hook: freeze every pipeline phase from this cycle on
+    /// so the watchdog observes a genuine no-progress window.
+    stall_from: Option<Cycle>,
+    /// Cycle of the last watchdog probe.
+    watch_cycle: Cycle,
+    /// Progress signature at the last watchdog probe.
+    watch_sig: u64,
 
     now: Cycle,
     /// Cycle at which statistics were last reset (end of warmup).
@@ -324,6 +350,11 @@ impl<'w> GpuSystem<'w> {
             mcs,
             obs: Observer::disabled(),
             checker: None,
+            watchdog_epoch: None,
+            deadline_secs: None,
+            stall_from: None,
+            watch_cycle: 0,
+            watch_sig: 0,
             now: 0,
             stat_base_cycle: 0,
             warmup_done: false,
@@ -359,6 +390,120 @@ impl<'w> GpuSystem<'w> {
     /// The checked-sim harness, when enabled (epoch counts, flow meters).
     pub fn checker(&self) -> Option<&SimChecker> {
         self.checker.as_deref()
+    }
+
+    /// Arms the cycle-level progress watchdog: every `epoch_cycles`, the
+    /// machine compares a signature of its forward-progress counters
+    /// (transactions issued, instructions retired, CTAs dispatched, L2 and
+    /// DRAM traffic, flits moved) against the previous probe. No change
+    /// while the machine is not idle means a livelock, and
+    /// [`run_result`](GpuSystem::run_result) returns
+    /// [`SimError::Livelock`] with a state dump instead of spinning to the
+    /// cycle cap. The probe reads gauges only — statistics of a
+    /// non-livelocked run are byte-identical with the watchdog on or off.
+    pub fn set_watchdog(&mut self, epoch_cycles: u64) {
+        self.watchdog_epoch = Some(epoch_cycles.max(1));
+    }
+
+    /// Sets a wall-clock budget for one [`run_result`](GpuSystem::run_result)
+    /// call; checked at watchdog-epoch granularity, so arming the watchdog
+    /// is what makes the deadline live. Exceeding it returns
+    /// [`SimError::Deadline`].
+    pub fn set_deadline_secs(&mut self, secs: u64) {
+        self.deadline_secs = Some(secs);
+    }
+
+    /// Chaos/testing hook: from `cycle` on, every step advances the clock
+    /// without doing any pipeline work, freezing all forward progress so
+    /// the watchdog provably fires. Never enabled outside fault injection.
+    pub fn inject_stall_from(&mut self, cycle: Cycle) {
+        self.stall_from = Some(cycle);
+    }
+
+    /// True when the chaos stall is active at the current cycle.
+    fn stalled(&self) -> bool {
+        self.stall_from.is_some_and(|c| self.now >= c)
+    }
+
+    /// A stable digest of every counter that advances when the machine
+    /// makes forward progress. Cheap (one pass over component stats) and
+    /// only computed once per watchdog epoch.
+    fn progress_signature(&self) -> u64 {
+        let mut sig: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            sig ^= v;
+            sig = sig.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(self.txn_counter);
+        mix(u64::from(self.dispatcher.remaining()));
+        mix(self.cores.iter().map(|c| c.stats().instructions.get()).sum());
+        mix(self.nodes.iter().map(|n| n.stats().accesses.get()).sum());
+        mix(self.l2.iter().map(|s| s.stats().accesses.get()).sum());
+        mix(self.mcs.iter().map(|m| m.stats().reads.get() + m.stats().writes.get()).sum());
+        mix(self
+            .noc1_req
+            .iter()
+            .chain(self.noc1_rep.iter())
+            .map(|x| x.stats().total_flits())
+            .sum());
+        let nq2 = |net: &Noc2Net| -> u64 {
+            match net {
+                Noc2Net::Single(x) => x.stats().total_flits(),
+                Noc2Net::Sliced(v) => v.iter().map(|x| x.stats().total_flits()).sum(),
+                Noc2Net::TwoStage { stage1, stage2 } => {
+                    stage1.iter().map(|x| x.stats().total_flits()).sum::<u64>()
+                        + stage2.stats().total_flits()
+                }
+            }
+        };
+        mix(nq2(&self.noc2_req));
+        mix(nq2(&self.noc2_rep));
+        mix(u64::from(self.warmup_done));
+        sig
+    }
+
+    /// One watchdog probe: deadline first (cheap), then the no-progress
+    /// check. On success, re-bases the probe window.
+    // simcheck: allow(wall_clock): supervision-only deadline check, never feeds stats
+    fn watchdog_probe(&mut self, started: Option<Instant>) -> Result<(), SimError> {
+        if let (Some(limit), Some(t0)) = (self.deadline_secs, started) {
+            let elapsed = t0.elapsed();
+            if elapsed > std::time::Duration::from_secs(limit) {
+                return Err(SimError::Deadline {
+                    elapsed_secs: elapsed.as_secs(),
+                    limit_secs: limit,
+                });
+            }
+        }
+        let sig = self.progress_signature();
+        if sig == self.watch_sig && !self.all_idle() {
+            return Err(SimError::Livelock { cycle: self.now, dump: self.watchdog_dump() });
+        }
+        self.watch_cycle = self.now;
+        self.watch_sig = sig;
+        Ok(())
+    }
+
+    /// The diagnostic state dump attached to a livelock report: the
+    /// pressure-point snapshot (queue depths, in-flight flits, stall
+    /// counters) plus MSHR occupancy and, under `--check`, the transaction
+    /// flow-meter balance.
+    fn watchdog_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = self.debug_snapshot();
+        let waiters: usize = self.nodes.iter().map(Dcl1Node::mshr_waiters).sum();
+        writeln!(s, "node_mshr_waiters={waiters}").ok();
+        if let Some(ck) = &self.checker {
+            writeln!(
+                s,
+                "txn_flow produced={} consumed={} in_flight={}",
+                ck.txns.produced(),
+                ck.txns.consumed(),
+                ck.txns.in_flight()
+            )
+            .ok();
+        }
+        s
     }
 
     /// Per-core statistics (stall breakdowns alongside issue counts).
@@ -1094,7 +1239,31 @@ impl<'w> GpuSystem<'w> {
 
     /// Runs the kernel to completion (or the cycle cap) and returns the
     /// collected statistics.
+    ///
+    /// Historical never-fails entry point: with the watchdog disarmed
+    /// (the default) [`run_result`](GpuSystem::run_result) cannot fail,
+    /// and an armed watchdog firing here means a genuine hang — panicking
+    /// with the diagnostic is strictly better than spinning to the cycle
+    /// cap. Supervised callers use `run_result` and recover instead.
     pub fn run(&mut self) -> RunStats {
+        self.run_result().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the kernel to completion (or the cycle cap) under the
+    /// supervision configured by [`set_watchdog`](GpuSystem::set_watchdog)
+    /// and [`set_deadline_secs`](GpuSystem::set_deadline_secs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Livelock`] when an armed watchdog observes a
+    /// full epoch with no forward progress while the machine is not idle,
+    /// and [`SimError::Deadline`] when the wall-clock budget is exceeded.
+    /// With neither configured, this never fails.
+    pub fn run_result(&mut self) -> Result<RunStats, SimError> {
+        // simcheck: allow(wall_clock): supervision-only deadline check, never feeds stats
+        let started = self.deadline_secs.map(|_| Instant::now());
+        self.watch_cycle = self.now;
+        self.watch_sig = self.progress_signature();
         while self.now < self.opts.max_cycles {
             self.step();
             if !self.warmup_done && self.opts.warmup_instructions > 0 && self.now.is_multiple_of(64) {
@@ -1106,6 +1275,11 @@ impl<'w> GpuSystem<'w> {
             }
             if self.now.is_multiple_of(64) && self.all_idle() {
                 break;
+            }
+            if let Some(epoch) = self.watchdog_epoch {
+                if self.now.saturating_sub(self.watch_cycle) >= epoch {
+                    self.watchdog_probe(started)?;
+                }
             }
             if self.opts.fast_forward {
                 self.fast_forward();
@@ -1119,7 +1293,7 @@ impl<'w> GpuSystem<'w> {
                 eprintln!("warning: failed to flush observability sinks: {e}");
             }
         }
-        self.collect_stats()
+        Ok(self.collect_stats())
     }
 
     /// When the whole machine is quiescent — no queued or staged
@@ -1136,6 +1310,11 @@ impl<'w> GpuSystem<'w> {
     /// probe, or the cycle cap, so statistics are bit-identical to
     /// stepping.
     fn fast_forward(&mut self) {
+        if self.stalled() {
+            // Chaos stall: never jump the clock past the no-progress
+            // window the watchdog is supposed to observe.
+            return;
+        }
         // Cheap occupancy guards first, so active phases bail out fast.
         if self.outbox.iter().any(|o| !o.is_empty())
             || !self.noc1_req.iter().all(Crossbar::is_idle)
@@ -1288,6 +1467,11 @@ impl<'w> GpuSystem<'w> {
     /// Advances exactly one core cycle.
     pub fn step(&mut self) {
         self.now += 1;
+        if self.stalled() {
+            // Chaos stall: the clock runs but no phase does work, which is
+            // exactly the no-progress shape the watchdog must catch.
+            return;
+        }
         self.dispatch_ctas();
         self.issue_cores();
         self.drain_outboxes();

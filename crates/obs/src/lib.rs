@@ -11,6 +11,9 @@
 //!    wavefront counts into JSONL or CSV.
 //! 3. **Stall attribution** lives in `dcl1-gpu`'s core model; this crate
 //!    only defines the sinks.
+//! 4. **Recovery telemetry** ([`recovery::RecoveryLog`]) — the supervision
+//!    layer's ledger of retries, quarantines, watchdog firings, cache
+//!    corruptions, and journal resumes, embedded in sweep reports.
 //!
 //! The disabled observer is two `None` options: every hook is an `#[inline]`
 //! early return, so a machine built without observability runs the same hot
@@ -29,6 +32,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod recovery;
 pub mod trace;
 
 use metrics::{MetricsFormat, MetricsSample, MetricsWriter};

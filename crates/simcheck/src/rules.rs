@@ -12,8 +12,14 @@ use crate::source::{Allow, SourceFile};
 use std::path::PathBuf;
 
 /// Every rule name, as used in annotations and reports.
-pub const RULES: [&str; 5] =
-    ["hash_order", "wall_clock", "truncating_cast", "float_accum", "stats_schema"];
+pub const RULES: [&str; 6] = [
+    "hash_order",
+    "wall_clock",
+    "truncating_cast",
+    "float_accum",
+    "stats_schema",
+    "bare_catch_unwind",
+];
 
 /// Crates whose hot paths must stay free of wall-clock/environment reads.
 const HOT_CRATES: [&str; 5] = ["gpu", "dcl1", "noc", "mem", "cache"];
@@ -65,6 +71,7 @@ pub fn lint_file(file: &SourceFile) -> FileReport {
     }
     truncating_cast(file, &mut raw);
     float_accum(file, &mut raw);
+    bare_catch_unwind(file, &mut raw);
 
     let mut report = FileReport::default();
     for f in raw {
@@ -352,6 +359,33 @@ fn ident_before(code: &str, at: usize) -> Option<String> {
     }
 }
 
+/// `bare_catch_unwind`: panic recovery is a supervision decision, and its
+/// single sanctioned home is `crates/resilience` (the `supervise` retry
+/// loop). A `catch_unwind` anywhere else can silently swallow a modeling
+/// bug — the panic that would have named the broken invariant becomes a
+/// skipped point nobody investigates. Code with a genuine need (e.g. a
+/// test harness asserting on panics outside `#[cfg(test)]`) must carry a
+/// `// simcheck: allow(bare_catch_unwind): reason` annotation.
+fn bare_catch_unwind(file: &SourceFile, out: &mut Vec<Finding>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if p.contains("crates/resilience/") {
+        return;
+    }
+    for line in file.lines.iter().filter(|l| !l.in_test) {
+        if find_word(&line.code, "catch_unwind").is_some() {
+            out.push(Finding {
+                rule: "bare_catch_unwind",
+                path: file.path.clone(),
+                line: line.number,
+                message: "`catch_unwind` outside crates/resilience can swallow a modeling bug; \
+                          route recovery through `dcl1_resilience::supervise` (or annotate why \
+                          containment is safe here)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Position of `word` in `code` with identifier boundaries on both sides.
 /// `::`-qualified patterns (e.g. `std::env`) match on substring with a
 /// boundary check only at the ends.
@@ -410,5 +444,60 @@ mod tests {
         let r = lint("crates/dcl1/src/x.rs", src);
         assert_eq!(r.findings.len(), 1);
         assert!(r.findings[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn bare_catch_unwind_fires_outside_resilience() {
+        let src = "let r = std::panic::catch_unwind(|| run());\n";
+        let r = lint("crates/bench/src/runner.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "bare_catch_unwind");
+        assert!(r.findings[0].message.contains("resilience"));
+    }
+
+    #[test]
+    fn bare_catch_unwind_exempts_the_resilience_crate() {
+        let src = "let r = catch_unwind(AssertUnwindSafe(|| attempt()));\n";
+        let r = lint("crates/resilience/src/supervisor.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn bare_catch_unwind_honors_annotations_and_word_boundaries() {
+        let allowed = "// simcheck: allow(bare_catch_unwind): harness must assert on panics\n\
+                       let r = catch_unwind(|| go());\n";
+        let r = lint("crates/bench/src/x.rs", allowed);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
+
+        // An identifier merely containing the name is not a hit.
+        let similar = "fn my_catch_unwinder() {}\n";
+        let r = lint("crates/bench/src/x.rs", similar);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn seeded_fixture_catches_planted_catch_unwind() {
+        // A seeded fixture: deterministically generate a plausible source
+        // file, plant one bare `catch_unwind` at a derived line, and check
+        // the rule finds exactly that line.
+        let mut rng = dcl1_common::SplitMix64::new(0xBADC_0DE5);
+        for _ in 0..8 {
+            let lines = 5 + usize::try_from(rng.next_below(40)).expect("small");
+            let plant = usize::try_from(rng.next_below(lines as u64)).expect("small");
+            let mut src = String::new();
+            for i in 0..lines {
+                if i == plant {
+                    src.push_str("    let out = std::panic::catch_unwind(|| work());\n");
+                } else {
+                    src.push_str(&format!("    let v{i} = compute_{i}(input);\n"));
+                }
+            }
+            let r = lint("crates/mem/src/planted.rs", &src);
+            let hits: Vec<_> =
+                r.findings.iter().filter(|f| f.rule == "bare_catch_unwind").collect();
+            assert_eq!(hits.len(), 1, "plant at {plant}: {:?}", r.findings);
+            assert_eq!(hits[0].line, plant + 1);
+        }
     }
 }
