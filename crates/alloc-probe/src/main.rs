@@ -142,6 +142,37 @@ fn probe_flatmap(failed: &mut bool) {
     expect_zero("flat map (insert/probe/remove at capacity)", allocs, bytes, failed);
 }
 
+fn probe_epoch_exchange(failed: &mut bool) {
+    use dcl1_noc::{Crossbar, CrossbarConfig, EpochBatch, EpochKey, Packet};
+    // The epoch-barrier flit exchange the sharded machine runs every
+    // cycle: stage in key order, seal, inject into a crossbar, clear
+    // keeping the allocation. After the first cycle grows the batch to
+    // its working set, the loop must be allocation-free — the barrier
+    // sits on the critical path of every sharded cycle.
+    let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).expect("valid shape"));
+    let mut batch: EpochBatch<Packet<u64>> = EpochBatch::with_capacity(8);
+    let drive = |x: &mut Crossbar<u64>, batch: &mut EpochBatch<Packet<u64>>, iters: u64| {
+        for cycle in 1..=iters {
+            for src in 0..8u64 {
+                batch.stage(
+                    EpochKey { cycle, source: src, seq: cycle * 8 + src },
+                    Packet::new(src as usize, (src % 4) as usize, 2, src),
+                );
+            }
+            batch.seal();
+            x.inject_batch(batch, |_, _| {});
+            batch.clear();
+            x.tick();
+            for out in 0..4 {
+                while x.pop_output(out).is_some() {}
+            }
+        }
+    };
+    drive(&mut x, &mut batch, 10_000);
+    let (allocs, bytes, ()) = count(|| drive(&mut x, &mut batch, STEADY_OPS / 8));
+    expect_zero("epoch exchange (stage/seal/inject/clear)", allocs, bytes, failed);
+}
+
 fn probe_system(failed: &mut bool) {
     // Generous tripwire, not a zero-alloc claim: trace generation
     // legitimately allocates (one access `Vec` per memory instruction,
@@ -173,13 +204,49 @@ fn probe_system(failed: &mut bool) {
     }
 }
 
+fn probe_sharded_system(failed: &mut bool) {
+    // The sharded step loop (worker pool off, so the probe measures the
+    // partitioning machinery itself: mailbox swaps, per-cluster epoch
+    // batches, presence-log replay) is held to the same per-cycle bound
+    // as the sequential loop — sharding must not reintroduce per-event
+    // heap traffic.
+    const MAX_ALLOCS_PER_STEP: f64 = 8.0;
+    const WARMUP_STEPS: u64 = 20_000;
+    const PROBE_STEPS: u64 = 20_000;
+    let cfg = GpuConfig::default();
+    let app = by_name("T-AlexNet").expect("known workload");
+    let mut sys = GpuSystem::build(&cfg, &Design::flagship(&cfg), &app, SimOptions::default())
+        .expect("flagship design builds");
+    sys.set_shards(2);
+    sys.set_shard_threads(false);
+    for _ in 0..WARMUP_STEPS {
+        sys.step();
+    }
+    let (allocs, bytes, ()) = count(|| {
+        for _ in 0..PROBE_STEPS {
+            sys.step();
+        }
+    });
+    let per_step = allocs as f64 / PROBE_STEPS as f64;
+    let ok = per_step <= MAX_ALLOCS_PER_STEP;
+    println!(
+        "sharded step loop (bound {MAX_ALLOCS_PER_STEP}/cycle)         {} ({per_step:.2} allocs/cycle, {bytes} bytes over {PROBE_STEPS} cycles)",
+        if ok { "OK  " } else { "FAIL" },
+    );
+    if !ok {
+        *failed = true;
+    }
+}
+
 fn main() {
     println!("alloc-probe: steady-state allocation audit ({STEADY_OPS} ops per component)\n");
     let mut failed = false;
     probe_mshr(&mut failed);
     probe_presence(&mut failed);
     probe_flatmap(&mut failed);
+    probe_epoch_exchange(&mut failed);
     probe_system(&mut failed);
+    probe_sharded_system(&mut failed);
     if failed {
         println!("\nalloc-probe: FAILED — a hot path allocated in steady state");
         std::process::exit(1);

@@ -185,12 +185,55 @@ fn bench_presence_mean() {
     });
 }
 
+fn bench_epoch_batch() {
+    use dcl1_noc::{EpochBatch, EpochKey};
+    // The epoch-barrier swap the sharded machine performs every cycle:
+    // stage one flit per source in ascending key order (the common case —
+    // seal is then a sortedness check, not a sort), inject the sealed
+    // batch into a crossbar, and clear keeping the allocation.
+    let mut x: Crossbar<u64> = Crossbar::new(CrossbarConfig::new(8, 4).unwrap());
+    let mut batch: EpochBatch<Packet<u64>> = EpochBatch::with_capacity(8);
+    let mut cycle = 0u64;
+    bench("epoch_batch_stage_seal_inject", || {
+        cycle += 1;
+        for src in 0..8u64 {
+            batch.stage(
+                EpochKey { cycle, source: src, seq: cycle * 8 + src },
+                Packet::new(src as usize, (src % 4) as usize, 2, src),
+            );
+        }
+        batch.seal();
+        x.inject_batch(&mut batch, |_, _| {});
+        batch.clear();
+        x.tick();
+        for out in 0..4 {
+            while x.pop_output(out).is_some() {}
+        }
+    });
+}
+
 fn bench_system_step() {
     let cfg = GpuConfig::default();
     let app = by_name("T-AlexNet").unwrap();
     let mut sys =
         GpuSystem::build(&cfg, &Design::flagship(&cfg), &app, SimOptions::default()).unwrap();
     bench("system_step_sh40c10boost_80core", || {
+        sys.step();
+    });
+}
+
+fn bench_system_step_sharded() {
+    // Same machine partitioned into 4 execution domains with worker
+    // threads off: measures the pure partitioning overhead (mailbox swap,
+    // per-cluster regrouping, presence-log replay) against the sequential
+    // figure above.
+    let cfg = GpuConfig::default();
+    let app = by_name("T-AlexNet").unwrap();
+    let mut sys =
+        GpuSystem::build(&cfg, &Design::flagship(&cfg), &app, SimOptions::default()).unwrap();
+    sys.set_shards(4);
+    sys.set_shard_threads(false);
+    bench("system_step_sharded4_inline", || {
         sys.step();
     });
 }
@@ -207,5 +250,7 @@ fn main() {
     bench_dram();
     bench_presence();
     bench_presence_mean();
+    bench_epoch_batch();
     bench_system_step();
+    bench_system_step_sharded();
 }

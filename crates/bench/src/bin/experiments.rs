@@ -3,8 +3,10 @@
 //!
 //! Usage: `DCL1_SCALE=full cargo run --release -p dcl1-bench --bin experiments [figNN ...]`
 //!
-//! `--workers=N` pins the simulation worker-thread count (default: one
-//! per available core).
+//! `--workers=N` sets intra-point parallelism: each machine is sharded
+//! across N execution domains and available/N points run concurrently
+//! (default: 4 shards, one point-thread per available core). Statistics
+//! are byte-identical at any setting.
 //!
 //! Observability: `--trace[=PATH]`, `--metrics[=PATH]`,
 //! `--metrics-interval=N` and `--observe=APP/DESIGN` additionally run one
@@ -33,7 +35,12 @@ fn main() {
         None => true,
         Some(w) => {
             match w.parse::<usize>() {
-                Ok(n) if n > 0 => dcl1_bench::runner::set_worker_override(n),
+                Ok(n) if n > 0 => {
+                    dcl1_bench::runner::set_shard_override(n);
+                    let avail =
+                        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+                    dcl1_bench::runner::set_worker_override((avail / n).max(1));
+                }
                 _ => {
                     eprintln!("experiments: bad --workers={w}: expected a positive integer");
                     std::process::exit(2);

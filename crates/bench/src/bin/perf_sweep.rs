@@ -20,8 +20,11 @@
 //!                           # dump (byte-comparable across runs)
 //!   ... --only=SUBSTR       # keep only points whose "APP/DESIGN" name
 //!                           # contains SUBSTR (repeatable)
-//!   ... --workers=N         # pin the worker-thread count (default: one
-//!                           # per available core); recorded in the JSON
+//!   ... --workers=N         # intra-point parallelism: shard each machine
+//!                           # across N execution domains and run
+//!                           # available/N points concurrently (default:
+//!                           # 4 shards, one point-thread per available
+//!                           # core); recorded in the JSON
 //!   ... --design=NAME       # sweep these designs instead of the default
 //!                           # four (repeatable; names per Design::from_str,
 //!                           # e.g. pr4, sh16, sh16+c8+boost)
@@ -54,11 +57,15 @@ fn sweep_json(
     let sim_wall = m.wall_nanos as f64 / 1e9;
     let khz = if sim_wall > 0.0 { m.sim_cycles as f64 / sim_wall / 1e3 } else { 0.0 };
     let recovery = runner::recovery_log();
+    let sh = runner::shard_sweep_stats();
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"workers\": {},\n  \"chaos_seed\": {},\n  \"stats_digest\": \"{digest}\",\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"recovery\": {{ {} }},\n  \"quarantined\": [",
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"fast_forward\": {fast_forward},\n  \"workers\": {},\n  \"shards\": {{\n    \"requested\": {},\n    \"effective_max\": {},\n    \"barrier_stall_seconds\": {:.6}\n  }},\n  \"chaos_seed\": {},\n  \"stats_digest\": \"{digest}\",\n  \"totals\": {{\n    \"points\": {total_points},\n    \"points_simulated\": {},\n    \"points_from_memo\": {},\n    \"sim_cycles\": {total_sim_cycles},\n    \"sim_wall_seconds\": {sim_wall:.6},\n    \"sim_khz\": {khz:.3},\n    \"end_to_end_wall_seconds\": {end_to_end_wall:.6}\n  }},\n  \"recovery\": {{ {} }},\n  \"quarantined\": [",
         runner::effective_workers(),
+        runner::effective_shards(),
+        sh.shards,
+        sh.barrier_wait_nanos as f64 / 1e9,
         chaos_seed.map_or("null".to_string(), |s| s.to_string()),
         m.simulated,
         m.memory_hits + m.disk_hits,
@@ -107,7 +114,16 @@ fn main() {
     let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
     if let Some(w) = args.iter().find_map(|a| a.strip_prefix("--workers=")) {
         match w.parse::<usize>() {
-            Ok(n) if n > 0 => runner::set_worker_override(n),
+            Ok(n) if n > 0 => {
+                // `--workers=N` is intra-point parallelism: N shard
+                // domains inside each machine, and the point-level fan-out
+                // shrinks to available/N so the two layers together never
+                // oversubscribe the host.
+                runner::set_shard_override(n);
+                let avail =
+                    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+                runner::set_worker_override((avail / n).max(1));
+            }
             _ => {
                 eprintln!("perf_sweep: bad --workers={w}: expected a positive integer");
                 std::process::exit(2);

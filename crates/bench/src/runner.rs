@@ -96,7 +96,11 @@ impl RunRequest {
 /// never read back. The version is part of the cache directory name.
 ///
 /// v2: `RunStats` grew the stall-attribution fields.
-const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the sharded machine changed transaction-id assignment, RTT-meter
+/// merge order, and presence accounting to be partition-independent, which
+/// moves some floating-point statistics relative to the v2 machine.
+const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// 128-bit FNV-1a, used instead of `DefaultHasher` because the on-disk
 /// cache needs a hash that is stable across processes and Rust releases.
@@ -155,6 +159,15 @@ fn memo_key(req: &RunRequest, scale: Scale) -> u128 {
     let mut h = Fnv128::new();
     key.hash(&mut h);
     h.value()
+}
+
+/// The memo key of a request as a fixed-width hex string — the identity
+/// under which its result is cached. Exposed so determinism tests can
+/// assert that the shard count is *not* part of a point's identity (a
+/// sharded and a sequential run of the same point must share one cache
+/// entry, which is only sound because their stats are byte-identical).
+pub fn memo_key_hex(req: &RunRequest, scale: Scale) -> String {
+    format!("{:032x}", memo_key(req, scale))
 }
 
 // ---------------------------------------------------------------------------
@@ -794,6 +807,7 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     let start = Instant::now();
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
         .map_err(|e| SimError::Config(format!("{}: {e}", req.design.name())))?;
+    sys.set_shards(effective_shards());
     if checked {
         sys.enable_check();
     }
@@ -816,6 +830,7 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     }
     let stats = sys.run_result()?;
     let wall = start.elapsed();
+    note_shard_report(&sys.shard_report());
 
     SIMULATED.fetch_add(1, Ordering::Relaxed);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
@@ -900,12 +915,15 @@ pub fn run_app_observed_result(
     }
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
         .map_err(|e| SimError::Config(format!("{}: {e}", req.design.name())))?;
+    sys.set_shards(effective_shards());
     sys.attach_observer(obs);
     let epoch = WATCHDOG_EPOCH.load(Ordering::Relaxed);
     if epoch > 0 {
         sys.set_watchdog(epoch);
     }
-    sys.run_result()
+    let out = sys.run_result();
+    note_shard_report(&sys.shard_report());
+    out
 }
 
 /// Runs one simulation point with observability sinks attached.
@@ -1045,6 +1063,58 @@ pub fn run_apps_with_workers(reqs: &[RunRequest], scale: Scale, workers: usize) 
 }
 
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static SHARD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static SHARDS_MAX: AtomicU64 = AtomicU64::new(0);
+static BARRIER_WAIT_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Execution domains requested for every machine built by [`run_app`]
+/// when no override is set. Partitioning is determinism-neutral (stats
+/// are byte-identical at any shard count) and cheap when the per-shard
+/// worker pool stays off, so the sweeps default to a sharded machine and
+/// let [`dcl1::GpuSystem`] decide whether threads are worth running.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Pins the intra-point shard count used for every subsequent
+/// [`run_app`] in this process; `0` restores [`DEFAULT_SHARDS`].
+/// Orthogonal to [`set_worker_override`], which controls how many points
+/// run concurrently: `--workers=N` on the bench binaries maps to `N`
+/// shards inside each point and `available/N` concurrent points.
+pub fn set_shard_override(shards: usize) {
+    SHARD_OVERRIDE.store(shards, Ordering::Relaxed);
+}
+
+/// The shard count [`run_app`] will request from each machine (the
+/// machine may clamp it — see [`dcl1::GpuSystem::set_shards`]).
+pub fn effective_shards() -> usize {
+    match SHARD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => DEFAULT_SHARDS,
+        n => n,
+    }
+}
+
+/// Aggregate intra-point sharding diagnostics for this process.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSweepStats {
+    /// Largest effective shard count any simulated point ran with.
+    pub shards: u64,
+    /// Total wall nanoseconds coordinators spent waiting at epoch
+    /// barriers, summed over simulated points.
+    pub barrier_wait_nanos: u64,
+}
+
+/// Returns this process's accumulated sharding diagnostics.
+pub fn shard_sweep_stats() -> ShardSweepStats {
+    ShardSweepStats {
+        shards: SHARDS_MAX.load(Ordering::Relaxed),
+        barrier_wait_nanos: BARRIER_WAIT_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+/// Folds one machine's per-run shard report into the process totals.
+fn note_shard_report(rep: &dcl1::ShardReport) {
+    SHARDS_MAX.fetch_max(rep.shards as u64, Ordering::Relaxed);
+    BARRIER_WAIT_NANOS.fetch_add(rep.barrier_wait_nanos, Ordering::Relaxed);
+}
 
 /// Pins the worker-thread count used by [`run_apps`] for every subsequent
 /// call in this process; `0` restores the default (one thread per
@@ -1253,7 +1323,10 @@ mod tests {
             versioned_cache_dir(base.clone()),
             base.join(format!("v{CACHE_SCHEMA_VERSION}"))
         );
-        assert_eq!(disk_cache_dir().file_name().unwrap().to_str(), Some("v2"));
+        assert_eq!(
+            disk_cache_dir().file_name().unwrap().to_str().unwrap(),
+            format!("v{CACHE_SCHEMA_VERSION}")
+        );
 
         // …so an entry persisted under a stale sibling (a previous
         // schema's v1/) can never satisfy a lookup, even for the same key.

@@ -209,11 +209,11 @@ fn chaos_off_supervision_is_a_no_op() {
     }
     assert!(report.contains("\"quarantined\": [\n  ]"), "quarantine list not empty");
 
-    // The cache schema is unchanged: entries still live under v2/, and
-    // the (optional) integrity header is the only addition.
-    let v2 = dir.join("cache").join("v2");
+    // Entries live under the current schema-version directory, and the
+    // (optional) integrity header is the only addition.
+    let v2 = dir.join("cache").join("v3");
     let entries: Vec<PathBuf> = std::fs::read_dir(&v2)
-        .expect("v2 cache dir exists")
+        .expect("v3 cache dir exists")
         .map(|e| e.expect("dir entry").path())
         .filter(|p| p.extension().is_some_and(|x| x == "stats"))
         .collect();

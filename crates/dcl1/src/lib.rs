@@ -54,6 +54,7 @@ pub mod design;
 pub mod machine;
 pub mod node;
 pub mod presence;
+mod shard;
 pub mod stats;
 pub mod txn;
 
@@ -63,7 +64,8 @@ pub use design::{Attachment, Design, Noc2Kind, Topology};
 pub use dcl1_resilience::SimError;
 pub use machine::{GpuSystem, SimOptions, DEFAULT_WATCHDOG_EPOCH};
 pub use node::{Dcl1Node, NodeConfig, NodeStats};
-pub use presence::PresenceMap;
+pub use presence::{PresenceLog, PresenceMap, PresenceSession, PresenceSink};
+pub use shard::ShardReport;
 pub use dcl1_obs::metrics::{MetricsFormat, MetricsSample};
 pub use dcl1_obs::Observer;
 pub use stats::RunStats;

@@ -7,41 +7,68 @@
 //! ## Per-cycle pipeline
 //!
 //! Components communicate only through bounded queues and crossbar ports,
-//! so the tick order below introduces at most single-cycle skews:
+//! so the phase order below introduces at most single-cycle skews:
 //!
 //! 1. CTA dispatch to cores with free slots;
-//! 2. core issue (one instruction per core per cycle) into per-core
-//!    transaction outboxes;
-//! 3. outbox → NoC#1 injection (or directly into the in-core L1's Q1 for
-//!    baseline designs);
+//! 2. **Issue region** (per shard domain): core issue (one instruction per
+//!    core per cycle) into per-core transaction outboxes, then stage each
+//!    outbox head for the epoch exchange;
+//! 3. **outbox exchange** (coordinator): staged heads move into NoC#1 /
+//!    node Q1 in global core order, with back-pressure memoized for stall
+//!    attribution;
 //! 4. NoC#1 ticks (1× or 2× per core cycle) with ejection into node Q1 /
-//!    completion at cores;
+//!    completion at cores — per domain when the partition is
+//!    cluster-aligned, sequentially otherwise;
 //! 5. node Q3 → NoC#2 injection; NoC#2 ticks in the 700 MHz domain with
-//!    ejection into L2 input queues / node Q4;
-//! 6. L2 slice ticks; L2 ↔ DRAM moves; DRAM ticks in the 924 MHz domain;
-//! 7. DC-L1 node ticks;
-//! 8. node Q2 → NoC#1 reply injection (or directly back to the core).
+//!    ejection into L2 input queues / node Q4 (coordinator — NoC#2 is the
+//!    one all-to-all structure, so it is never sharded);
+//! 6. **Mem region** (per shard domain): L2 slice ticks and DC-L1 node
+//!    ticks (presence reads the cycle-start snapshot, writes a domain
+//!    log), plus — when aligned — the node-reply drain;
+//! 7. **memory exchange** (coordinator): presence-log replay in domain
+//!    order, L2 ↔ DRAM moves, DRAM ticks in the 924 MHz domain.
+//!
+//! ## Sharded determinism
+//!
+//! The machine partitions its cores, DC-L1 nodes, NoC#1 clusters and L2
+//! slices into [`ShardDomain`]s ([`GpuSystem::set_shards`]). Regions
+//! touch one domain's state only; everything that crosses domains flows
+//! through coordinator-run exchanges whose order is fixed by global
+//! component order (epoch batches sorted by `(cycle, source, seq)`).
+//! Statistics are therefore a pure function of the *partition*, and the
+//! partition itself is chosen so results do not depend on the shard count:
+//! transaction ids come from per-core sequence counters, RTT meters are
+//! per core and merged in global core order, and presence updates are
+//! logged and replayed in node order. Running regions inline or on a
+//! worker pool is byte-identical by construction.
+//!
+//! [`ShardDomain`]: crate::shard::ShardDomain
 
+use crate::check::{SimChecker, EPOCH_CYCLES};
 use crate::config::GpuConfig;
 use crate::design::{Attachment, Design, Noc2Kind, Topology};
 use crate::node::{Dcl1Node, NodeConfig};
 use crate::presence::PresenceMap;
+use crate::shard::{
+    self, CoreMeter, MachineCtx, Region, ShardDomain, ShardPool, ShardReport,
+};
 use crate::stats::RunStats;
-use crate::check::{SimChecker, EPOCH_CYCLES};
 use crate::txn::Txn;
 use dcl1_common::stats::RunningMean;
-use dcl1_common::{ClockDomain, ConfigError, CoreId, Cycle, Histogram};
-use dcl1_gpu::{Core, CoreConfig, CoreStats, CtaDispatcher, CtaPolicy, MemBlock, MemKind, TraceFactory};
+use dcl1_common::{ClockDomain, ConfigError, CoreId, Cycle, FlowMeter};
+use dcl1_gpu::{
+    Core, CoreConfig, CoreStats, CtaDispatcher, CtaPolicy, MemBlock, MemKind, TraceFactory,
+};
 use dcl1_mem::{DramAccess, L2Reply, L2Request, L2Slice, MemAccessKind, MemoryController};
-use dcl1_noc::{Crossbar, CrossbarConfig, Packet};
+use dcl1_noc::{Crossbar, CrossbarConfig, EpochBatch, Packet};
 use dcl1_obs::metrics::MetricsSample;
 use dcl1_obs::Observer;
 use dcl1_resilience::SimError;
 use std::collections::VecDeque;
-// Wall time is read only by the deadline watchdog, which compares it
-// against a supervision budget and aborts the attempt; it never feeds
-// statistics.
-// simcheck: allow(wall_clock): supervision-only deadline check, never feeds stats
+use std::sync::Arc;
+// Wall time here is read only by the deadline watchdog and the per-shard
+// busy/barrier diagnostics; it never feeds statistics.
+// simcheck: allow(wall_clock): supervision and shard diagnostics only, never feeds stats
 use std::time::Instant;
 
 /// Default cycles between progress-watchdog checks once
@@ -49,16 +76,6 @@ use std::time::Instant;
 /// (load RTTs are hundreds of cycles) advances the progress signature many
 /// times over, so a firing is a genuine hang, not a slow point.
 pub const DEFAULT_WATCHDOG_EPOCH: u64 = 1 << 20;
-
-/// Static name of a transaction kind for trace span args.
-fn kind_str(kind: MemKind) -> &'static str {
-    match kind {
-        MemKind::Load => "load",
-        MemKind::Store => "store",
-        MemKind::Atomic => "atomic",
-        MemKind::Aux => "aux",
-    }
-}
 
 /// Run-level options orthogonal to the design (the paper's sensitivity
 /// knobs).
@@ -143,6 +160,19 @@ impl Noc2Net {
     }
 }
 
+/// Where each domain's component ranges start: cut `i`..cut `i+1` is
+/// domain `i`'s slice of the global component vector.
+struct PartitionCuts {
+    core: Vec<usize>,
+    node: Vec<usize>,
+    cluster: Vec<usize>,
+    slice: Vec<usize>,
+    /// True when every NoC#1 cluster (and, for direct attachment, every
+    /// node↔core pair) is wholly inside one domain, so the NoC#1 region
+    /// and the fused reply drain can run per domain.
+    aligned: bool,
+}
+
 /// The assembled machine.
 #[derive(Debug)]
 pub struct GpuSystem<'w> {
@@ -152,20 +182,32 @@ pub struct GpuSystem<'w> {
     factory: &'w dyn TraceFactory,
     dispatcher: CtaDispatcher,
 
-    cores: Vec<Core>,
-    /// Per-core coalesced transactions awaiting injection.
-    outbox: Vec<VecDeque<Txn>>,
-    /// Outcome of each core's most recent outbox-drain attempt, read by
-    /// issue to attribute memory-port stalls. Only meaningful while the
-    /// core's outbox is non-empty.
-    outbox_cause: Vec<MemBlock>,
-    nodes: Vec<Dcl1Node>,
-    presence: PresenceMap,
+    /// Execution domains: every core, outbox, DC-L1 node, NoC#1 crossbar
+    /// and L2 slice lives in exactly one (sequential = one domain).
+    shards: Vec<ShardDomain>,
+    /// Immutable facts shared with worker threads.
+    rctx: Arc<MachineCtx>,
+    /// Worker threads (one per non-coordinator shard); `None` runs every
+    /// region inline on the coordinator — byte-identical either way.
+    pool: Option<ShardPool>,
+    /// See [`PartitionCuts::aligned`].
+    aligned: bool,
+    /// Shard count last requested via [`set_shards`](GpuSystem::set_shards)
+    /// (before feasibility clamping).
+    requested_shards: usize,
+    /// Overrides the use-worker-threads heuristic (tests force both paths).
+    thread_override: Option<bool>,
+    /// Wall nanoseconds the coordinator spent waiting at epoch barriers.
+    barrier_wait_nanos: u64,
+    /// Per-cluster cross-domain flit batches for the outbox exchange.
+    xchg: Vec<EpochBatch<Packet<Txn>>>,
+    /// Reused (core, txn-id) scratch for exchange acceptance bookkeeping.
+    inject_scratch: Vec<(u64, u64)>,
 
-    /// NoC#1 request/reply crossbars, one pair per cluster (empty when
-    /// direct-attached).
-    noc1_req: Vec<Crossbar<Txn>>,
-    noc1_rep: Vec<Crossbar<Txn>>,
+    /// Replica-presence map. Shared read-only with workers during regions
+    /// (cycle-start snapshot); exclusively re-acquired at the barrier to
+    /// replay the domain logs.
+    presence: Arc<PresenceMap>,
 
     noc2_req: Noc2Net,
     noc2_rep: Noc2Net,
@@ -173,7 +215,6 @@ pub struct GpuSystem<'w> {
     /// Stage-1/stage-2 clocks for the CDXBar comparator.
     cdx_clocks: Option<(ClockDomain, ClockDomain)>,
 
-    l2: Vec<L2Slice<Txn>>,
     /// Reply popped from a slice but not yet injected into NoC#2.
     l2_reply_stash: Vec<Option<L2Reply<Txn>>>,
     /// DRAM access popped from a slice but not yet accepted by its MC.
@@ -207,11 +248,6 @@ pub struct GpuSystem<'w> {
     /// Cycle at which statistics were last reset (end of warmup).
     stat_base_cycle: Cycle,
     warmup_done: bool,
-    txn_counter: u64,
-    load_rtt: RunningMean,
-    rtt_hist: Histogram,
-    hit_rtt: RunningMean,
-    miss_rtt: RunningMean,
     replica_samples: RunningMean,
 }
 
@@ -248,7 +284,7 @@ impl<'w> GpuSystem<'w> {
             .map(|_| Dcl1Node::new(node_cfg))
             .collect::<Result<Vec<_>, _>>()?;
 
-        let cores = (0..cfg.cores)
+        let cores: Vec<Core> = (0..cfg.cores)
             .map(|c| {
                 Core::new(
                     CoreId::new(c),
@@ -322,15 +358,52 @@ impl<'w> GpuSystem<'w> {
             .collect::<Result<Vec<_>, _>>()?;
         let mcs = (0..cfg.mcs).map(|_| MemoryController::new(cfg.dram)).collect();
 
-        Ok(GpuSystem {
-            dispatcher: CtaDispatcher::new(opts.cta_policy, factory.total_ctas(), cfg.cores),
+        let cuts = Self::partition_plan(&topo, l, 1);
+        let domain = ShardDomain {
+            id: 0,
+            core0: 0,
+            node0: 0,
+            cluster0: 0,
+            slice0: 0,
+            cores,
             outbox: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
             outbox_cause: vec![MemBlock::OutboxDrain; cfg.cores],
+            txn_seq: vec![0; cfg.cores],
+            meters: vec![CoreMeter::default(); cfg.cores],
+            nodes,
+            noc1_req,
+            noc1_rep,
+            l2,
+            mailbox: EpochBatch::with_capacity(cfg.cores),
+            plog: crate::presence::PresenceLog::new(),
+            flow: FlowMeter::new("txns"),
+            busy_nanos: 0,
+        };
+        let (xchg_clusters, cpc) = match topo.attachment {
+            Attachment::Noc1 { .. } => (topo.clusters, topo.cores_per_cluster()),
+            Attachment::Direct => (0, 0),
+        };
+
+        Ok(GpuSystem {
+            dispatcher: CtaDispatcher::new(opts.cta_policy, factory.total_ctas(), cfg.cores),
+            rctx: Arc::new(MachineCtx {
+                topo: topo.clone(),
+                cores_total: cfg.cores as u64,
+                flit_bytes: cfg.flit_bytes * topo.flit_mult,
+            }),
+            shards: vec![domain],
+            pool: None,
+            aligned: cuts.aligned,
+            requested_shards: 1,
+            thread_override: None,
+            barrier_wait_nanos: 0,
+            xchg: (0..xchg_clusters).map(|_| EpochBatch::with_capacity(cpc)).collect(),
+            inject_scratch: Vec::with_capacity(cfg.cores),
             // Distinct presence-tracked lines are bounded by the level's
             // aggregate capacity; pre-sizing means the map never re-hashes.
-            presence: PresenceMap::with_capacity(
+            presence: Arc::new(PresenceMap::with_capacity(
                 node_cfg.size_bytes / cfg.line_bytes.max(1) * topo.nodes,
-            ),
+            )),
             l2_reply_stash: (0..l).map(|_| None).collect(),
             dram_stash: (0..l).map(|_| None).collect(),
             noc2_clock: ClockDomain::new(cfg.noc_mhz * topo.noc2_freq_mult, cfg.core_mhz),
@@ -339,14 +412,9 @@ impl<'w> GpuSystem<'w> {
             topo,
             opts,
             factory,
-            cores,
-            nodes,
-            noc1_req,
-            noc1_rep,
             noc2_req,
             noc2_rep,
             cdx_clocks,
-            l2,
             mcs,
             obs: Observer::disabled(),
             checker: None,
@@ -358,14 +426,203 @@ impl<'w> GpuSystem<'w> {
             now: 0,
             stat_base_cycle: 0,
             warmup_done: false,
-            txn_counter: 0,
-            load_rtt: RunningMean::default(),
-            rtt_hist: Histogram::new(),
-            hit_rtt: RunningMean::default(),
-            miss_rtt: RunningMean::default(),
             replica_samples: RunningMean::default(),
         })
     }
+
+    // ---------------------------------------------------------------
+    // Partitioning
+    // ---------------------------------------------------------------
+
+    /// Component cut points for an `n`-way partition. A pure function of
+    /// `(topology, n)`, so a given shard count always yields the same
+    /// partition — and the partition is chosen so the *simulated* behavior
+    /// is the same for every `n` (see the module docs).
+    fn partition_plan(topo: &Topology, l2_slices: usize, n: usize) -> PartitionCuts {
+        let even = |total: usize| -> Vec<usize> { (0..=n).map(|i| i * total / n).collect() };
+        let slice = even(l2_slices);
+        match topo.attachment {
+            Attachment::Direct => PartitionCuts {
+                core: even(topo.cores),
+                node: even(topo.nodes),
+                cluster: vec![0; n + 1],
+                slice,
+                // node index == core index makes every request/reply pair
+                // domain-local under identical cuts; the ideal-ports
+                // machine (1 node, many ports) is the exception.
+                aligned: !topo.ideal_ports && topo.nodes == topo.cores,
+            },
+            Attachment::Noc1 { .. } => {
+                if topo.clusters >= n {
+                    // Cut on cluster boundaries: both sides of every NoC#1
+                    // crossbar stay inside one domain.
+                    let cluster = even(topo.clusters);
+                    let cpc = topo.cores_per_cluster();
+                    let m = topo.nodes_per_cluster();
+                    PartitionCuts {
+                        core: cluster.iter().map(|k| k * cpc).collect(),
+                        node: cluster.iter().map(|k| k * m).collect(),
+                        cluster,
+                        slice,
+                        aligned: true,
+                    }
+                } else {
+                    // Fewer clusters than shards (e.g. Sh16's single 40×16
+                    // crossbar): cores/nodes/slices still partition, the
+                    // crossbars stay with domain 0, and the NoC#1 phase
+                    // runs sequentially on the coordinator.
+                    let mut cluster = vec![topo.clusters; n + 1];
+                    cluster[0] = 0;
+                    PartitionCuts {
+                        core: even(topo.cores),
+                        node: even(topo.nodes),
+                        cluster,
+                        slice,
+                        aligned: false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Repartitions the machine into `n` domains, merging and re-cutting
+    /// every per-domain vector in global component order. Only legal at a
+    /// quiescent point (no transaction in flight — asserted in debug
+    /// builds), which is where callers invoke it: before a run, or at the
+    /// start of a traced run.
+    fn repartition(&mut self, n: usize) {
+        let n = n.clamp(1, self.topo.cores.max(1));
+        if self.shards.len() == n {
+            return;
+        }
+        self.pool = None;
+        let cuts = Self::partition_plan(&self.topo, self.cfg.l2_slices, n);
+
+        let total_cores = self.topo.cores;
+        let mut produced = 0u64;
+        let mut consumed = 0u64;
+        let mut cores = Vec::with_capacity(total_cores);
+        let mut outbox = Vec::with_capacity(total_cores);
+        let mut outbox_cause = Vec::with_capacity(total_cores);
+        let mut txn_seq = Vec::with_capacity(total_cores);
+        let mut meters = Vec::with_capacity(total_cores);
+        let mut nodes = Vec::with_capacity(self.topo.nodes);
+        let mut noc1_req = Vec::new();
+        let mut noc1_rep = Vec::new();
+        let mut l2 = Vec::with_capacity(self.cfg.l2_slices);
+        for d in self.shards.drain(..) {
+            debug_assert!(d.plog.is_empty(), "repartition with unapplied presence deltas");
+            produced += d.flow.produced();
+            consumed += d.flow.consumed();
+            cores.extend(d.cores);
+            outbox.extend(d.outbox);
+            outbox_cause.extend(d.outbox_cause);
+            txn_seq.extend(d.txn_seq);
+            meters.extend(d.meters);
+            nodes.extend(d.nodes);
+            noc1_req.extend(d.noc1_req);
+            noc1_rep.extend(d.noc1_rep);
+            l2.extend(d.l2);
+        }
+        // Per-core in-flight counts cannot be reconstructed from domain
+        // aggregates, so the ledgers only merge when nothing is in flight;
+        // the merged history lands on domain 0.
+        debug_assert_eq!(produced, consumed, "repartition with transactions in flight");
+
+        let mut cores = cores.into_iter();
+        let mut outbox = outbox.into_iter();
+        let mut outbox_cause = outbox_cause.into_iter();
+        let mut txn_seq = txn_seq.into_iter();
+        let mut meters = meters.into_iter();
+        let mut nodes = nodes.into_iter();
+        let mut noc1_req = noc1_req.into_iter();
+        let mut noc1_rep = noc1_rep.into_iter();
+        let mut l2 = l2.into_iter();
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let nc = cuts.core[i + 1] - cuts.core[i];
+            let mut flow = FlowMeter::new("txns");
+            if i == 0 {
+                flow.produce(produced);
+                flow.consume(consumed);
+            }
+            shards.push(ShardDomain {
+                id: i,
+                core0: cuts.core[i],
+                node0: cuts.node[i],
+                cluster0: cuts.cluster[i],
+                slice0: cuts.slice[i],
+                cores: cores.by_ref().take(nc).collect(),
+                outbox: outbox.by_ref().take(nc).collect(),
+                outbox_cause: outbox_cause.by_ref().take(nc).collect(),
+                txn_seq: txn_seq.by_ref().take(nc).collect(),
+                meters: meters.by_ref().take(nc).collect(),
+                nodes: nodes.by_ref().take(cuts.node[i + 1] - cuts.node[i]).collect(),
+                noc1_req: noc1_req
+                    .by_ref()
+                    .take(cuts.cluster[i + 1] - cuts.cluster[i])
+                    .collect(),
+                noc1_rep: noc1_rep
+                    .by_ref()
+                    .take(cuts.cluster[i + 1] - cuts.cluster[i])
+                    .collect(),
+                l2: l2.by_ref().take(cuts.slice[i + 1] - cuts.slice[i]).collect(),
+                mailbox: EpochBatch::with_capacity(nc),
+                plog: crate::presence::PresenceLog::new(),
+                flow,
+                busy_nanos: 0,
+            });
+        }
+        self.shards = shards;
+        self.aligned = cuts.aligned;
+    }
+
+    /// Partitions the machine into (up to) `n` execution domains.
+    ///
+    /// Statistics are independent of the shard count by construction: the
+    /// partition follows component boundaries (cluster-aligned where the
+    /// topology allows), all cross-domain traffic moves at deterministic
+    /// coordinator-run exchanges ordered by global component index, and
+    /// per-core counters (transaction sequencing, RTT meters) merge in
+    /// global core order. Infeasible topologies clamp: the ideal-ports
+    /// single-L1 machine and direct designs whose node count differs from
+    /// the core count stay at one domain; otherwise `n` is capped at the
+    /// core count.
+    pub fn set_shards(&mut self, n: usize) {
+        self.requested_shards = n.max(1);
+        let infeasible = self.topo.ideal_ports
+            || (matches!(self.topo.attachment, Attachment::Direct)
+                && self.topo.nodes != self.topo.cores);
+        let eff = if infeasible { 1 } else { self.requested_shards.min(self.topo.cores.max(1)) };
+        self.repartition(eff);
+    }
+
+    /// Number of execution domains the machine is currently partitioned
+    /// into (1 = sequential).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Forces worker threads on or off for sharded regions (the default
+    /// follows host parallelism). Purely an execution-strategy knob:
+    /// results are byte-identical either way.
+    pub fn set_shard_threads(&mut self, on: bool) {
+        self.thread_override = Some(on);
+    }
+
+    /// Per-shard execution diagnostics for the last run (wall-clock
+    /// derived; never part of simulation results).
+    pub fn shard_report(&self) -> ShardReport {
+        ShardReport {
+            shards: self.shards.len(),
+            barrier_wait_nanos: self.barrier_wait_nanos,
+            busy_nanos: self.shards.iter().map(|d| d.busy_nanos).collect(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors and small helpers
+    // ---------------------------------------------------------------
 
     /// The resolved topology this machine implements.
     pub fn topology(&self) -> &Topology {
@@ -387,7 +644,7 @@ impl<'w> GpuSystem<'w> {
         self.checker = Some(Box::new(SimChecker::new()));
     }
 
-    /// The checked-sim harness, when enabled (epoch counts, flow meters).
+    /// The checked-sim harness, when enabled (epoch counts).
     pub fn checker(&self) -> Option<&SimChecker> {
         self.checker.as_deref()
     }
@@ -425,6 +682,60 @@ impl<'w> GpuSystem<'w> {
         self.stall_from.is_some_and(|c| self.now >= c)
     }
 
+    fn iter_cores(&self) -> impl Iterator<Item = &Core> {
+        self.shards.iter().flat_map(|d| d.cores.iter())
+    }
+
+    fn iter_nodes(&self) -> impl Iterator<Item = &Dcl1Node> {
+        self.shards.iter().flat_map(|d| d.nodes.iter())
+    }
+
+    fn iter_l2(&self) -> impl Iterator<Item = &L2Slice<Txn>> {
+        self.shards.iter().flat_map(|d| d.l2.iter())
+    }
+
+    fn iter_noc1(&self) -> impl Iterator<Item = &Crossbar<Txn>> {
+        self.shards.iter().flat_map(|d| d.noc1_req.iter().chain(d.noc1_rep.iter()))
+    }
+
+    fn iter_outbox(&self) -> impl Iterator<Item = &VecDeque<Txn>> {
+        self.shards.iter().flat_map(|d| d.outbox.iter())
+    }
+
+    /// All per-core RTT meters folded in global core order (so the merge
+    /// order — and therefore every floating-point mean — is independent of
+    /// the partition).
+    fn merged_meters(&self) -> CoreMeter {
+        let mut m = CoreMeter::default();
+        for d in &self.shards {
+            for cm in &d.meters {
+                m.load_rtt.merge(&cm.load_rtt);
+                m.hit_rtt.merge(&cm.hit_rtt);
+                m.miss_rtt.merge(&cm.miss_rtt);
+                m.rtt_hist.merge(&cm.rtt_hist);
+            }
+        }
+        m
+    }
+
+    /// Per-core statistics (stall breakdowns alongside issue counts).
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.iter_cores().map(|c| *c.stats()).collect()
+    }
+
+    /// Cycles elapsed since statistics last reset (the measured window).
+    pub fn measured_cycles(&self) -> u64 {
+        self.now - self.stat_base_cycle
+    }
+
+    fn slice_of(&self, line: dcl1_common::LineAddr) -> usize {
+        line.interleave(self.cfg.l2_slices)
+    }
+
+    fn mc_of_slice(&self, slice: usize) -> usize {
+        slice / self.cfg.slices_per_mc()
+    }
+
     /// A stable digest of every counter that advances when the machine
     /// makes forward progress. Cheap (one pass over component stats) and
     /// only computed once per watchdog epoch.
@@ -434,18 +745,13 @@ impl<'w> GpuSystem<'w> {
             sig ^= v;
             sig = sig.wrapping_mul(0x0000_0100_0000_01b3);
         };
-        mix(self.txn_counter);
+        mix(self.shards.iter().flat_map(|d| d.txn_seq.iter()).sum());
         mix(u64::from(self.dispatcher.remaining()));
-        mix(self.cores.iter().map(|c| c.stats().instructions.get()).sum());
-        mix(self.nodes.iter().map(|n| n.stats().accesses.get()).sum());
-        mix(self.l2.iter().map(|s| s.stats().accesses.get()).sum());
+        mix(self.iter_cores().map(|c| c.stats().instructions.get()).sum());
+        mix(self.iter_nodes().map(|n| n.stats().accesses.get()).sum());
+        mix(self.iter_l2().map(|s| s.stats().accesses.get()).sum());
         mix(self.mcs.iter().map(|m| m.stats().reads.get() + m.stats().writes.get()).sum());
-        mix(self
-            .noc1_req
-            .iter()
-            .chain(self.noc1_rep.iter())
-            .map(|x| x.stats().total_flits())
-            .sum());
+        mix(self.iter_noc1().map(|x| x.stats().total_flits()).sum());
         let nq2 = |net: &Noc2Net| -> u64 {
             match net {
                 Noc2Net::Single(x) => x.stats().total_flits(),
@@ -486,67 +792,23 @@ impl<'w> GpuSystem<'w> {
 
     /// The diagnostic state dump attached to a livelock report: the
     /// pressure-point snapshot (queue depths, in-flight flits, stall
-    /// counters) plus MSHR occupancy and, under `--check`, the transaction
+    /// counters) plus MSHR occupancy and the per-domain transaction
     /// flow-meter balance.
     fn watchdog_dump(&self) -> String {
         use std::fmt::Write;
         let mut s = self.debug_snapshot();
-        let waiters: usize = self.nodes.iter().map(Dcl1Node::mshr_waiters).sum();
+        let waiters: usize = self.iter_nodes().map(Dcl1Node::mshr_waiters).sum();
         writeln!(s, "node_mshr_waiters={waiters}").ok();
-        if let Some(ck) = &self.checker {
-            writeln!(
-                s,
-                "txn_flow produced={} consumed={} in_flight={}",
-                ck.txns.produced(),
-                ck.txns.consumed(),
-                ck.txns.in_flight()
-            )
-            .ok();
-        }
+        let produced: u64 = self.shards.iter().map(|d| d.flow.produced()).sum();
+        let consumed: u64 = self.shards.iter().map(|d| d.flow.consumed()).sum();
+        writeln!(
+            s,
+            "txn_flow produced={produced} consumed={consumed} in_flight={} shards={}",
+            produced - consumed,
+            self.shards.len()
+        )
+        .ok();
         s
-    }
-
-    /// Per-core statistics (stall breakdowns alongside issue counts).
-    pub fn core_stats(&self) -> Vec<CoreStats> {
-        self.cores.iter().map(|c| *c.stats()).collect()
-    }
-
-    /// Cycles elapsed since statistics last reset (the measured window).
-    pub fn measured_cycles(&self) -> u64 {
-        self.now - self.stat_base_cycle
-    }
-
-    fn effective_flit_bytes(&self) -> u32 {
-        self.cfg.flit_bytes * self.topo.flit_mult
-    }
-
-    fn packet(&self, src: usize, dst: usize, data_bytes: u32, txn: Txn) -> Packet<Txn> {
-        let flit = self.effective_flit_bytes();
-        Packet { src, dst, flits: 1 + data_bytes.div_ceil(flit), payload: txn }
-    }
-
-    fn slice_of(&self, line: dcl1_common::LineAddr) -> usize {
-        line.interleave(self.cfg.l2_slices)
-    }
-
-    fn mc_of_slice(&self, slice: usize) -> usize {
-        slice / self.cfg.slices_per_mc()
-    }
-
-    /// Request data bytes on NoC#1/NoC#2 toward the memory side.
-    fn down_bytes(txn: &Txn) -> u32 {
-        match txn.kind {
-            MemKind::Load | MemKind::Aux => 0,
-            MemKind::Store | MemKind::Atomic => txn.bytes,
-        }
-    }
-
-    /// Reply data bytes toward the core.
-    fn up_bytes(txn: &Txn) -> u32 {
-        match txn.kind {
-            MemKind::Load | MemKind::Aux | MemKind::Atomic => txn.bytes,
-            MemKind::Store => 0,
-        }
     }
 
     // ---------------------------------------------------------------
@@ -563,12 +825,14 @@ impl<'w> GpuSystem<'w> {
         let wpc = self.factory.wavefronts_per_cta();
         loop {
             let mut progress = false;
-            for c in 0..self.cores.len() {
-                if self.cores[c].can_host_cta(wpc as usize) {
+            for c in 0..self.cfg.cores {
+                let d = shard::domain_of_core(&mut self.shards, c);
+                let i = c - d.core0;
+                if d.cores[i].can_host_cta(wpc as usize) {
                     let Some(cta) = self.dispatcher.fetch(CoreId::new(c)) else { continue };
                     let traces =
                         (0..wpc).map(|w| self.factory.wavefront_trace(cta, w)).collect();
-                    self.cores[c].add_cta(cta, traces);
+                    d.cores[i].add_cta(cta, traces);
                     progress = true;
                 }
             }
@@ -578,110 +842,201 @@ impl<'w> GpuSystem<'w> {
         }
     }
 
-    fn issue_cores(&mut self) {
-        for c in 0..self.cores.len() {
-            if self.cores[c].is_drained() {
-                // A drained core's tick is a fruitless 48-slot scan that
-                // only counts an idle cycle; account for it directly.
-                self.cores[c].add_idle_cycles(1);
-                continue;
+    /// Runs one region over every domain: inline in domain order when the
+    /// pool is off, or shard 0 on the coordinator with the rest fanned out
+    /// and an epoch barrier at the end. Identical results either way.
+    fn run_region_all(&mut self, region: Region) -> Result<(), SimError> {
+        let now = self.now;
+        if self.pool.is_none() || self.shards.len() == 1 {
+            let GpuSystem { shards, rctx, presence, obs, .. } = self;
+            for d in shards.iter_mut() {
+                d.run_region(region, now, rctx, presence, obs);
             }
-            // The memory port is closed exactly when the outbox is non-empty
-            // — the same condition issue has always used. The cause was
-            // memoized by the last drain attempt: `OutboxDrain` when the
-            // port moved a transaction but more remain (rate-limited at one
-            // per cycle), `L1Queue`/`Noc` when the downstream resource
-            // refused the head outright.
-            let block = if self.outbox[c].is_empty() {
-                None
-            } else {
-                Some(self.outbox_cause[c])
-            };
-            if let Some(issued) = self.cores[c].tick_blocked(self.now, block) {
-                for a in &issued.instr.accesses {
-                    self.txn_counter += 1;
-                    let txn = Txn {
-                        id: self.txn_counter,
-                        core: issued.core,
-                        wavefront: issued.wavefront,
-                        line: a.line,
-                        bytes: a.bytes,
-                        kind: issued.instr.kind,
-                        issued_at: self.now,
-                        l1_hit: false,
-                    };
-                    if self.obs.tracing() {
-                        self.obs.trace_begin(
-                            txn.id,
-                            self.now,
-                            c as u64,
-                            kind_str(txn.kind),
-                            txn.line.raw(),
-                        );
+            return Ok(());
+        }
+        for i in 1..self.shards.len() {
+            let domain = std::mem::replace(&mut self.shards[i], ShardDomain::placeholder());
+            let pool = self.pool.as_ref().unwrap_or_else(|| unreachable!("checked Some"));
+            pool.submit(i - 1, domain, region, now, &self.rctx, &self.presence);
+        }
+        {
+            let GpuSystem { shards, rctx, presence, obs, .. } = self;
+            // simcheck: allow(wall_clock): coordinator-shard busy diagnostics, never feeds stats
+            let t0 = Instant::now();
+            shards[0].run_region(region, now, rctx, presence, obs);
+            shards[0].busy_nanos += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        for i in 1..self.shards.len() {
+            let pool = self.pool.as_ref().unwrap_or_else(|| unreachable!("checked Some"));
+            let (domain, waited) = pool.wait(i - 1, now)?;
+            self.barrier_wait_nanos += waited;
+            self.shards[i] = domain;
+        }
+        Ok(())
+    }
+
+    /// Replays every domain's presence log into the shared map, in domain
+    /// (= global node) order. Workers have dropped their snapshot refs by
+    /// the time the barrier releases, so exclusive access is guaranteed.
+    fn apply_presence(&mut self) {
+        let map = Arc::get_mut(&mut self.presence).unwrap_or_else(|| {
+            unreachable!("presence snapshot refs are dropped before the barrier releases")
+        });
+        for d in &mut self.shards {
+            d.plog.apply_to(map);
+        }
+    }
+
+    /// Moves staged outbox heads (one per core per cycle) into NoC#1 or
+    /// directly into node Q1, in global core order, memoizing why each
+    /// head could not (or could only just) move so issue can attribute the
+    /// next port stall without re-probing the network.
+    fn exchange_outboxes(&mut self) {
+        let now = self.now;
+        match self.topo.attachment {
+            Attachment::Direct => {
+                for di in 0..self.shards.len() {
+                    let mut mb =
+                        std::mem::replace(&mut self.shards[di].mailbox, EpochBatch::new());
+                    for &(_, f) in mb.entries() {
+                        if shard::node_in(&mut self.shards, f.node).can_accept_request() {
+                            let d = shard::domain_of_core(&mut self.shards, f.core);
+                            let i = f.core - d.core0;
+                            let txn = d.outbox[i]
+                                .pop_front()
+                                .unwrap_or_else(|| unreachable!("staged head exists"));
+                            debug_assert_eq!(txn.id, f.txn.id);
+                            d.outbox_cause[i] = MemBlock::OutboxDrain;
+                            self.obs.trace_hop(txn.id, "l1_queue", now);
+                            shard::node_in(&mut self.shards, f.node)
+                                .try_push_request(txn)
+                                .unwrap_or_else(|_| unreachable!("checked room"));
+                        } else {
+                            let d = shard::domain_of_core(&mut self.shards, f.core);
+                            d.outbox_cause[f.core - d.core0] = MemBlock::L1Queue;
+                        }
                     }
-                    if let Some(ck) = &mut self.checker {
-                        ck.txns_issued(1);
+                    mb.clear();
+                    self.shards[di].mailbox = mb;
+                }
+            }
+            Attachment::Noc1 { .. } => {
+                // Regroup staged flits per cluster. Domain order is
+                // ascending core order, and clusters are contiguous core
+                // ranges, so each per-cluster batch stages in key order
+                // and the global acceptance order below matches the
+                // sequential machine's ascending-core walk.
+                for di in 0..self.shards.len() {
+                    let mut mb =
+                        std::mem::replace(&mut self.shards[di].mailbox, EpochBatch::new());
+                    for &(key, f) in mb.entries() {
+                        let pkt = self.rctx.packet(f.src, f.dst, f.data_bytes, f.txn);
+                        self.xchg[f.cluster].stage(key, pkt);
                     }
-                    self.outbox[c].push_back(txn);
+                    mb.clear();
+                    self.shards[di].mailbox = mb;
+                }
+                let GpuSystem { shards, xchg, inject_scratch, obs, .. } = self;
+                for (k, batch) in xchg.iter_mut().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    batch.seal();
+                    inject_scratch.clear();
+                    let x = shard::noc1_req_in(shards, k);
+                    x.inject_batch(batch, |key, pkt| {
+                        inject_scratch.push((key.source, pkt.payload.id));
+                    });
+                    for &(core_u, txn_id) in inject_scratch.iter() {
+                        let core = usize::try_from(core_u)
+                            .unwrap_or_else(|_| unreachable!("core id fits usize"));
+                        let d = shard::domain_of_core(shards, core);
+                        let i = core - d.core0;
+                        let txn = d.outbox[i]
+                            .pop_front()
+                            .unwrap_or_else(|| unreachable!("staged head exists"));
+                        debug_assert_eq!(txn.id, txn_id);
+                        d.outbox_cause[i] = MemBlock::OutboxDrain;
+                        obs.trace_hop(txn_id, "noc1_req", now);
+                    }
+                    // Rejected heads stay in their outboxes (re-staged
+                    // next cycle); only the stall cause is recorded.
+                    for &(key, _) in batch.entries() {
+                        let core = usize::try_from(key.source)
+                            .unwrap_or_else(|_| unreachable!("core id fits usize"));
+                        let d = shard::domain_of_core(shards, core);
+                        d.outbox_cause[core - d.core0] = MemBlock::Noc;
+                    }
+                    batch.clear();
                 }
             }
         }
     }
 
-    /// Moves one transaction per core from its outbox toward the L1 level,
-    /// memoizing why the head could not (or could only just) move so issue
-    /// can attribute the next port stall without re-probing the network.
-    fn drain_outboxes(&mut self) {
-        for c in 0..self.outbox.len() {
-            let Some(&txn) = self.outbox[c].front() else { continue };
-            self.outbox_cause[c] = match self.topo.attachment {
-                Attachment::Direct => {
-                    // In-core L1 (node index == core index), or the single
-                    // node of the ideal shared-L1 study.
-                    let node = self.topo.home_node(c, txn.line);
-                    if self.nodes[node].can_accept_request() {
-                        self.outbox[c].pop_front();
-                        self.obs.trace_hop(txn.id, "l1_queue", self.now);
-                        self.nodes[node]
-                            .try_push_request(txn)
-                            .unwrap_or_else(|_| unreachable!("checked room"));
-                        MemBlock::OutboxDrain
-                    } else {
-                        MemBlock::L1Queue
+    /// Sequential NoC#1 ticks (unaligned partitions: a crossbar's ports
+    /// span domains, so the coordinator walks all clusters in global
+    /// order — the exact walk the one-domain machine performs).
+    fn tick_noc1_seq(&mut self) {
+        let ticks = self.topo.noc1_ticks_per_cycle();
+        let m = self.topo.nodes_per_cluster();
+        let cpc = self.topo.cores_per_cluster();
+        let clusters = match self.topo.attachment {
+            Attachment::Noc1 { .. } => self.topo.clusters,
+            Attachment::Direct => 0,
+        };
+        let now = self.now;
+        for _ in 0..ticks {
+            for k in 0..clusters {
+                shard::noc1_req_in(&mut self.shards, k).tick();
+                if shard::noc1_req_in(&mut self.shards, k).has_output() {
+                    for slot in 0..m {
+                        let n = k * m + slot;
+                        while shard::node_in(&mut self.shards, n).can_accept_request() {
+                            match shard::noc1_req_in(&mut self.shards, k).pop_output(slot) {
+                                Some(pkt) => {
+                                    self.obs.trace_hop(pkt.payload.id, "l1_queue", now);
+                                    shard::node_in(&mut self.shards, n)
+                                        .try_push_request(pkt.payload)
+                                        .unwrap_or_else(|_| unreachable!("checked room"));
+                                }
+                                None => break,
+                            }
+                        }
                     }
                 }
-                Attachment::Noc1 { .. } => {
-                    let cluster = self.topo.cluster_of_core(c);
-                    let src = c % self.topo.cores_per_cluster();
-                    let node = self.topo.home_node(c, txn.line);
-                    let dst = node % self.topo.nodes_per_cluster();
-                    if self.noc1_req[cluster].can_inject(src) {
-                        self.outbox[c].pop_front();
-                        self.obs.trace_hop(txn.id, "noc1_req", self.now);
-                        let pkt = self.packet(src, dst, Self::down_bytes(&txn), txn);
-                        self.noc1_req[cluster]
-                            .try_inject(pkt)
-                            .unwrap_or_else(|_| unreachable!("checked room"));
-                        MemBlock::OutboxDrain
-                    } else {
-                        MemBlock::Noc
+                shard::noc1_rep_in(&mut self.shards, k).tick();
+                if shard::noc1_rep_in(&mut self.shards, k).has_output() {
+                    for port in 0..cpc {
+                        while let Some(pkt) =
+                            shard::noc1_rep_in(&mut self.shards, k).pop_output(port)
+                        {
+                            self.complete_at_core_seq(pkt.payload);
+                        }
                     }
                 }
-            };
+            }
         }
     }
 
-    /// Node Q2 → core (direct) or NoC#1 reply injection.
-    fn drain_node_replies(&mut self) {
+    fn complete_at_core_seq(&mut self, txn: Txn) {
+        let now = self.now;
+        let d = shard::domain_of_core(&mut self.shards, txn.core.index());
+        d.complete_at_core(txn, now, &mut self.obs);
+    }
+
+    /// Node Q2 → core (direct) or NoC#1 reply injection, walked in global
+    /// node order by the coordinator (unaligned partitions; the aligned
+    /// case fuses this into the Mem region).
+    fn drain_node_replies_seq(&mut self) {
         match self.topo.attachment {
             Attachment::Direct => {
                 // A direct-attached L1 returns one reply per cycle at full
                 // width; the ideal single L1 has one reply port per core.
                 let pops = if self.topo.ideal_ports { self.cfg.cores } else { 1 };
-                for n in 0..self.nodes.len() {
+                for n in 0..self.topo.nodes {
                     for _ in 0..pops {
-                        match self.nodes[n].pop_reply() {
-                            Some(txn) => self.complete_at_core(txn),
+                        match shard::node_in(&mut self.shards, n).pop_reply() {
+                            Some(txn) => self.complete_at_core_seq(txn),
                             None => break,
                         }
                     }
@@ -689,16 +1044,24 @@ impl<'w> GpuSystem<'w> {
             }
             Attachment::Noc1 { .. } => {
                 let m = self.topo.nodes_per_cluster();
-                for n in 0..self.nodes.len() {
+                let cpc = self.topo.cores_per_cluster();
+                let now = self.now;
+                for n in 0..self.topo.nodes {
                     let cluster = n / m;
-                    let Some(txn) = self.nodes[n].peek_reply() else { continue };
+                    let Some(txn) =
+                        shard::node_in(&mut self.shards, n).peek_reply().copied()
+                    else {
+                        continue;
+                    };
                     let src = n % m;
-                    let dst = txn.core.index() % self.topo.cores_per_cluster();
-                    if self.noc1_rep[cluster].can_inject(src) {
-                        let txn = self.nodes[n].pop_reply().expect("peeked Some");
-                        self.obs.trace_hop(txn.id, "noc1_rep", self.now);
-                        let pkt = self.packet(src, dst, Self::up_bytes(&txn), txn);
-                        self.noc1_rep[cluster]
+                    let dst = txn.core.index() % cpc;
+                    if shard::noc1_rep_in(&mut self.shards, cluster).can_inject(src) {
+                        let txn = shard::node_in(&mut self.shards, n)
+                            .pop_reply()
+                            .expect("peeked Some");
+                        self.obs.trace_hop(txn.id, "noc1_rep", now);
+                        let pkt = self.rctx.packet(src, dst, shard::up_bytes(&txn), txn);
+                        shard::noc1_rep_in(&mut self.shards, cluster)
                             .try_inject(pkt)
                             .unwrap_or_else(|_| unreachable!("checked room"));
                     }
@@ -707,130 +1070,88 @@ impl<'w> GpuSystem<'w> {
         }
     }
 
-    fn tick_noc1(&mut self) {
-        let ticks = self.topo.noc1_ticks_per_cycle();
-        let m = self.topo.nodes_per_cluster();
-        let cpc = self.topo.cores_per_cluster();
-        for _ in 0..ticks {
-            for cluster in 0..self.noc1_req.len() {
-                self.noc1_req[cluster].tick();
-                // Eject requests into node Q1 (respecting Q1 room). The
-                // occupancy count lets quiet switches skip the port scan.
-                if self.noc1_req[cluster].has_output() {
-                    for slot in 0..m {
-                        let node = cluster * m + slot;
-                        while self.nodes[node].can_accept_request() {
-                            match self.noc1_req[cluster].pop_output(slot) {
-                                Some(pkt) => {
-                                    self.obs.trace_hop(pkt.payload.id, "l1_queue", self.now);
-                                    self.nodes[node]
-                                        .try_push_request(pkt.payload)
-                                        .unwrap_or_else(|_| unreachable!("checked room"))
-                                }
-                                None => break,
-                            }
-                        }
-                    }
-                }
-                self.noc1_rep[cluster].tick();
-                if self.noc1_rep[cluster].has_output() {
-                    for port in 0..cpc {
-                        while let Some(pkt) = self.noc1_rep[cluster].pop_output(port) {
-                            self.complete_at_core(pkt.payload);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn complete_at_core(&mut self, txn: Txn) {
-        if let Some(ck) = &mut self.checker {
-            ck.txn_retired();
-        }
-        self.obs.trace_end(txn.id, self.now);
-        if txn.kind == MemKind::Load {
-            let rtt = (self.now - txn.issued_at) as f64;
-            self.load_rtt.record(rtt);
-            self.rtt_hist.record(self.now - txn.issued_at);
-            if txn.l1_hit {
-                self.hit_rtt.record(rtt);
-            } else {
-                self.miss_rtt.record(rtt);
-            }
-        }
-        self.cores[txn.core.index()].complete_access(txn.wavefront);
-    }
-
-    /// Node Q3 → NoC#2 request injection.
+    /// Node Q3 → NoC#2 request injection (coordinator: NoC#2 is
+    /// all-to-all, so both sides always span domains).
     fn inject_noc2_requests(&mut self) {
         let m = self.topo.nodes_per_cluster();
         let pops = if self.topo.ideal_ports { self.cfg.cores } else { 1 };
-        for n in 0..self.nodes.len() {
+        let now = self.now;
+        for n in 0..self.topo.nodes {
             for _ in 0..pops {
-            let Some(txn) = self.nodes[n].peek_l2_request().copied() else { break };
-            let slice = self.slice_of(txn.line);
-            let data = Self::down_bytes(&txn);
-            let mut advanced = false;
-            match &mut self.noc2_req {
-                Noc2Net::Single(x) => {
-                    let src = if self.topo.ideal_ports { txn.core.index() } else { n };
-                    if x.can_inject(src) {
-                        self.nodes[n].pop_l2_request();
-                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
-                        advanced = true;
-                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
-                        let pkt =
-                            Packet { src, dst: slice, flits: 1 + data.div_ceil(flit), payload: txn };
-                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                let Some(txn) = shard::node_in(&mut self.shards, n).peek_l2_request().copied()
+                else {
+                    break;
+                };
+                let slice = self.slice_of(txn.line);
+                let data = shard::down_bytes(&txn);
+                let flit = self.rctx.flit_bytes;
+                let mut advanced = false;
+                match &mut self.noc2_req {
+                    Noc2Net::Single(x) => {
+                        let src = if self.topo.ideal_ports { txn.core.index() } else { n };
+                        if x.can_inject(src) {
+                            shard::node_in(&mut self.shards, n).pop_l2_request();
+                            self.obs.trace_hop(txn.id, "noc2_req", now);
+                            advanced = true;
+                            let pkt = Packet {
+                                src,
+                                dst: slice,
+                                flits: 1 + data.div_ceil(flit),
+                                payload: txn,
+                            };
+                            x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        }
+                    }
+                    Noc2Net::Sliced(xs) => {
+                        let slot = n % m;
+                        debug_assert_eq!(
+                            slice % xs.len(),
+                            slot % xs.len(),
+                            "home-slot / slice interleaving mismatch"
+                        );
+                        let cluster = n / m;
+                        let dst = slice / xs.len();
+                        let x = &mut xs[slot];
+                        if x.can_inject(cluster) {
+                            shard::node_in(&mut self.shards, n).pop_l2_request();
+                            self.obs.trace_hop(txn.id, "noc2_req", now);
+                            advanced = true;
+                            let pkt = Packet {
+                                src: cluster,
+                                dst,
+                                flits: 1 + data.div_ceil(flit),
+                                payload: txn,
+                            };
+                            x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
+                        }
+                    }
+                    Noc2Net::TwoStage { stage1, .. } => {
+                        // Baseline machine: node index == core index.
+                        let groups = stage1.len();
+                        let cpg = self.topo.cores / groups;
+                        let g = n / cpg;
+                        let src = n % cpg;
+                        let uplinks = stage1[g].config().outputs;
+                        let dst = slice % uplinks;
+                        if stage1[g].can_inject(src) {
+                            shard::node_in(&mut self.shards, n).pop_l2_request();
+                            self.obs.trace_hop(txn.id, "noc2_req", now);
+                            advanced = true;
+                            let pkt = Packet {
+                                src,
+                                dst,
+                                flits: 1 + data.div_ceil(flit),
+                                payload: txn,
+                            };
+                            stage1[g]
+                                .try_inject(pkt)
+                                .unwrap_or_else(|_| unreachable!("checked room"));
+                        }
                     }
                 }
-                Noc2Net::Sliced(xs) => {
-                    let slot = n % m;
-                    debug_assert_eq!(
-                        slice % xs.len(),
-                        slot % xs.len(),
-                        "home-slot / slice interleaving mismatch"
-                    );
-                    let cluster = n / m;
-                    let dst = slice / xs.len();
-                    let x = &mut xs[slot];
-                    if x.can_inject(cluster) {
-                        self.nodes[n].pop_l2_request();
-                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
-                        advanced = true;
-                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
-                        let pkt = Packet {
-                            src: cluster,
-                            dst,
-                            flits: 1 + data.div_ceil(flit),
-                            payload: txn,
-                        };
-                        x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
-                    }
+                if !advanced {
+                    break;
                 }
-                Noc2Net::TwoStage { stage1, .. } => {
-                    // Baseline machine: node index == core index.
-                    let groups = stage1.len();
-                    let cpg = self.topo.cores / groups;
-                    let g = n / cpg;
-                    let src = n % cpg;
-                    let uplinks = stage1[g].config().outputs;
-                    let dst = slice % uplinks;
-                    if stage1[g].can_inject(src) {
-                        self.nodes[n].pop_l2_request();
-                        self.obs.trace_hop(txn.id, "noc2_req", self.now);
-                        advanced = true;
-                        let flit = self.cfg.flit_bytes * self.topo.flit_mult;
-                        let pkt =
-                            Packet { src, dst, flits: 1 + data.div_ceil(flit), payload: txn };
-                        stage1[g].try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
-                    }
-                }
-            }
-            if !advanced {
-                break;
-            }
             }
         }
     }
@@ -838,9 +1159,10 @@ impl<'w> GpuSystem<'w> {
     /// L2 replies → NoC#2 reply injection (via per-slice stashes).
     fn inject_noc2_replies(&mut self) {
         let m = self.topo.nodes_per_cluster();
-        for s in 0..self.l2.len() {
+        let now = self.now;
+        for s in 0..self.cfg.l2_slices {
             if self.l2_reply_stash[s].is_none() {
-                self.l2_reply_stash[s] = self.l2.pop_reply_for(s);
+                self.l2_reply_stash[s] = shard::l2_in(&mut self.shards, s).pop_reply();
             }
             let Some(reply) = &self.l2_reply_stash[s] else { continue };
             let txn = reply.payload;
@@ -850,7 +1172,7 @@ impl<'w> GpuSystem<'w> {
                 MemKind::Aux | MemKind::Atomic => txn.bytes,
                 MemKind::Store => 0,
             };
-            let flit = self.effective_flit_bytes();
+            let flit = self.rctx.flit_bytes;
             // For baseline machines home_node is the core's own L1; for
             // the ideal single L1 it is node 0; for DC-L1 designs it is
             // the home DC-L1 that issued the fill.
@@ -862,7 +1184,7 @@ impl<'w> GpuSystem<'w> {
                         let pkt =
                             Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
                         x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
-                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
+                        self.obs.trace_hop(txn.id, "noc2_rep", now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -881,7 +1203,7 @@ impl<'w> GpuSystem<'w> {
                             payload: txn,
                         };
                         x.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
-                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
+                        self.obs.trace_hop(txn.id, "noc2_rep", now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -895,7 +1217,7 @@ impl<'w> GpuSystem<'w> {
                         let pkt =
                             Packet { src: s, dst, flits: 1 + data.div_ceil(flit), payload: txn };
                         stage2.try_inject(pkt).unwrap_or_else(|_| unreachable!("checked room"));
-                        self.obs.trace_hop(txn.id, "noc2_rep", self.now);
+                        self.obs.trace_hop(txn.id, "noc2_rep", now);
                         self.l2_reply_stash[s] = None;
                     }
                 }
@@ -909,12 +1231,13 @@ impl<'w> GpuSystem<'w> {
             Some((c1, c2)) => (c1.advance(), c2.advance()),
             None => (0, 0),
         };
+        let now = self.now;
         // Request direction.
         match &mut self.noc2_req {
             Noc2Net::Single(x) => {
                 for _ in 0..ticks {
                     x.tick();
-                    Self::eject_into_l2(x, &mut self.l2, None, &mut self.obs, self.now);
+                    Self::eject_into_l2(x, &mut self.shards, None, &mut self.obs, now);
                 }
             }
             Noc2Net::Sliced(xs) => {
@@ -922,7 +1245,13 @@ impl<'w> GpuSystem<'w> {
                     let groups = xs.len();
                     for (slot, x) in xs.iter_mut().enumerate() {
                         x.tick();
-                        Self::eject_into_l2(x, &mut self.l2, Some((slot, groups)), &mut self.obs, self.now);
+                        Self::eject_into_l2(
+                            x,
+                            &mut self.shards,
+                            Some((slot, groups)),
+                            &mut self.obs,
+                            now,
+                        );
                     }
                 }
             }
@@ -961,7 +1290,7 @@ impl<'w> GpuSystem<'w> {
                 }
                 for _ in 0..s2_ticks {
                     stage2.tick();
-                    Self::eject_into_l2(stage2, &mut self.l2, None, &mut self.obs, self.now);
+                    Self::eject_into_l2(stage2, &mut self.shards, None, &mut self.obs, now);
                 }
             }
         }
@@ -977,9 +1306,9 @@ impl<'w> GpuSystem<'w> {
                     }
                     for port in 0..x.config().outputs {
                         let n = if ideal { 0 } else { port };
-                        while self.nodes[n].can_accept_l2_reply() {
+                        while shard::node_in(&mut self.shards, n).can_accept_l2_reply() {
                             match x.pop_output(port) {
-                                Some(pkt) => self.nodes[n]
+                                Some(pkt) => shard::node_in(&mut self.shards, n)
                                     .try_push_l2_reply(pkt.payload)
                                     .unwrap_or_else(|_| unreachable!("checked room")),
                                 None => break,
@@ -997,9 +1326,9 @@ impl<'w> GpuSystem<'w> {
                         }
                         for cluster in 0..self.topo.clusters {
                             let node = cluster * m + slot;
-                            while self.nodes[node].can_accept_l2_reply() {
+                            while shard::node_in(&mut self.shards, node).can_accept_l2_reply() {
                                 match x.pop_output(cluster) {
-                                    Some(pkt) => self.nodes[node]
+                                    Some(pkt) => shard::node_in(&mut self.shards, node)
                                         .try_push_l2_reply(pkt.payload)
                                         .unwrap_or_else(|_| unreachable!("checked room")),
                                     None => break,
@@ -1045,9 +1374,9 @@ impl<'w> GpuSystem<'w> {
                         let cpg = x.config().outputs;
                         for port in 0..cpg {
                             let node = g * cpg + port;
-                            while self.nodes[node].can_accept_l2_reply() {
+                            while shard::node_in(&mut self.shards, node).can_accept_l2_reply() {
                                 match x.pop_output(port) {
-                                    Some(pkt) => self.nodes[node]
+                                    Some(pkt) => shard::node_in(&mut self.shards, node)
                                         .try_push_l2_reply(pkt.payload)
                                         .unwrap_or_else(|_| unreachable!("checked room")),
                                     None => break,
@@ -1069,7 +1398,7 @@ impl<'w> GpuSystem<'w> {
     /// to slice `p * groups + slot`; `None` means output port == slice.
     fn eject_into_l2(
         x: &mut Crossbar<Txn>,
-        l2: &mut [L2Slice<Txn>],
+        shards: &mut [ShardDomain],
         sliced: Option<(usize, usize)>,
         obs: &mut Observer,
         now: Cycle,
@@ -1082,7 +1411,7 @@ impl<'w> GpuSystem<'w> {
                 Some((slot, groups)) => port * groups + slot,
                 None => port,
             };
-            while l2[slice].can_accept() {
+            while shard::l2_in(shards, slice).can_accept() {
                 match x.pop_output(port) {
                     Some(pkt) => {
                         let txn = pkt.payload;
@@ -1092,7 +1421,7 @@ impl<'w> GpuSystem<'w> {
                             MemKind::Store => MemAccessKind::Write,
                             MemKind::Atomic => MemAccessKind::Atomic,
                         };
-                        l2[slice]
+                        shard::l2_in(shards, slice)
                             .try_enqueue(L2Request { line: txn.line, kind, payload: txn })
                             .unwrap_or_else(|_| unreachable!("checked room"));
                     }
@@ -1102,13 +1431,13 @@ impl<'w> GpuSystem<'w> {
         }
     }
 
-    fn tick_memory_side(&mut self) {
-        // L2 slices run at the core clock.
-        for s in 0..self.l2.len() {
-            self.l2[s].tick();
+    /// L2 ↔ DRAM moves and DRAM ticks (coordinator: memory controllers
+    /// serve slices from every domain, in global slice order).
+    fn exchange_memory(&mut self) {
+        for s in 0..self.cfg.l2_slices {
             // L2 → DRAM (via stash).
             if self.dram_stash[s].is_none() {
-                self.dram_stash[s] = self.l2[s].pop_dram();
+                self.dram_stash[s] = shard::l2_in(&mut self.shards, s).pop_dram();
             }
             if let Some(acc) = self.dram_stash[s] {
                 let mc = self.mc_of_slice(s);
@@ -1127,25 +1456,20 @@ impl<'w> GpuSystem<'w> {
             for mc in &mut self.mcs {
                 mc.tick();
                 while let Some((line, slice)) = mc.pop_reply() {
-                    self.l2[slice].dram_fill(line);
+                    shard::l2_in(&mut self.shards, slice).dram_fill(line);
                 }
             }
         }
     }
 
-    fn tick_nodes(&mut self) {
-        let obs = &mut self.obs;
-        for node in &mut self.nodes {
-            node.tick(&mut self.presence, obs);
-        }
-    }
+    // ---------------------------------------------------------------
+    // Invariants, supervision, and the run loop
+    // ---------------------------------------------------------------
 
-    /// Runs one checked-sim invariant sweep, panicking on any violation.
-    /// A no-op unless [`enable_check`](GpuSystem::enable_check) was called.
     fn sweep_invariants(&mut self, at_drain: bool) {
         let Some(mut ck) = self.checker.take() else { return };
         ck.epochs_checked += 1;
-        if let Err(e) = self.invariant_sweep(&ck, at_drain) {
+        if let Err(e) = self.invariant_sweep(at_drain) {
             panic!(
                 "checked-sim violation at cycle {}{}: {e}",
                 self.now,
@@ -1156,27 +1480,34 @@ impl<'w> GpuSystem<'w> {
     }
 
     /// The full conservation sweep (see [`crate::check`] for the laws).
-    fn invariant_sweep(
-        &self,
-        ck: &SimChecker,
-        at_drain: bool,
-    ) -> dcl1_common::InvariantResult {
+    fn invariant_sweep(&self, at_drain: bool) -> dcl1_common::InvariantResult {
         use dcl1_common::InvariantError;
-        ck.check_txn_flow()?;
-        if at_drain {
-            ck.check_drained()?;
+        // Transactions: the ledger is per execution domain (a request
+        // issues and retires in the same domain), so the law is checked
+        // shard-locally; the global law follows by summation.
+        for (i, d) in self.shards.iter().enumerate() {
+            d.flow.check(d.flow.in_flight()).map_err(|e| {
+                InvariantError::new(format!("shard{i}.{}", e.site), e.detail)
+            })?;
+            if at_drain {
+                d.flow.check_drained().map_err(|e| {
+                    InvariantError::new(format!("shard{i}.{}", e.site), e.detail)
+                })?;
+            }
         }
-        for (i, n) in self.nodes.iter().enumerate() {
+        for (i, n) in self.iter_nodes().enumerate() {
             n.check_invariants(&format!("node{i}"))?;
         }
-        for (i, s) in self.l2.iter().enumerate() {
+        for (i, s) in self.iter_l2().enumerate() {
             s.check_invariants(&format!("l2_{i}"))?;
         }
-        for (i, x) in self.noc1_req.iter().enumerate() {
-            x.check_conservation(&format!("noc1_req{i}"))?;
-        }
-        for (i, x) in self.noc1_rep.iter().enumerate() {
-            x.check_conservation(&format!("noc1_rep{i}"))?;
+        for d in &self.shards {
+            for (i, x) in d.noc1_req.iter().enumerate() {
+                x.check_conservation(&format!("noc1_req{}", d.cluster0 + i))?;
+            }
+            for (i, x) in d.noc1_rep.iter().enumerate() {
+                x.check_conservation(&format!("noc1_rep{}", d.cluster0 + i))?;
+            }
         }
         self.noc2_req.check_conservation("noc2_req")?;
         self.noc2_rep.check_conservation("noc2_rep")?;
@@ -1195,7 +1526,7 @@ impl<'w> GpuSystem<'w> {
         // Stall attribution: every measured core cycle is exactly one of
         // issue / classified stall — continuously, not just at exit.
         let cycles = self.measured_cycles();
-        for (i, c) in self.cores.iter().enumerate() {
+        for (i, c) in self.iter_cores().enumerate() {
             let cs = c.stats();
             let instr = cs.instructions.get();
             let stall = cs.stall.total();
@@ -1224,14 +1555,13 @@ impl<'w> GpuSystem<'w> {
 
     fn all_idle(&self) -> bool {
         self.dispatcher.remaining() == 0
-            && self.cores.iter().all(Core::is_drained)
-            && self.outbox.iter().all(VecDeque::is_empty)
-            && self.nodes.iter().all(Dcl1Node::is_idle)
-            && self.noc1_req.iter().all(Crossbar::is_idle)
-            && self.noc1_rep.iter().all(Crossbar::is_idle)
+            && self.iter_cores().all(Core::is_drained)
+            && self.iter_outbox().all(VecDeque::is_empty)
+            && self.iter_nodes().all(Dcl1Node::is_idle)
+            && self.iter_noc1().all(Crossbar::is_idle)
             && self.noc2_req.is_idle()
             && self.noc2_rep.is_idle()
-            && self.l2.iter().all(L2Slice::is_idle)
+            && self.iter_l2().all(L2Slice::is_idle)
             && self.l2_reply_stash.iter().all(Option::is_none)
             && self.dram_stash.iter().all(Option::is_none)
             && self.mcs.iter().all(MemoryController::is_idle)
@@ -1256,19 +1586,39 @@ impl<'w> GpuSystem<'w> {
     /// # Errors
     ///
     /// Returns [`SimError::Livelock`] when an armed watchdog observes a
-    /// full epoch with no forward progress while the machine is not idle,
-    /// and [`SimError::Deadline`] when the wall-clock budget is exceeded.
-    /// With neither configured, this never fails.
+    /// full epoch with no forward progress while the machine is not idle
+    /// — including a worker shard that dies or wedges past the barrier
+    /// timeout — and [`SimError::Deadline`] when the wall-clock budget is
+    /// exceeded. With neither configured and the pool off, this never
+    /// fails.
     pub fn run_result(&mut self) -> Result<RunStats, SimError> {
+        // A tracing observer records per-transaction hops in phase order;
+        // keep that stream identical to the historical one-domain machine
+        // by running tracing runs sequentially.
+        if self.obs.tracing() && self.shards.len() > 1 {
+            self.repartition(1);
+        }
+        let threads = self.shards.len() > 1
+            && self.thread_override.unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, usize::from) >= 2
+            });
+        if threads {
+            let want = self.shards.len() - 1;
+            if self.pool.as_ref().is_none_or(|p| p.workers() != want) {
+                self.pool = Some(ShardPool::new(want));
+            }
+        } else {
+            self.pool = None;
+        }
         // simcheck: allow(wall_clock): supervision-only deadline check, never feeds stats
         let started = self.deadline_secs.map(|_| Instant::now());
         self.watch_cycle = self.now;
         self.watch_sig = self.progress_signature();
         while self.now < self.opts.max_cycles {
-            self.step();
+            self.step_result()?;
             if !self.warmup_done && self.opts.warmup_instructions > 0 && self.now.is_multiple_of(64) {
                 let retired: u64 =
-                    self.cores.iter().map(|c| c.stats().instructions.get()).sum();
+                    self.iter_cores().map(|c| c.stats().instructions.get()).sum();
                 if retired >= self.opts.warmup_instructions {
                     self.reset_statistics();
                 }
@@ -1296,6 +1646,64 @@ impl<'w> GpuSystem<'w> {
         Ok(self.collect_stats())
     }
 
+    /// Advances exactly one core cycle.
+    ///
+    /// Infallible wrapper over [`step_result`](GpuSystem::step_result):
+    /// stepping only fails when a pooled worker shard dies, and a caller
+    /// single-stepping the machine is not running the pool.
+    pub fn step(&mut self) {
+        if let Err(e) = self.step_result() {
+            panic!("{e}");
+        }
+    }
+
+    /// Advances exactly one core cycle, surfacing shard-pool failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Livelock`] when a worker shard panics or
+    /// misses the epoch barrier timeout.
+    pub fn step_result(&mut self) -> Result<(), SimError> {
+        self.now += 1;
+        if self.stalled() {
+            // Chaos stall: the clock runs but no phase does work, which is
+            // exactly the no-progress shape the watchdog must catch.
+            return Ok(());
+        }
+        self.dispatch_ctas();
+        self.run_region_all(Region::Issue)?;
+        self.exchange_outboxes();
+        match self.topo.attachment {
+            Attachment::Noc1 { .. } if self.aligned => self.run_region_all(Region::Noc1)?,
+            Attachment::Noc1 { .. } => self.tick_noc1_seq(),
+            Attachment::Direct => {}
+        }
+        self.inject_noc2_requests();
+        self.inject_noc2_replies();
+        self.tick_noc2();
+        self.run_region_all(Region::Mem { fuse_drain: self.aligned })?;
+        self.apply_presence();
+        self.exchange_memory();
+        if !self.aligned {
+            self.drain_node_replies_seq();
+        }
+        if self.now.is_multiple_of(self.opts.replica_sample_interval)
+            && self.presence.distinct_lines() > 0
+        {
+            self.replica_samples.record(self.presence.mean_replicas());
+        }
+        if let Some(ivl) = self.obs.metrics_interval() {
+            if self.now.is_multiple_of(ivl) {
+                let sample = self.metrics_sample();
+                self.obs.record_metrics(&sample);
+            }
+        }
+        if self.checker.is_some() && self.now.is_multiple_of(EPOCH_CYCLES) {
+            self.sweep_invariants(false);
+        }
+        Ok(())
+    }
+
     /// When the whole machine is quiescent — no queued or staged
     /// transaction anywhere, no ready wavefront, no dispatchable CTA — the
     /// only thing [`step`](GpuSystem::step) does is advance clocks until a
@@ -1316,9 +1724,8 @@ impl<'w> GpuSystem<'w> {
             return;
         }
         // Cheap occupancy guards first, so active phases bail out fast.
-        if self.outbox.iter().any(|o| !o.is_empty())
-            || !self.noc1_req.iter().all(Crossbar::is_idle)
-            || !self.noc1_rep.iter().all(Crossbar::is_idle)
+        if self.iter_outbox().any(|o| !o.is_empty())
+            || !self.iter_noc1().all(Crossbar::is_idle)
             || !self.noc2_req.is_idle()
             || !self.noc2_rep.is_idle()
             || self.l2_reply_stash.iter().any(Option::is_some)
@@ -1329,13 +1736,13 @@ impl<'w> GpuSystem<'w> {
         // `horizon` = steps until the earliest event fires (that step must
         // execute normally).
         let mut horizon = u64::MAX;
-        for n in &self.nodes {
+        for n in self.iter_nodes() {
             match n.quiescent_horizon() {
                 None => return,
                 Some(h) => horizon = horizon.min(h),
             }
         }
-        for s in &self.l2 {
+        for s in self.iter_l2() {
             match s.quiescent_horizon() {
                 None => return,
                 // Replies are popped in the inject phase, which sees the
@@ -1353,16 +1760,19 @@ impl<'w> GpuSystem<'w> {
                 Some(t) => horizon = horizon.min(self.dram_clock.cycles_until_ticks(t.max(1))),
             }
         }
-        for c in &mut self.cores {
-            match c.blocked_until(self.now) {
-                None => return,
-                Some(Cycle::MAX) => {}
-                Some(until) => horizon = horizon.min(until - self.now),
+        let now = self.now;
+        for d in &mut self.shards {
+            for c in &mut d.cores {
+                match c.blocked_until(now) {
+                    None => return,
+                    Some(Cycle::MAX) => {}
+                    Some(until) => horizon = horizon.min(until - now),
+                }
             }
         }
         if self.dispatcher.remaining() > 0 {
             let wpc = self.factory.wavefronts_per_cta() as usize;
-            if self.cores.iter().any(|c| c.can_host_cta(wpc)) {
+            if self.iter_cores().any(|c| c.can_host_cta(wpc)) {
                 return;
             }
         }
@@ -1392,12 +1802,20 @@ impl<'w> GpuSystem<'w> {
         }
 
         self.now += skip;
-        for c in &mut self.cores {
-            c.add_idle_cycles(skip);
-        }
         let n1 = skip * self.topo.noc1_ticks_per_cycle();
-        for x in self.noc1_req.iter_mut().chain(self.noc1_rep.iter_mut()) {
-            x.skip_idle_ticks(n1);
+        for d in &mut self.shards {
+            for c in &mut d.cores {
+                c.add_idle_cycles(skip);
+            }
+            for x in d.noc1_req.iter_mut().chain(d.noc1_rep.iter_mut()) {
+                x.skip_idle_ticks(n1);
+            }
+            for n in &mut d.nodes {
+                n.skip_idle_cycles(skip);
+            }
+            for l2 in &mut d.l2 {
+                l2.skip_idle_cycles(skip);
+            }
         }
         let t2 = self.noc2_clock.advance_by(skip);
         let (t_s1, t_s2) = match &mut self.cdx_clocks {
@@ -1414,12 +1832,6 @@ impl<'w> GpuSystem<'w> {
                 }
             }
         }
-        for n in &mut self.nodes {
-            n.skip_idle_cycles(skip);
-        }
-        for l2 in &mut self.l2 {
-            l2.skip_idle_cycles(skip);
-        }
         let tm = self.dram_clock.advance_by(skip);
         for mc in &mut self.mcs {
             mc.skip_idle_ticks(tm);
@@ -1428,18 +1840,28 @@ impl<'w> GpuSystem<'w> {
 
     /// Ends the warmup phase: zeroes every statistic while leaving all
     /// architectural state (cache contents, queues, in-flight traffic)
-    /// intact, so the measured phase starts from a warm machine.
+    /// intact, so the measured phase starts from a warm machine. The
+    /// transaction flow meters and sequence counters are architectural
+    /// (conservation spans warmup), so they are deliberately not reset.
     pub fn reset_statistics(&mut self) {
         self.warmup_done = true;
         self.stat_base_cycle = self.now;
-        for c in &mut self.cores {
-            c.reset_stats();
-        }
-        for n in &mut self.nodes {
-            n.reset_stats();
-        }
-        for x in self.noc1_req.iter_mut().chain(self.noc1_rep.iter_mut()) {
-            x.reset_stats();
+        for d in &mut self.shards {
+            for c in &mut d.cores {
+                c.reset_stats();
+            }
+            for n in &mut d.nodes {
+                n.reset_stats();
+            }
+            for x in d.noc1_req.iter_mut().chain(d.noc1_rep.iter_mut()) {
+                x.reset_stats();
+            }
+            for l2 in &mut d.l2 {
+                l2.reset_stats();
+            }
+            for m in &mut d.meters {
+                *m = CoreMeter::default();
+            }
         }
         for net in [&mut self.noc2_req, &mut self.noc2_rep] {
             match net {
@@ -1451,51 +1873,10 @@ impl<'w> GpuSystem<'w> {
                 }
             }
         }
-        for l2 in &mut self.l2 {
-            l2.reset_stats();
-        }
         for mc in &mut self.mcs {
             mc.reset_stats();
         }
-        self.load_rtt = RunningMean::default();
-        self.rtt_hist.reset();
-        self.hit_rtt = RunningMean::default();
-        self.miss_rtt = RunningMean::default();
         self.replica_samples = RunningMean::default();
-    }
-
-    /// Advances exactly one core cycle.
-    pub fn step(&mut self) {
-        self.now += 1;
-        if self.stalled() {
-            // Chaos stall: the clock runs but no phase does work, which is
-            // exactly the no-progress shape the watchdog must catch.
-            return;
-        }
-        self.dispatch_ctas();
-        self.issue_cores();
-        self.drain_outboxes();
-        self.tick_noc1();
-        self.inject_noc2_requests();
-        self.inject_noc2_replies();
-        self.tick_noc2();
-        self.tick_memory_side();
-        self.tick_nodes();
-        self.drain_node_replies();
-        if self.now.is_multiple_of(self.opts.replica_sample_interval)
-            && self.presence.distinct_lines() > 0
-        {
-            self.replica_samples.record(self.presence.mean_replicas());
-        }
-        if let Some(ivl) = self.obs.metrics_interval() {
-            if self.now.is_multiple_of(ivl) {
-                let sample = self.metrics_sample();
-                self.obs.record_metrics(&sample);
-            }
-        }
-        if self.checker.is_some() && self.now.is_multiple_of(EPOCH_CYCLES) {
-            self.sweep_invariants(false);
-        }
     }
 
     /// Snapshots every machine-wide occupancy gauge for the metrics stream.
@@ -1519,35 +1900,44 @@ impl<'w> GpuSystem<'w> {
         let (noc2_rep_inflight, noc2_rep_flits) = nq2(&self.noc2_rep);
         MetricsSample {
             cycle: self.now,
-            outbox_depth: self.outbox.iter().map(VecDeque::len).sum::<usize>() as u64,
-            node_q1: self.nodes.iter().map(Dcl1Node::q1_len).sum::<usize>() as u64,
-            node_q2: self.nodes.iter().map(Dcl1Node::q2_len).sum::<usize>() as u64,
-            node_q3: self.nodes.iter().map(Dcl1Node::q3_len).sum::<usize>() as u64,
-            node_q4: self.nodes.iter().map(Dcl1Node::q4_len).sum::<usize>() as u64,
-            node_mshr: self.nodes.iter().map(Dcl1Node::mshr_waiters).sum::<usize>() as u64,
-            node_hit_pipe: self.nodes.iter().map(Dcl1Node::hit_pipe_len).sum::<usize>() as u64,
-            noc1_req_inflight: self.noc1_req.iter().map(Crossbar::in_flight).sum::<usize>() as u64,
-            noc1_rep_inflight: self.noc1_rep.iter().map(Crossbar::in_flight).sum::<usize>() as u64,
+            outbox_depth: self.iter_outbox().map(VecDeque::len).sum::<usize>() as u64,
+            node_q1: self.iter_nodes().map(Dcl1Node::q1_len).sum::<usize>() as u64,
+            node_q2: self.iter_nodes().map(Dcl1Node::q2_len).sum::<usize>() as u64,
+            node_q3: self.iter_nodes().map(Dcl1Node::q3_len).sum::<usize>() as u64,
+            node_q4: self.iter_nodes().map(Dcl1Node::q4_len).sum::<usize>() as u64,
+            node_mshr: self.iter_nodes().map(Dcl1Node::mshr_waiters).sum::<usize>() as u64,
+            node_hit_pipe: self.iter_nodes().map(Dcl1Node::hit_pipe_len).sum::<usize>() as u64,
+            noc1_req_inflight: self
+                .shards
+                .iter()
+                .flat_map(|d| d.noc1_req.iter())
+                .map(Crossbar::in_flight)
+                .sum::<usize>() as u64,
+            noc1_rep_inflight: self
+                .shards
+                .iter()
+                .flat_map(|d| d.noc1_rep.iter())
+                .map(Crossbar::in_flight)
+                .sum::<usize>() as u64,
             noc2_req_inflight,
             noc2_rep_inflight,
-            noc1_flits: self
-                .noc1_req
-                .iter()
-                .chain(self.noc1_rep.iter())
-                .map(|x| x.stats().total_flits())
-                .sum(),
+            noc1_flits: self.iter_noc1().map(|x| x.stats().total_flits()).sum(),
             noc2_flits: noc2_req_flits + noc2_rep_flits,
-            l2_input: self.l2.iter().map(L2Slice::input_len).sum::<usize>() as u64,
-            l2_mshr: self.l2.iter().map(L2Slice::mshr_len).sum::<usize>() as u64,
-            l2_replies: self.l2.iter().map(L2Slice::replies_pending).sum::<usize>() as u64,
+            l2_input: self.iter_l2().map(L2Slice::input_len).sum::<usize>() as u64,
+            l2_mshr: self.iter_l2().map(L2Slice::mshr_len).sum::<usize>() as u64,
+            l2_replies: self.iter_l2().map(L2Slice::replies_pending).sum::<usize>() as u64,
             dram_queue: self.mcs.iter().map(MemoryController::queue_len).sum::<usize>() as u64,
             dram_replies: self.mcs.iter().map(MemoryController::replies_pending).sum::<usize>()
                 as u64,
-            active_wavefronts: self.cores.iter().map(Core::resident_wavefronts).sum::<usize>()
+            active_wavefronts: self.iter_cores().map(Core::resident_wavefronts).sum::<usize>()
                 as u64,
-            waiting_wavefronts: self.cores.iter().map(Core::waiting_wavefronts).sum::<usize>()
+            waiting_wavefronts: self.iter_cores().map(Core::waiting_wavefronts).sum::<usize>()
                 as u64,
-            instructions: self.cores.iter().map(|c| c.stats().instructions.get()).sum(),
+            instructions: self.iter_cores().map(|c| c.stats().instructions.get()).sum(),
+            shards: self.shards.len() as u64,
+            barrier_wait_nanos: self.barrier_wait_nanos,
+            shard_busy_max_nanos: self.shards.iter().map(|d| d.busy_nanos).max().unwrap_or(0),
+            shard_busy_min_nanos: self.shards.iter().map(|d| d.busy_nanos).min().unwrap_or(0),
         }
     }
 
@@ -1561,12 +1951,12 @@ impl<'w> GpuSystem<'w> {
     pub fn debug_snapshot(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let idle: u64 = self.cores.iter().map(|c| c.stats().idle_cycles.get()).sum();
-        let mstall: u64 = self.cores.iter().map(|c| c.stats().mem_stall_cycles.get()).sum();
-        let instr: u64 = self.cores.iter().map(|c| c.stats().instructions.get()).sum();
+        let idle: u64 = self.iter_cores().map(|c| c.stats().idle_cycles.get()).sum();
+        let mstall: u64 = self.iter_cores().map(|c| c.stats().mem_stall_cycles.get()).sum();
+        let instr: u64 = self.iter_cores().map(|c| c.stats().instructions.get()).sum();
         writeln!(s, "cycle={} instr={} core_idle={} core_mem_stall={}", self.now, instr, idle, mstall).ok();
         let stall = |f: fn(&dcl1_gpu::StallBreakdown) -> u64| -> u64 {
-            self.cores.iter().map(|c| f(&c.stats().stall)).sum()
+            self.iter_cores().map(|c| f(&c.stats().stall)).sum()
         };
         writeln!(
             s,
@@ -1579,12 +1969,14 @@ impl<'w> GpuSystem<'w> {
             stall(|b| b.mem_noc.get())
         )
         .ok();
-        let nstall: u64 = self.nodes.iter().map(|n| n.stats().stall_cycles.get()).sum();
-        let nacc: u64 = self.nodes.iter().map(|n| n.stats().accesses.get()).sum();
+        let nstall: u64 = self.iter_nodes().map(|n| n.stats().stall_cycles.get()).sum();
+        let nacc: u64 = self.iter_nodes().map(|n| n.stats().accesses.get()).sum();
         writeln!(s, "node_accesses={} node_stalls={} outbox_pending={}", nacc, nstall,
-            self.outbox.iter().map(VecDeque::len).sum::<usize>()).ok();
-        let n1r: usize = self.noc1_req.iter().map(Crossbar::in_flight).sum();
-        let n1p: usize = self.noc1_rep.iter().map(Crossbar::in_flight).sum();
+            self.iter_outbox().map(VecDeque::len).sum::<usize>()).ok();
+        let n1r: usize =
+            self.shards.iter().flat_map(|d| d.noc1_req.iter()).map(Crossbar::in_flight).sum();
+        let n1p: usize =
+            self.shards.iter().flat_map(|d| d.noc1_rep.iter()).map(Crossbar::in_flight).sum();
         writeln!(s, "noc1_req_inflight={} noc1_rep_inflight={}", n1r, n1p).ok();
         let n2 = |net: &Noc2Net| -> usize {
             match net {
@@ -1596,31 +1988,30 @@ impl<'w> GpuSystem<'w> {
             }
         };
         writeln!(s, "noc2_req_inflight={} noc2_rep_inflight={}", n2(&self.noc2_req), n2(&self.noc2_rep)).ok();
-        let l2acc: u64 = self.l2.iter().map(|x| x.stats().accesses.get()).sum();
-        let l2miss: u64 = self.l2.iter().map(|x| x.stats().misses.get()).sum();
+        let l2acc: u64 = self.iter_l2().map(|x| x.stats().accesses.get()).sum();
+        let l2miss: u64 = self.iter_l2().map(|x| x.stats().misses.get()).sum();
         writeln!(s, "l2_accesses={} l2_misses={} reply_stash={} dram_stash={}", l2acc, l2miss,
             self.l2_reply_stash.iter().filter(|o| o.is_some()).count(),
             self.dram_stash.iter().filter(|o| o.is_some()).count()).ok();
-        let l2q: usize = self.l2.iter().map(|x| x.input_len()).sum();
-        let l2m: usize = self.l2.iter().map(|x| x.mshr_len()).sum();
-        let l2d: usize = self.l2.iter().map(|x| x.dram_out_len()).sum();
-        let l2p: usize = self.l2.iter().map(|x| x.replies_pending()).sum();
-        let dq: usize = self.mcs.iter().map(|m| m.queue_len()).sum();
-        let dp: usize = self.mcs.iter().map(|m| m.replies_pending()).sum();
+        let l2q: usize = self.iter_l2().map(L2Slice::input_len).sum();
+        let l2m: usize = self.iter_l2().map(L2Slice::mshr_len).sum();
+        let l2d: usize = self.iter_l2().map(L2Slice::dram_out_len).sum();
+        let l2p: usize = self.iter_l2().map(L2Slice::replies_pending).sum();
+        let dq: usize = self.mcs.iter().map(MemoryController::queue_len).sum();
+        let dp: usize = self.mcs.iter().map(MemoryController::replies_pending).sum();
         writeln!(s, "l2_input={} l2_mshr={} l2_dram_out={} l2_replies={} dram_q={} dram_replies={}",
             l2q, l2m, l2d, l2p, dq, dp).ok();
-        let nodeq: usize = 0;
-        let _ = nodeq;
         let dr: u64 = self.mcs.iter().map(|m| m.stats().reads.get() + m.stats().writes.get()).sum();
+        let meters = self.merged_meters();
         writeln!(
             s,
             "dram_reqs={} mean_load_rtt={:.1} hit_rtt={:.1}({}) miss_rtt={:.1}({})",
             dr,
-            self.load_rtt.mean(),
-            self.hit_rtt.mean(),
-            self.hit_rtt.count(),
-            self.miss_rtt.mean(),
-            self.miss_rtt.count()
+            meters.load_rtt.mean(),
+            meters.hit_rtt.mean(),
+            meters.hit_rtt.count(),
+            meters.miss_rtt.mean(),
+            meters.miss_rtt.count()
         )
         .ok();
         s
@@ -1629,14 +2020,14 @@ impl<'w> GpuSystem<'w> {
     fn collect_stats(&self) -> RunStats {
         let cycles = self.now - self.stat_base_cycle;
         let instructions =
-            self.cores.iter().map(|c| c.stats().instructions.get()).sum::<u64>();
-        let l1_accesses = self.nodes.iter().map(|n| n.stats().accesses.get()).sum();
-        let l1_hits = self.nodes.iter().map(|n| n.stats().hits.get()).sum();
-        let l1_misses = self.nodes.iter().map(|n| n.stats().misses.get()).sum();
+            self.iter_cores().map(|c| c.stats().instructions.get()).sum::<u64>();
+        let l1_accesses = self.iter_nodes().map(|n| n.stats().accesses.get()).sum();
+        let l1_hits = self.iter_nodes().map(|n| n.stats().hits.get()).sum();
+        let l1_misses = self.iter_nodes().map(|n| n.stats().misses.get()).sum();
         let l1_replicated_misses =
-            self.nodes.iter().map(|n| n.stats().replicated_misses.get()).sum();
+            self.iter_nodes().map(|n| n.stats().replicated_misses.get()).sum();
         let per_node_accesses: Vec<u64> =
-            self.nodes.iter().map(|n| n.stats().accesses.get()).collect();
+            self.iter_nodes().map(|n| n.stats().accesses.get()).collect();
         let utils: Vec<f64> = per_node_accesses
             .iter()
             .map(|&a| if cycles == 0 { 0.0 } else { a as f64 / cycles as f64 })
@@ -1655,8 +2046,8 @@ impl<'w> GpuSystem<'w> {
             }
         };
 
-        let l2_accesses = self.l2.iter().map(|s| s.stats().accesses.get()).sum();
-        let l2_misses = self.l2.iter().map(|s| s.stats().misses.get()).sum();
+        let l2_accesses = self.iter_l2().map(|s| s.stats().accesses.get()).sum();
+        let l2_misses = self.iter_l2().map(|s| s.stats().misses.get()).sum();
         let dram_requests = self
             .mcs
             .iter()
@@ -1668,13 +2059,8 @@ impl<'w> GpuSystem<'w> {
 
         // Flit counts aligned with Topology::noc_spec entry order.
         let mut noc_flits = Vec::new();
-        if !self.noc1_req.is_empty() {
-            let f: u64 = self
-                .noc1_req
-                .iter()
-                .chain(self.noc1_rep.iter())
-                .map(|x| x.stats().total_flits())
-                .sum();
+        if matches!(self.topo.attachment, Attachment::Noc1 { .. }) {
+            let f: u64 = self.iter_noc1().map(|x| x.stats().total_flits()).sum();
             noc_flits.push(f);
         }
         match (&self.noc2_req, &self.noc2_rep) {
@@ -1698,6 +2084,7 @@ impl<'w> GpuSystem<'w> {
             _ => unreachable!("request and reply NoC#2 always share a shape"),
         }
 
+        let meters = self.merged_meters();
         RunStats {
             design: self.topo.name.clone(),
             cycles,
@@ -1710,48 +2097,33 @@ impl<'w> GpuSystem<'w> {
             max_port_utilization,
             mean_port_utilization,
             max_reply_link_utilization,
-            mean_load_rtt: self.load_rtt.mean(),
-            p50_load_rtt: self.rtt_hist.percentile(0.5),
-            p95_load_rtt: self.rtt_hist.percentile(0.95),
-            p99_load_rtt: self.rtt_hist.percentile(0.99),
+            mean_load_rtt: meters.load_rtt.mean(),
+            p50_load_rtt: meters.rtt_hist.percentile(0.5),
+            p95_load_rtt: meters.rtt_hist.percentile(0.95),
+            p99_load_rtt: meters.rtt_hist.percentile(0.99),
             l2_accesses,
             l2_misses,
             dram_requests,
             dram_row_hit_rate,
             noc_flits,
             per_node_accesses,
-            stall_drained: self.cores.iter().map(|c| c.stats().stall.drained.get()).sum(),
-            stall_alu_busy: self.cores.iter().map(|c| c.stats().stall.alu_busy.get()).sum(),
-            stall_fill_wait: self.cores.iter().map(|c| c.stats().stall.fill_wait.get()).sum(),
-            stall_mem_outbox: self.cores.iter().map(|c| c.stats().stall.mem_outbox.get()).sum(),
+            stall_drained: self.iter_cores().map(|c| c.stats().stall.drained.get()).sum(),
+            stall_alu_busy: self.iter_cores().map(|c| c.stats().stall.alu_busy.get()).sum(),
+            stall_fill_wait: self.iter_cores().map(|c| c.stats().stall.fill_wait.get()).sum(),
+            stall_mem_outbox: self.iter_cores().map(|c| c.stats().stall.mem_outbox.get()).sum(),
             stall_mem_l1_queue: self
-                .cores
-                .iter()
+                .iter_cores()
                 .map(|c| c.stats().stall.mem_l1_queue.get())
                 .sum(),
-            stall_mem_noc: self.cores.iter().map(|c| c.stats().stall.mem_noc.get()).sum(),
+            stall_mem_noc: self.iter_cores().map(|c| c.stats().stall.mem_noc.get()).sum(),
             l1_mshr_stall_cycles: self
-                .nodes
-                .iter()
+                .iter_nodes()
                 .map(|n| n.stats().mshr_stall_cycles.get())
                 .sum(),
             l1_queue_stall_cycles: self
-                .nodes
-                .iter()
+                .iter_nodes()
                 .map(|n| n.stats().q3_stall_cycles.get())
                 .sum(),
         }
-    }
-}
-
-/// Helper extension: pop a reply from slice `s` (kept out of the main impl
-/// so the borrow in `inject_noc2_replies` stays local).
-trait SlicePop {
-    fn pop_reply_for(&mut self, s: usize) -> Option<L2Reply<Txn>>;
-}
-
-impl SlicePop for Vec<L2Slice<Txn>> {
-    fn pop_reply_for(&mut self, s: usize) -> Option<L2Reply<Txn>> {
-        self[s].pop_reply()
     }
 }

@@ -14,7 +14,7 @@
 //! Writes are write-evict + no-write-allocate: a write hit invalidates the
 //! line, and the write always forwards to the L2.
 
-use crate::presence::PresenceMap;
+use crate::presence::PresenceSink;
 use crate::txn::Txn;
 use dcl1_cache::{CacheGeometry, LookupResult, Mshr, SetAssocCache, SetIndexing};
 use dcl1_common::stats::Counter;
@@ -302,10 +302,13 @@ impl Dcl1Node {
 
     /// Advances the node one core cycle.
     ///
-    /// `presence` is the level-wide line-presence instrumentation shared
-    /// by all nodes of the machine; `obs` receives lifecycle span hops for
-    /// sampled transactions (a free no-op when tracing is off).
-    pub fn tick(&mut self, presence: &mut PresenceMap, obs: &mut Observer) {
+    /// `presence` is the level-wide line-presence instrumentation — the
+    /// shared [`PresenceMap`](crate::presence::PresenceMap) on the
+    /// sequential machine, a per-shard
+    /// [`PresenceSession`](crate::presence::PresenceSession) on the
+    /// sharded one; `obs` receives lifecycle span hops for sampled
+    /// transactions (a free no-op when tracing is off).
+    pub fn tick<P: PresenceSink>(&mut self, presence: &mut P, obs: &mut Observer) {
         self.now += 1;
 
         // Fast path: with no fills, demands, matured-or-maturing hits or
@@ -476,7 +479,7 @@ impl Dcl1Node {
         }
     }
 
-    fn install(&mut self, line: LineAddr, presence: &mut PresenceMap) {
+    fn install<P: PresenceSink>(&mut self, line: LineAddr, presence: &mut P) {
         if self.config.perfect {
             return; // a perfect cache never misses, fills are moot
         }
@@ -490,6 +493,7 @@ impl Dcl1Node {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::presence::PresenceMap;
     use dcl1_common::{CoreId, WavefrontId};
 
     fn cfg() -> NodeConfig {

@@ -17,6 +17,129 @@
 
 use dcl1_common::{FlatMap, LineAddr};
 
+/// Presence instrumentation as seen by a cache node's tick.
+///
+/// The sequential machine hands nodes the [`PresenceMap`] directly; the
+/// sharded machine hands each shard a [`PresenceSession`] — a read-only
+/// snapshot of the map plus a private delta log — so node ticks never
+/// contend on shared state and the merged result is independent of shard
+/// scheduling. Presence feeds only the replication *measurements* (never
+/// timing), so deferring cross-shard visibility of a fill/evict to the
+/// next cycle's barrier is a sound relaxation.
+pub trait PresenceSink {
+    /// Copies of `line` currently visible to this observer.
+    fn copies(&self, line: LineAddr) -> u32;
+    /// Records that this observer's cache filled `line`.
+    fn on_fill(&mut self, line: LineAddr);
+    /// Records that this observer's cache dropped `line`.
+    fn on_evict(&mut self, line: LineAddr);
+}
+
+impl PresenceSink for PresenceMap {
+    fn copies(&self, line: LineAddr) -> u32 {
+        PresenceMap::copies(self, line)
+    }
+
+    fn on_fill(&mut self, line: LineAddr) {
+        PresenceMap::on_fill(self, line);
+    }
+
+    fn on_evict(&mut self, line: LineAddr) {
+        PresenceMap::on_evict(self, line);
+    }
+}
+
+/// A shard's private log of presence deltas for one epoch, replayed into
+/// the shared [`PresenceMap`] at the barrier in deterministic shard/node
+/// order. Reused across epochs; steady-state allocation-free once warm.
+#[derive(Debug, Default)]
+pub struct PresenceLog {
+    /// `(line, +1 fill / -1 evict)` events in occurrence order.
+    events: Vec<(LineAddr, i8)>,
+}
+
+impl PresenceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        PresenceLog::default()
+    }
+
+    /// Net copy delta this log holds for `line`. The per-epoch event list
+    /// is a handful of fills/evicts, so a linear scan beats any map.
+    fn delta(&self, line: LineAddr) -> i64 {
+        self.events
+            .iter()
+            .filter(|&&(l, _)| l == line)
+            .map(|&(_, d)| i64::from(d))
+            .sum()
+    }
+
+    /// True when no deltas are pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays the pending deltas into `map` in occurrence order and
+    /// clears the log (keeping its allocation).
+    ///
+    /// Replay order across shards never underflows a count: a node only
+    /// evicts lines its own cache holds, and every holder contributes at
+    /// least one copy to the shared count.
+    pub fn apply_to(&mut self, map: &mut PresenceMap) {
+        for &(line, d) in &self.events {
+            if d > 0 {
+                map.on_fill(line);
+            } else {
+                map.on_evict(line);
+            }
+        }
+        self.events.clear();
+    }
+}
+
+/// One shard's view of presence during a parallel region.
+///
+/// **Reads are snapshot-only**: `copies` answers from the cycle-start
+/// barrier state, never from any same-cycle fill or evict (not even this
+/// shard's own). That makes the replication measurement a pure function of
+/// the snapshot — identical for one shard or eight — where the old
+/// sequential machine let node `n` see fills from nodes `0..n` of the same
+/// cycle, an ordering artifact no hardware property depends on. Writes go
+/// to the private log, replayed at the barrier.
+#[derive(Debug)]
+pub struct PresenceSession<'a> {
+    base: &'a PresenceMap,
+    log: &'a mut PresenceLog,
+}
+
+impl<'a> PresenceSession<'a> {
+    /// Opens a session over the barrier snapshot `base`, accumulating
+    /// deltas into `log`.
+    pub fn new(base: &'a PresenceMap, log: &'a mut PresenceLog) -> Self {
+        PresenceSession { base, log }
+    }
+}
+
+impl PresenceSink for PresenceSession<'_> {
+    fn copies(&self, line: LineAddr) -> u32 {
+        self.base.copies(line)
+    }
+
+    fn on_fill(&mut self, line: LineAddr) {
+        self.log.events.push((line, 1));
+    }
+
+    fn on_evict(&mut self, line: LineAddr) {
+        // The line may have been filled earlier this same cycle (visible
+        // only in the log), so the sanity check consults snapshot + log.
+        debug_assert!(
+            i64::from(self.base.copies(line)) + self.log.delta(line) > 0,
+            "session evict of untracked line {line}"
+        );
+        self.log.events.push((line, -1));
+    }
+}
+
 /// Reference-counting presence map over all caches of one level.
 #[derive(Debug, Default, Clone)]
 pub struct PresenceMap {
@@ -158,6 +281,47 @@ mod tests {
         let report: Vec<(u64, u32)> =
             p.lines_sorted().into_iter().map(|(l, c)| (l.raw(), c)).collect();
         assert_eq!(report, vec![(10, 2), (20, 1), (30, 1)]);
+    }
+
+    /// Session reads are snapshot-only (shard-count invariant); writes
+    /// log privately and replay at the barrier, including the
+    /// fill-then-evict-same-cycle case.
+    #[test]
+    fn session_snapshot_reads_and_ordered_replay() {
+        let mut map = PresenceMap::with_capacity(8);
+        let l = LineAddr::new(42);
+        let fresh = LineAddr::new(43);
+        map.on_fill(l); // one pre-existing copy
+
+        let mut log_a = PresenceLog::new();
+        let mut log_b = PresenceLog::new();
+        {
+            let mut a = PresenceSession::new(&map, &mut log_a);
+            assert_eq!(PresenceSink::copies(&a, l), 1, "session sees the snapshot");
+            a.on_fill(l);
+            assert_eq!(
+                PresenceSink::copies(&a, l),
+                1,
+                "same-cycle fills are invisible to reads"
+            );
+            // Fill-then-evict of a brand-new line within one cycle: legal,
+            // the evict's sanity check sees the logged fill.
+            a.on_fill(fresh);
+            a.on_evict(fresh);
+        }
+        {
+            let mut b = PresenceSession::new(&map, &mut log_b);
+            // Shard B holds the pre-existing copy and evicts it; it cannot
+            // see A's uncommitted fill.
+            assert_eq!(PresenceSink::copies(&b, l), 1);
+            b.on_evict(l);
+        }
+        log_a.apply_to(&mut map);
+        log_b.apply_to(&mut map);
+        assert!(log_a.is_empty() && log_b.is_empty());
+        assert_eq!(map.copies(l), 1, "net of one fill and one evict over one copy");
+        assert_eq!(map.copies(fresh), 0);
+        assert_eq!(map.total_copies(), 1);
     }
 
     /// Differential property test: the open-addressed map against the old

@@ -1,0 +1,690 @@
+//! Sharded execution domains for the cycle-level machine.
+//!
+//! [`crate::machine::GpuSystem`] partitions its cores, DC-L1 nodes, NoC#1
+//! crossbars and L2 slices into [`ShardDomain`]s. Each simulated cycle is
+//! a sequence of *regions* — per-domain work that touches only one
+//! domain's state — separated by coordinator-run *exchanges* that move
+//! cross-domain traffic in a deterministic order (global component order,
+//! enforced by [`EpochKey`]-sorted batches). Because regions are
+//! domain-disjoint and exchanges are single-threaded, the machine's
+//! statistics are a pure function of the partition, not of how many OS
+//! threads execute the regions: running every region inline or fanning
+//! them out over a [`ShardPool`] is byte-identical.
+//!
+//! The partition itself is also semantics-neutral by construction — see
+//! `GpuSystem::set_shards` for the determinism argument.
+
+use crate::design::{Attachment, Topology};
+use crate::node::Dcl1Node;
+use crate::presence::{PresenceLog, PresenceMap, PresenceSession};
+use crate::txn::Txn;
+use dcl1_common::stats::RunningMean;
+use dcl1_common::{Cycle, FlowMeter, Histogram};
+use dcl1_gpu::{Core, MemBlock, MemKind};
+use dcl1_mem::L2Slice;
+use dcl1_noc::{Crossbar, EpochBatch, EpochKey, Packet};
+use dcl1_obs::Observer;
+use dcl1_resilience::SimError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+// Wall time in this module is used only for (a) per-shard busy/barrier
+// timing exported as diagnostics and (b) the barrier hang timeout; it
+// never feeds statistics.
+// simcheck: allow(wall_clock): shard busy/barrier diagnostics and hang timeout only, never feeds stats
+use std::time::{Duration, Instant};
+
+/// Seconds the coordinator waits for one shard's region before declaring
+/// the run wedged. A region is a bounded amount of work (microseconds in
+/// practice); exceeding this means a worker is livelocked or the OS has
+/// wedged the thread, and supervision should quarantine the point.
+const BARRIER_TIMEOUT_SECS: u64 = 60;
+
+/// Static name of a transaction kind for trace span args.
+pub(crate) fn kind_str(kind: MemKind) -> &'static str {
+    match kind {
+        MemKind::Load => "load",
+        MemKind::Store => "store",
+        MemKind::Atomic => "atomic",
+        MemKind::Aux => "aux",
+    }
+}
+
+/// Request data bytes on NoC#1/NoC#2 toward the memory side.
+pub(crate) fn down_bytes(txn: &Txn) -> u32 {
+    match txn.kind {
+        MemKind::Load | MemKind::Aux => 0,
+        MemKind::Store | MemKind::Atomic => txn.bytes,
+    }
+}
+
+/// Reply data bytes toward the core.
+pub(crate) fn up_bytes(txn: &Txn) -> u32 {
+    match txn.kind {
+        MemKind::Load | MemKind::Aux | MemKind::Atomic => txn.bytes,
+        MemKind::Store => 0,
+    }
+}
+
+/// Immutable machine facts shared by every domain (and thread).
+#[derive(Debug)]
+pub(crate) struct MachineCtx {
+    /// The resolved topology (routing, cluster shapes, tick ratios).
+    pub topo: Topology,
+    /// Total cores in the machine (transaction-id construction).
+    pub cores_total: u64,
+    /// Effective flit width (config flit bytes × topology multiplier).
+    pub flit_bytes: u32,
+}
+
+impl MachineCtx {
+    /// Builds a packet using the effective flit width.
+    pub fn packet(&self, src: usize, dst: usize, data_bytes: u32, txn: Txn) -> Packet<Txn> {
+        Packet { src, dst, flits: 1 + data_bytes.div_ceil(self.flit_bytes), payload: txn }
+    }
+}
+
+/// Per-core round-trip-time meters.
+///
+/// Kept per core (not per machine) so completions recorded concurrently by
+/// different domains merge into machine-level means in a fixed order —
+/// global core order — independent of the shard count.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct CoreMeter {
+    pub load_rtt: RunningMean,
+    pub hit_rtt: RunningMean,
+    pub miss_rtt: RunningMean,
+    pub rtt_hist: Histogram,
+}
+
+/// One staged outbox head awaiting the epoch exchange: the transaction
+/// plus its precomputed route, so the coordinator only arbitrates.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StagedFlit {
+    /// Issuing core (global index).
+    pub core: usize,
+    /// Home DC-L1 node (global index).
+    pub node: usize,
+    /// NoC#1 cluster of the issuing core (0 for direct attachment).
+    pub cluster: usize,
+    /// NoC#1 input port within the cluster.
+    pub src: usize,
+    /// NoC#1 output port within the cluster.
+    pub dst: usize,
+    /// Request payload bytes (store/atomic data).
+    pub data_bytes: u32,
+    /// The transaction (a copy of the outbox head; the head itself is
+    /// popped by the exchange only if the network accepts it).
+    pub txn: Txn,
+}
+
+/// One per-domain slice of a simulated cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Region {
+    /// Core issue + outbox-head staging.
+    Issue,
+    /// NoC#1 ticks with domain-local ejection/completion (aligned
+    /// partitions only).
+    Noc1,
+    /// L2 slice ticks, DC-L1 node ticks (presence via session log), and —
+    /// when the partition is aligned — the node-reply drain fused in.
+    Mem {
+        /// Run the Q2 → NoC#1-reply / core drain inside the region.
+        fuse_drain: bool,
+    },
+}
+
+/// One shard's slice of the machine: a contiguous range of cores (with
+/// their outboxes, meters and transaction sequencers), DC-L1 nodes, NoC#1
+/// cluster crossbars and L2 slices, plus the staging state used at the
+/// epoch barrier.
+#[derive(Debug)]
+pub(crate) struct ShardDomain {
+    /// Domain index (usize::MAX marks the placeholder left behind while a
+    /// domain is shipped to a worker).
+    pub id: usize,
+    /// First global core index in this domain.
+    pub core0: usize,
+    /// First global node index.
+    pub node0: usize,
+    /// First global NoC#1 cluster index.
+    pub cluster0: usize,
+    /// First global L2 slice index.
+    pub slice0: usize,
+
+    pub cores: Vec<Core>,
+    /// Per-core coalesced transactions awaiting injection.
+    pub outbox: Vec<VecDeque<Txn>>,
+    /// Outcome of each core's most recent outbox-drain attempt (memoized
+    /// stall attribution; meaningful only while the outbox is non-empty).
+    pub outbox_cause: Vec<MemBlock>,
+    /// Per-core issue counters: core `c`'s `k`-th transaction gets id
+    /// `k * cores_total + c + 1`, globally unique and independent of the
+    /// partition.
+    pub txn_seq: Vec<u64>,
+    /// Per-core RTT meters (merged in global core order at collection).
+    pub meters: Vec<CoreMeter>,
+    pub nodes: Vec<Dcl1Node>,
+    pub noc1_req: Vec<Crossbar<Txn>>,
+    pub noc1_rep: Vec<Crossbar<Txn>>,
+    pub l2: Vec<L2Slice<Txn>>,
+
+    /// Staged outbox heads for the epoch exchange, keyed by
+    /// `(cycle, core, txn id)`.
+    pub mailbox: EpochBatch<StagedFlit>,
+    /// Presence deltas accumulated by this domain's node ticks, replayed
+    /// into the shared map at the barrier (in domain order).
+    pub plog: PresenceLog,
+    /// Transaction conservation: produced at issue, consumed at
+    /// completion. A transaction issues and completes at the same core,
+    /// so the meter is domain-local.
+    pub flow: FlowMeter,
+    /// Wall nanoseconds this domain spent executing regions (diagnostics
+    /// only; nondeterministic by nature).
+    pub busy_nanos: u64,
+}
+
+impl ShardDomain {
+    /// The empty stand-in left in the machine while the real domain is on
+    /// a worker thread.
+    pub fn placeholder() -> Self {
+        ShardDomain {
+            id: usize::MAX,
+            core0: 0,
+            node0: 0,
+            cluster0: 0,
+            slice0: 0,
+            cores: Vec::new(),
+            outbox: Vec::new(),
+            outbox_cause: Vec::new(),
+            txn_seq: Vec::new(),
+            meters: Vec::new(),
+            nodes: Vec::new(),
+            noc1_req: Vec::new(),
+            noc1_rep: Vec::new(),
+            l2: Vec::new(),
+            mailbox: EpochBatch::new(),
+            plog: PresenceLog::new(),
+            flow: FlowMeter::new("txns"),
+            busy_nanos: 0,
+        }
+    }
+
+    /// Executes one region against this domain only.
+    pub fn run_region(
+        &mut self,
+        region: Region,
+        now: Cycle,
+        ctx: &MachineCtx,
+        presence: &PresenceMap,
+        obs: &mut Observer,
+    ) {
+        match region {
+            Region::Issue => self.region_issue(now, ctx, obs),
+            Region::Noc1 => self.region_noc1(now, ctx, obs),
+            Region::Mem { fuse_drain } => self.region_mem(now, ctx, presence, fuse_drain, obs),
+        }
+    }
+
+    /// Core issue (one instruction per core per cycle) into the per-core
+    /// outboxes, then stage each outbox head for the epoch exchange.
+    fn region_issue(&mut self, now: Cycle, ctx: &MachineCtx, obs: &mut Observer) {
+        for i in 0..self.cores.len() {
+            if self.cores[i].is_drained() {
+                // A drained core's tick is a fruitless slot scan that only
+                // counts an idle cycle; account for it directly.
+                self.cores[i].add_idle_cycles(1);
+                continue;
+            }
+            // The memory port is closed exactly when the outbox is
+            // non-empty; the cause was memoized by the last exchange.
+            let block =
+                if self.outbox[i].is_empty() { None } else { Some(self.outbox_cause[i]) };
+            let Some(issued) = self.cores[i].tick_blocked(now, block) else { continue };
+            let c = self.core0 + i;
+            for a in &issued.instr.accesses {
+                let id = self.txn_seq[i] * ctx.cores_total + c as u64 + 1;
+                self.txn_seq[i] += 1;
+                let txn = Txn {
+                    id,
+                    core: issued.core,
+                    wavefront: issued.wavefront,
+                    line: a.line,
+                    bytes: a.bytes,
+                    kind: issued.instr.kind,
+                    issued_at: now,
+                    l1_hit: false,
+                };
+                if obs.tracing() {
+                    obs.trace_begin(txn.id, now, c as u64, kind_str(txn.kind), txn.line.raw());
+                }
+                self.flow.produce(1);
+                self.outbox[i].push_back(txn);
+            }
+        }
+        // Stage outbox heads with their routes. Ascending core order means
+        // the keys are already sorted, so sealing is a verification pass.
+        for i in 0..self.outbox.len() {
+            let Some(&txn) = self.outbox[i].front() else { continue };
+            let c = self.core0 + i;
+            let node = ctx.topo.home_node(c, txn.line);
+            let (cluster, src, dst) = match ctx.topo.attachment {
+                Attachment::Direct => (0, 0, 0),
+                Attachment::Noc1 { .. } => (
+                    ctx.topo.cluster_of_core(c),
+                    c % ctx.topo.cores_per_cluster(),
+                    node % ctx.topo.nodes_per_cluster(),
+                ),
+            };
+            self.mailbox.stage(
+                EpochKey { cycle: now, source: c as u64, seq: txn.id },
+                StagedFlit { core: c, node, cluster, src, dst, data_bytes: down_bytes(&txn), txn },
+            );
+        }
+        self.mailbox.seal();
+    }
+
+    /// NoC#1 ticks for this domain's clusters, with request ejection into
+    /// this domain's nodes and reply completion at this domain's cores.
+    /// Only runs when the partition is cluster-aligned, which guarantees
+    /// both sides of every crossbar are domain-local.
+    fn region_noc1(&mut self, now: Cycle, ctx: &MachineCtx, obs: &mut Observer) {
+        let ticks = ctx.topo.noc1_ticks_per_cycle();
+        let m = ctx.topo.nodes_per_cluster();
+        let cpc = ctx.topo.cores_per_cluster();
+        for _ in 0..ticks {
+            for ki in 0..self.noc1_req.len() {
+                let k = self.cluster0 + ki;
+                self.noc1_req[ki].tick();
+                // Eject requests into node Q1 (respecting Q1 room). The
+                // occupancy count lets quiet switches skip the port scan.
+                if self.noc1_req[ki].has_output() {
+                    for slot in 0..m {
+                        let ni = k * m + slot - self.node0;
+                        while self.nodes[ni].can_accept_request() {
+                            match self.noc1_req[ki].pop_output(slot) {
+                                Some(pkt) => {
+                                    obs.trace_hop(pkt.payload.id, "l1_queue", now);
+                                    self.nodes[ni]
+                                        .try_push_request(pkt.payload)
+                                        .unwrap_or_else(|_| unreachable!("checked room"));
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                }
+                self.noc1_rep[ki].tick();
+                if self.noc1_rep[ki].has_output() {
+                    for port in 0..cpc {
+                        while let Some(pkt) = self.noc1_rep[ki].pop_output(port) {
+                            self.complete_at_core(pkt.payload, now, obs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// L2 slice ticks, node ticks (presence reads from the cycle-start
+    /// snapshot, writes to the domain log) and, when fused, the node-reply
+    /// drain.
+    fn region_mem(
+        &mut self,
+        now: Cycle,
+        ctx: &MachineCtx,
+        presence: &PresenceMap,
+        fuse_drain: bool,
+        obs: &mut Observer,
+    ) {
+        for l2 in &mut self.l2 {
+            l2.tick();
+        }
+        {
+            let mut sess = PresenceSession::new(presence, &mut self.plog);
+            for node in &mut self.nodes {
+                node.tick(&mut sess, obs);
+            }
+        }
+        if fuse_drain {
+            self.drain_replies(now, ctx, obs);
+        }
+    }
+
+    /// Node Q2 → core (direct) or NoC#1 reply injection, domain-local.
+    /// Matches the sequential drain exactly: one reply per node per cycle
+    /// (the non-ideal direct and clustered cases; the ideal-ports machine
+    /// never shards, so its many-port drain stays on the sequential path).
+    fn drain_replies(&mut self, now: Cycle, ctx: &MachineCtx, obs: &mut Observer) {
+        match ctx.topo.attachment {
+            Attachment::Direct => {
+                for ni in 0..self.nodes.len() {
+                    if let Some(txn) = self.nodes[ni].pop_reply() {
+                        self.complete_at_core(txn, now, obs);
+                    }
+                }
+            }
+            Attachment::Noc1 { .. } => {
+                let m = ctx.topo.nodes_per_cluster();
+                let cpc = ctx.topo.cores_per_cluster();
+                for ni in 0..self.nodes.len() {
+                    let n = self.node0 + ni;
+                    let ki = n / m - self.cluster0;
+                    let Some(txn) = self.nodes[ni].peek_reply() else { continue };
+                    let src = n % m;
+                    let dst = txn.core.index() % cpc;
+                    if self.noc1_rep[ki].can_inject(src) {
+                        let txn = self.nodes[ni].pop_reply().expect("peeked Some");
+                        obs.trace_hop(txn.id, "noc1_rep", now);
+                        let pkt = ctx.packet(src, dst, up_bytes(&txn), txn);
+                        self.noc1_rep[ki]
+                            .try_inject(pkt)
+                            .unwrap_or_else(|_| unreachable!("checked room"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires a transaction at its issuing core (always in this domain:
+    /// a transaction issues and completes at the same core).
+    pub fn complete_at_core(&mut self, txn: Txn, now: Cycle, obs: &mut Observer) {
+        self.flow.consume(1);
+        obs.trace_end(txn.id, now);
+        let ci = txn.core.index() - self.core0;
+        if txn.kind == MemKind::Load {
+            let rtt = (now - txn.issued_at) as f64;
+            let meter = &mut self.meters[ci];
+            meter.load_rtt.record(rtt);
+            meter.rtt_hist.record(now - txn.issued_at);
+            if txn.l1_hit {
+                meter.hit_rtt.record(rtt);
+            } else {
+                meter.miss_rtt.record(rtt);
+            }
+        }
+        self.cores[ci].complete_access(txn.wavefront);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-domain accessors
+// ---------------------------------------------------------------------
+//
+// Free functions (not methods) so a caller holding a disjoint borrow of
+// another machine field can still reach into the domain vector. Linear
+// scans over ≤ a handful of domains are cheaper than any index map.
+
+/// The domain owning global core `c`.
+pub(crate) fn domain_of_core(shards: &mut [ShardDomain], c: usize) -> &mut ShardDomain {
+    shards
+        .iter_mut()
+        .find(|d| c >= d.core0 && c < d.core0 + d.cores.len())
+        .unwrap_or_else(|| unreachable!("core {c} outside every domain"))
+}
+
+/// Global node `n`.
+pub(crate) fn node_in(shards: &mut [ShardDomain], n: usize) -> &mut Dcl1Node {
+    let d = shards
+        .iter_mut()
+        .find(|d| n >= d.node0 && n < d.node0 + d.nodes.len())
+        .unwrap_or_else(|| unreachable!("node {n} outside every domain"));
+    let i = n - d.node0;
+    &mut d.nodes[i]
+}
+
+/// Global L2 slice `s`.
+pub(crate) fn l2_in(shards: &mut [ShardDomain], s: usize) -> &mut L2Slice<Txn> {
+    let d = shards
+        .iter_mut()
+        .find(|d| s >= d.slice0 && s < d.slice0 + d.l2.len())
+        .unwrap_or_else(|| unreachable!("slice {s} outside every domain"));
+    let i = s - d.slice0;
+    &mut d.l2[i]
+}
+
+/// Global NoC#1 request crossbar of cluster `k`.
+pub(crate) fn noc1_req_in(shards: &mut [ShardDomain], k: usize) -> &mut Crossbar<Txn> {
+    let d = shards
+        .iter_mut()
+        .find(|d| k >= d.cluster0 && k < d.cluster0 + d.noc1_req.len())
+        .unwrap_or_else(|| unreachable!("cluster {k} outside every domain"));
+    let i = k - d.cluster0;
+    &mut d.noc1_req[i]
+}
+
+/// Global NoC#1 reply crossbar of cluster `k`.
+pub(crate) fn noc1_rep_in(shards: &mut [ShardDomain], k: usize) -> &mut Crossbar<Txn> {
+    let d = shards
+        .iter_mut()
+        .find(|d| k >= d.cluster0 && k < d.cluster0 + d.noc1_rep.len())
+        .unwrap_or_else(|| unreachable!("cluster {k} outside every domain"));
+    let i = k - d.cluster0;
+    &mut d.noc1_rep[i]
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// One region of work shipped to a worker.
+struct Job {
+    domain: ShardDomain,
+    region: Region,
+    now: Cycle,
+    ctx: Arc<MachineCtx>,
+    presence: Arc<PresenceMap>,
+}
+
+/// One worker's coordination state.
+#[derive(Debug)]
+struct Slot {
+    job: Mutex<Option<Job>>,
+    done: Mutex<Option<ShardDomain>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    /// Set when the worker dies mid-job (panic unwound through the
+    /// guard); the coordinator turns this into `SimError::Livelock`.
+    dead: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("domain", &self.domain.id).field("now", &self.now).finish()
+    }
+}
+
+/// Marks the slot dead if dropped while armed — i.e. if the region
+/// panicked before the worker could disarm it.
+struct DeadGuard<'a> {
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl Drop for DeadGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slot.dead.store(true, Ordering::Release);
+        }
+    }
+}
+
+fn worker_loop(slot: &Slot) {
+    let mut obs = Observer::disabled();
+    let mut seen = 0u64;
+    loop {
+        // Wait for work: brief spin (regions arrive back-to-back every
+        // cycle), then yield.
+        let mut spins = 0u32;
+        loop {
+            if slot.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let s = slot.submitted.load(Ordering::Acquire);
+            if s != seen {
+                seen = s;
+                break;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let Some(mut job) = slot.job.lock().expect("worker job mutex").take() else {
+            continue;
+        };
+        let mut guard = DeadGuard { slot, armed: true };
+        // simcheck: allow(wall_clock): per-shard busy diagnostics, never feeds stats
+        let t0 = Instant::now();
+        job.domain.run_region(job.region, job.now, &job.ctx, &job.presence, &mut obs);
+        job.domain.busy_nanos +=
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let Job { domain, presence, ctx, .. } = job;
+        // Release the presence snapshot *before* signalling completion so
+        // the coordinator's `Arc::get_mut` (barrier replay) succeeds.
+        drop(presence);
+        drop(ctx);
+        *slot.done.lock().expect("worker done mutex") = Some(domain);
+        guard.armed = false;
+        slot.completed.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// A fixed set of worker threads, one per non-coordinator shard. Domains
+/// are `mem::replace`-shipped through per-worker slots; the coordinator
+/// runs shard 0 itself and then waits at the barrier.
+#[derive(Debug)]
+pub(crate) struct ShardPool {
+    slots: Vec<Arc<Slot>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` threads (shards minus the coordinator's).
+    pub fn new(workers: usize) -> Self {
+        let slots: Vec<Arc<Slot>> = (0..workers)
+            .map(|_| {
+                Arc::new(Slot {
+                    job: Mutex::new(None),
+                    done: Mutex::new(None),
+                    submitted: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                    dead: AtomicBool::new(false),
+                    stop: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let threads = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let slot = Arc::clone(slot);
+                std::thread::Builder::new()
+                    .name(format!("dcl1-shard-{}", i + 1))
+                    .spawn(move || worker_loop(&slot))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool { slots, threads }
+    }
+
+    /// Worker count (pool capacity).
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Ships `domain` (shard `1 + worker`) to worker `worker` for one
+    /// region.
+    pub fn submit(
+        &self,
+        worker: usize,
+        domain: ShardDomain,
+        region: Region,
+        now: Cycle,
+        ctx: &Arc<MachineCtx>,
+        presence: &Arc<PresenceMap>,
+    ) {
+        let slot = &self.slots[worker];
+        *slot.job.lock().expect("job mutex") = Some(Job {
+            domain,
+            region,
+            now,
+            ctx: Arc::clone(ctx),
+            presence: Arc::clone(presence),
+        });
+        slot.submitted.fetch_add(1, Ordering::Release);
+    }
+
+    /// Waits for worker `worker`'s current region and returns its domain
+    /// and the coordinator's wall wait in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Livelock`] when the worker died mid-region (its domain
+    /// is lost — the machine must be discarded) or the barrier timeout
+    /// elapsed.
+    pub fn wait(&self, worker: usize, cycle: Cycle) -> Result<(ShardDomain, u64), SimError> {
+        let slot = &self.slots[worker];
+        // simcheck: allow(wall_clock): barrier-wait diagnostics and hang timeout, never feeds stats
+        let t0 = Instant::now();
+        loop {
+            if slot.completed.load(Ordering::Acquire) == slot.submitted.load(Ordering::Acquire)
+            {
+                break;
+            }
+            if slot.dead.load(Ordering::Acquire) {
+                return Err(SimError::Livelock {
+                    cycle,
+                    dump: format!(
+                        "shard worker {} died mid-region (panicked); domain state lost",
+                        worker + 1
+                    ),
+                });
+            }
+            if t0.elapsed() > Duration::from_secs(BARRIER_TIMEOUT_SECS) {
+                return Err(SimError::Livelock {
+                    cycle,
+                    dump: format!(
+                        "shard worker {} exceeded the {BARRIER_TIMEOUT_SECS}s epoch barrier",
+                        worker + 1
+                    ),
+                });
+            }
+            std::hint::spin_loop();
+        }
+        let waited = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let domain = slot
+            .done
+            .lock()
+            .expect("done mutex")
+            .take()
+            .unwrap_or_else(|| unreachable!("completed region always stores its domain"));
+        Ok((domain, waited))
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            slot.stop.store(true, Ordering::Release);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Per-shard execution report for one run (bench diagnostics).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Number of execution domains the machine was partitioned into.
+    pub shards: usize,
+    /// Wall nanoseconds the coordinator spent waiting at epoch barriers.
+    pub barrier_wait_nanos: u64,
+    /// Wall nanoseconds each shard spent executing regions.
+    pub busy_nanos: Vec<u64>,
+}

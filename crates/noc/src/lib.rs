@@ -27,7 +27,9 @@
 #![warn(missing_debug_implementations)]
 
 mod crossbar;
+mod epoch;
 mod packet;
 
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
+pub use epoch::{EpochBatch, EpochKey};
 pub use packet::Packet;

@@ -123,6 +123,49 @@ fn stats_schema_fires_on_unbumped_field_change() {
     );
 }
 
+/// A deliberately nondeterministic shard-merge: every classic way to
+/// break run-to-run reproducibility when folding per-shard results —
+/// hash-ordered iteration, wall-clock-dependent merge order, and a
+/// counter narrowed during accumulation — must be caught in the sharded
+/// machine's home crate.
+#[test]
+fn rules_fire_on_a_nondeterministic_shard_merge() {
+    let merge_by_hash_order = "use std::collections::HashMap;\n\
+        pub struct Shard { counters: HashMap<u64, u64> }\n\
+        fn merge(shards: &[Shard]) -> Vec<u64> {\n\
+            let mut out = Vec::new();\n\
+            for s in shards { for (_, v) in &s.counters { out.push(*v); } }\n\
+            out\n\
+        }\n";
+    assert!(fires("crates/dcl1/src/shard.rs", merge_by_hash_order, "hash_order"));
+
+    let merge_by_arrival = "fn merge(&mut self) {\n\
+        let deadline = std::time::Instant::now();\n\
+        while std::time::Instant::now() < deadline { self.drain_one(); }\n\
+    }\n";
+    assert!(fires("crates/dcl1/src/shard.rs", merge_by_arrival, "wall_clock"));
+
+    let narrowed_merge = "fn fold(&mut self, shard_flits: u64) { self.total += shard_flits as u32 as u64; }\n";
+    assert!(fires("crates/dcl1/src/shard.rs", narrowed_merge, "truncating_cast"));
+}
+
+/// The sanctioned exceptions in the real sharded machine are
+/// annotation-suppressed *with reasons* — the same snippets without the
+/// annotation would be findings.
+#[test]
+fn shard_wall_clock_exceptions_are_annotated_with_reasons() {
+    // Shape of the sanctioned uses in shard.rs/machine.rs: barrier-wait
+    // and busy-time diagnostics that never feed simulation state.
+    let sanctioned = "// simcheck: allow(wall_clock): barrier-wait diagnostics only, never feeds stats\n\
+        let t0 = std::time::Instant::now();\n";
+    let r = lint_file(&SourceFile::from_source("crates/dcl1/src/shard.rs", sanctioned));
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+
+    let unsanctioned = "let t0 = std::time::Instant::now();\n";
+    assert!(fires("crates/dcl1/src/shard.rs", unsanctioned, "wall_clock"));
+}
+
 /// The acceptance criterion: the real workspace lints clean.
 #[test]
 fn workspace_is_simcheck_clean() {
