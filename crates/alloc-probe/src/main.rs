@@ -20,8 +20,13 @@
 //!   tree-node or per-completion `Vec` trips it.
 //!
 //! Exits nonzero on any violation, so CI can run it as a plain step.
+//! `--json=PATH` additionally writes the measurements as a JSON fragment
+//! (`{"probes": [{"name", "allocs", "bytes"}...], "system": {"per_step"}}`)
+//! that `perf_sweep --allocs=PATH` embeds in `BENCH_sweep.json`, where the
+//! `--compare` gate holds them against the committed baseline.
 
 use dcl1::{Design, GpuConfig, GpuSystem, PresenceMap, SimOptions};
+use dcl1_obs::registry::Registry;
 use dcl1_cache::Mshr;
 use dcl1_common::{FlatMap, LineAddr};
 use dcl1_workloads::by_name;
@@ -68,20 +73,48 @@ fn count<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
     (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed), r)
 }
 
+/// Accumulated measurements, for the human report and the `--json` dump.
+#[derive(Default)]
+struct Report {
+    failed: bool,
+    /// `(slug, allocs, bytes)` per zero-alloc component probe.
+    probes: Vec<(&'static str, u64, u64)>,
+    /// Allocations per cycle for the system probes (worst of the two).
+    per_step: f64,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"probes\": [");
+        for (i, (slug, allocs, bytes)) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{slug}\", \"allocs\": {allocs}, \"bytes\": {bytes}}}"
+            ));
+        }
+        out.push_str(&format!("], \"system\": {{\"per_step\": {:.4}}}}}\n", self.per_step));
+        out
+    }
+}
+
 /// Asserts a probe window allocated nothing; reports and flips `failed`
-/// otherwise.
-fn expect_zero(name: &str, allocs: u64, bytes: u64, failed: &mut bool) {
+/// otherwise. `slug` is the stable machine name the `--json` dump (and
+/// the `perf_sweep --compare` baseline) keys the probe by.
+fn expect_zero(slug: &'static str, name: &str, allocs: u64, bytes: u64, report: &mut Report) {
+    report.probes.push((slug, allocs, bytes));
     if allocs == 0 {
         println!("{name:<44} OK   (0 allocations)");
     } else {
         println!("{name:<44} FAIL ({allocs} allocations, {bytes} bytes)");
-        *failed = true;
+        report.failed = true;
     }
 }
 
 const STEADY_OPS: u64 = 1_000_000;
 
-fn probe_mshr(failed: &mut bool) {
+fn probe_mshr(report: &mut Report) {
     let mut mshr: Mshr<u64> = Mshr::new(64, 8);
     let mut scratch: Vec<u64> = Vec::new();
     let drive = |mshr: &mut Mshr<u64>, scratch: &mut Vec<u64>, iters: u64| {
@@ -98,10 +131,10 @@ fn probe_mshr(failed: &mut bool) {
     // Warm up: first-touch growth of waiter vectors and the scratch.
     drive(&mut mshr, &mut scratch, 10_000);
     let (allocs, bytes, ()) = count(|| drive(&mut mshr, &mut scratch, STEADY_OPS));
-    expect_zero("mshr slab (alloc/merge/complete_into)", allocs, bytes, failed);
+    expect_zero("mshr", "mshr slab (alloc/merge/complete_into)", allocs, bytes, report);
 }
 
-fn probe_presence(failed: &mut bool) {
+fn probe_presence(report: &mut Report) {
     const LINES: u64 = 4096;
     let mut p = PresenceMap::with_capacity(LINES as usize);
     let drive = |p: &mut PresenceMap, iters: u64| {
@@ -121,10 +154,10 @@ fn probe_presence(failed: &mut bool) {
     drive(&mut p, 2 * LINES);
     let (allocs, bytes, mean) = count(|| drive(&mut p, STEADY_OPS));
     assert!(mean >= 0.0, "mean_replicas must be defined");
-    expect_zero("presence map (fill/evict/mean_replicas)", allocs, bytes, failed);
+    expect_zero("presence", "presence map (fill/evict/mean_replicas)", allocs, bytes, report);
 }
 
-fn probe_flatmap(failed: &mut bool) {
+fn probe_flatmap(report: &mut Report) {
     const KEYS: u64 = 4096;
     let mut map: FlatMap<u64> = FlatMap::with_capacity(KEYS as usize);
     let drive = |map: &mut FlatMap<u64>, iters: u64| {
@@ -139,10 +172,10 @@ fn probe_flatmap(failed: &mut bool) {
     };
     drive(&mut map, 2 * KEYS);
     let (allocs, bytes, ()) = count(|| drive(&mut map, STEADY_OPS));
-    expect_zero("flat map (insert/probe/remove at capacity)", allocs, bytes, failed);
+    expect_zero("flatmap", "flat map (insert/probe/remove at capacity)", allocs, bytes, report);
 }
 
-fn probe_epoch_exchange(failed: &mut bool) {
+fn probe_epoch_exchange(report: &mut Report) {
     use dcl1_noc::{Crossbar, CrossbarConfig, EpochBatch, EpochKey, Packet};
     // The epoch-barrier flit exchange the sharded machine runs every
     // cycle: stage in key order, seal, inject into a crossbar, clear
@@ -170,10 +203,41 @@ fn probe_epoch_exchange(failed: &mut bool) {
     };
     drive(&mut x, &mut batch, 10_000);
     let (allocs, bytes, ()) = count(|| drive(&mut x, &mut batch, STEADY_OPS / 8));
-    expect_zero("epoch exchange (stage/seal/inject/clear)", allocs, bytes, failed);
+    expect_zero("epoch_exchange", "epoch exchange (stage/seal/inject/clear)", allocs, bytes, report);
 }
 
-fn probe_system(failed: &mut bool) {
+fn probe_registry(report: &mut Report) {
+    // The obs counter registry sits inside the measured cycle loop when
+    // `--metrics`/the sweep enables it: every mutation must be index
+    // arithmetic on preallocated slots, and a text snapshot into a reused
+    // buffer must not grow it. Registration (the only allocating phase)
+    // happens outside the counted window, as it does in the machine.
+    let mut reg = Registry::new();
+    let c = reg.counter("probe.events");
+    let g = reg.gauge("probe.level");
+    let h = reg.histogram("probe.latency");
+    let mut out = String::new();
+    let drive = |reg: &mut Registry, out: &mut String, iters: u64| {
+        for i in 0..iters {
+            reg.add(c, 3);
+            reg.set(g, i % 4096);
+            reg.observe(h, i % 100_000);
+            if i % 1024 == 0 {
+                out.clear();
+                reg.render_into(out);
+            }
+        }
+    };
+    // Warm: drives values into their steady digit range and grows the
+    // render buffer once; headroom for the counted loop's extra digits.
+    drive(&mut reg, &mut out, STEADY_OPS);
+    out.reserve(1024);
+    let (allocs, bytes, ()) = count(|| drive(&mut reg, &mut out, STEADY_OPS));
+    assert!(!out.is_empty(), "render must produce a snapshot");
+    expect_zero("registry", "counter registry (add/set/observe/render)", allocs, bytes, report);
+}
+
+fn probe_system(report: &mut Report) {
     // Generous tripwire, not a zero-alloc claim: trace generation
     // legitimately allocates (one access `Vec` per memory instruction,
     // CTA dispatch boxes wavefront traces). Reintroducing per-event heap
@@ -199,12 +263,13 @@ fn probe_system(failed: &mut bool) {
         "system step loop (bound {MAX_ALLOCS_PER_STEP}/cycle)          {} ({per_step:.2} allocs/cycle, {bytes} bytes over {PROBE_STEPS} cycles)",
         if ok { "OK  " } else { "FAIL" },
     );
+    report.per_step = report.per_step.max(per_step);
     if !ok {
-        *failed = true;
+        report.failed = true;
     }
 }
 
-fn probe_sharded_system(failed: &mut bool) {
+fn probe_sharded_system(report: &mut Report) {
     // The sharded step loop (worker pool off, so the probe measures the
     // partitioning machinery itself: mailbox swaps, per-cluster epoch
     // batches, presence-log replay) is held to the same per-cycle bound
@@ -233,21 +298,33 @@ fn probe_sharded_system(failed: &mut bool) {
         "sharded step loop (bound {MAX_ALLOCS_PER_STEP}/cycle)         {} ({per_step:.2} allocs/cycle, {bytes} bytes over {PROBE_STEPS} cycles)",
         if ok { "OK  " } else { "FAIL" },
     );
+    report.per_step = report.per_step.max(per_step);
     if !ok {
-        *failed = true;
+        report.failed = true;
     }
 }
 
 fn main() {
+    let json_path = std::env::args().skip(1).find_map(|a| {
+        a.strip_prefix("--json=").map(std::path::PathBuf::from)
+    });
     println!("alloc-probe: steady-state allocation audit ({STEADY_OPS} ops per component)\n");
-    let mut failed = false;
-    probe_mshr(&mut failed);
-    probe_presence(&mut failed);
-    probe_flatmap(&mut failed);
-    probe_epoch_exchange(&mut failed);
-    probe_system(&mut failed);
-    probe_sharded_system(&mut failed);
-    if failed {
+    let mut report = Report::default();
+    probe_mshr(&mut report);
+    probe_presence(&mut report);
+    probe_flatmap(&mut report);
+    probe_epoch_exchange(&mut report);
+    probe_registry(&mut report);
+    probe_system(&mut report);
+    probe_sharded_system(&mut report);
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("alloc-probe: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("\nalloc-probe: measurements written to {}", path.display());
+    }
+    if report.failed {
         println!("\nalloc-probe: FAILED — a hot path allocated in steady state");
         std::process::exit(1);
     }

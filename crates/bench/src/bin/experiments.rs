@@ -10,7 +10,8 @@
 //!
 //! Observability: `--trace[=PATH]`, `--metrics[=PATH]`,
 //! `--metrics-interval=N` and `--observe=APP/DESIGN` additionally run one
-//! instrumented point and print its stall-attribution table (see
+//! instrumented point and print its stall-attribution table;
+//! `--progress[=PATH]` streams per-point lifecycle events as JSONL (see
 //! `dcl1_bench::ObsCli`).
 //!
 //! Supervision: `--journal[=PATH]` checkpoints each completed point,
@@ -31,6 +32,7 @@ fn main() {
     let obs = ObsCli::parse(&mut filter);
     let res = ResCli::parse(&mut filter);
     eprintln!("[experiments] {}", res.banner());
+    obs.install_progress();
     filter.retain(|a| match a.strip_prefix("--workers=") {
         None => true,
         Some(w) => {

@@ -30,10 +30,17 @@
 //!                           # e.g. pr4, sh16, sh16+c8+boost)
 //!   ... --journal[=PATH] --resume[=PATH] --chaos=SEED --deadline=SECS
 //!                           # supervision knobs (see ResCli)
-//!   ... --trace[=PATH] --metrics[=PATH] --metrics-interval=N
-//!                           # also run one observed point (see ObsCli)
+//!   ... --trace[=PATH] --metrics[=PATH] --metrics-interval=N --progress[=PATH]
+//!                           # observability sinks (see ObsCli)
+//!   ... --allocs=PATH       # embed an alloc-probe --json report in the
+//!                           # sweep JSON (compared by --compare)
+//!   ... --compare=BASELINE.json [--compare-threshold=R]
+//!                           # regression gate: diff this run against a
+//!                           # committed baseline report; exit 1 on any
+//!                           # digest/throughput/phase/alloc regression
 
 use dcl1::{Design, GpuConfig, SimOptions};
+use dcl1_bench::compare::{compare_reports, DEFAULT_THROUGHPUT_THRESHOLD};
 use dcl1_bench::runner::{self, RunRequest, SweepOutcome};
 use dcl1_bench::{ObsCli, ResCli, Scale, Table};
 use dcl1_obs::json::escape;
@@ -52,6 +59,7 @@ fn sweep_json(
     end_to_end_wall: f64,
     chaos_seed: Option<u64>,
     digest: &str,
+    allocs_json: Option<&str>,
 ) -> String {
     let m = runner::memo_stats();
     let sim_wall = m.wall_nanos as f64 / 1e9;
@@ -82,11 +90,22 @@ fn sweep_json(
             escape(&q.error),
         );
     }
-    out.push_str("\n  ],\n  \"points\": [");
+    out.push_str("\n  ],\n  \"profile\": ");
+    runner::sweep_phase_profile().render_json_into(&mut out);
+    out.push_str(",\n  \"registry\": {");
+    runner::sweep_registry_snapshot().render_json_into(&mut out);
+    out.push_str("},\n  \"allocs\": ");
+    match allocs_json {
+        // The alloc-probe fragment is embedded verbatim (it is already
+        // JSON); trailing whitespace would garble the document.
+        Some(frag) => out.push_str(frag.trim_end()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"points\": [");
     for (i, t) in timings.iter().enumerate() {
         let _ = write!(
             out,
-            "{}\n    {{\"app\": \"{}\", \"design\": \"{}\", \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \"khz\": {:.3}}}",
+            "{}\n    {{\"app\": \"{}\", \"design\": \"{}\", \"sim_cycles\": {}, \"wall_seconds\": {:.6}, \"khz\": {:.3}, \"phases\": ",
             if i == 0 { "" } else { "," },
             escape(t.app),
             escape(&t.design),
@@ -94,6 +113,8 @@ fn sweep_json(
             t.wall_seconds,
             t.khz()
         );
+        t.profile.render_json_into(&mut out);
+        out.push('}');
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -111,6 +132,26 @@ fn main() {
         .unwrap_or("BENCH_sweep.json")
         .to_string();
     let stats_out = args.iter().find_map(|a| a.strip_prefix("--stats-out=")).map(String::from);
+    let compare_path =
+        args.iter().find_map(|a| a.strip_prefix("--compare=")).map(String::from);
+    let compare_threshold = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--compare-threshold="))
+        .map_or(DEFAULT_THROUGHPUT_THRESHOLD, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("perf_sweep: bad --compare-threshold={v}: expected a float");
+                std::process::exit(2);
+            })
+        });
+    let allocs_json = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--allocs="))
+        .map(|p| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("perf_sweep: cannot read --allocs={p}: {e}");
+                std::process::exit(2);
+            })
+        });
     let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
     if let Some(w) = args.iter().find_map(|a| a.strip_prefix("--workers=")) {
         match w.parse::<usize>() {
@@ -136,6 +177,7 @@ fn main() {
         runner::clear_disk_cache();
     }
     eprintln!("[perf_sweep] {}", res.banner());
+    obs.install_progress();
     let cfg = GpuConfig::default();
     let designs: Vec<Design> = {
         let named: Vec<Design> = args
@@ -242,13 +284,34 @@ fn main() {
         wall.as_secs_f64(),
         res.chaos_seed,
         &digest,
+        allocs_json.as_deref(),
     );
-    match std::fs::write(&json_path, report) {
+    match std::fs::write(&json_path, &report) {
         Ok(()) => eprintln!("[perf_sweep] wrote {json_path}"),
         Err(e) => eprintln!("[perf_sweep] cannot write {json_path}: {e}"),
     }
 
     obs.run_if_enabled(scale);
+
+    if let Some(path) = &compare_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_sweep: cannot read --compare={path}: {e}");
+            std::process::exit(2);
+        });
+        match compare_reports(&report, &baseline, compare_threshold) {
+            Ok(cmp) => {
+                print!("{cmp}");
+                if !cmp.passed() {
+                    eprintln!("[perf_sweep] regression gate failed against {path}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("perf_sweep: --compare failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     // Under chaos, quarantines are injected on purpose (persistent-panic
     // points); the proof of robustness is the byte-identical digest plus

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod compare;
 pub mod experiments;
 pub mod obscli;
 pub mod rescli;

@@ -5,14 +5,18 @@
 use crate::runner::{run_app_observed, RunRequest, Scale};
 use crate::table::Table;
 use dcl1::{Design, GpuConfig, MetricsFormat, Observer, RunStats, SimOptions};
+use dcl1_obs::progress::ProgressSink;
 use dcl1_workloads::by_name;
 use std::fs::File;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Default trace output path.
 pub const DEFAULT_TRACE_PATH: &str = "dcl1-trace.json";
 /// Default metrics output path (`.csv` suffix switches the format).
 pub const DEFAULT_METRICS_PATH: &str = "dcl1-metrics.jsonl";
+/// Default progress-stream output path.
+pub const DEFAULT_PROGRESS_PATH: &str = "BENCH_progress.jsonl";
 
 /// Parsed observability flags.
 ///
@@ -28,7 +32,11 @@ pub const DEFAULT_METRICS_PATH: &str = "dcl1-metrics.jsonl";
 ///   `C-BLK/flagship`; `DESIGN` is `baseline`, `flagship`, `prN`, `shN`,
 ///   or any full design name such as `sh16+c8+boost`);
 /// * `--check` — checked-sim mode: every run executes under the machine's
-///   conservation-invariant harness (memo bypassed; stats unchanged).
+///   conservation-invariant harness (memo bypassed; stats unchanged);
+/// * `--progress[=PATH]` — stream per-point lifecycle events (queued,
+///   started, progress %, retry, quarantined, completed with live KHz) as
+///   JSONL (default `BENCH_progress.jsonl`). Binaries must call
+///   [`ObsCli::install_progress`] before running for the stream to open.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObsCli {
     /// Trace output path, when tracing was requested.
@@ -43,6 +51,8 @@ pub struct ObsCli {
     pub observe: String,
     /// Checked-sim mode (`--check`).
     pub check: bool,
+    /// Progress-stream output path, when `--progress` was given.
+    pub progress: Option<PathBuf>,
 }
 
 impl Default for ObsCli {
@@ -54,6 +64,7 @@ impl Default for ObsCli {
             metrics_interval: 1024,
             observe: "C-BLK/flagship".to_string(),
             check: false,
+            progress: None,
         }
     }
 }
@@ -98,6 +109,9 @@ impl ObsCli {
                 "--check" => {
                     cli.check = true;
                 }
+                "--progress" => {
+                    cli.progress = Some(PathBuf::from(value.unwrap_or(DEFAULT_PROGRESS_PATH)));
+                }
                 _ => return true,
             }
             false
@@ -106,6 +120,22 @@ impl ObsCli {
             crate::runner::set_check_mode(true);
         }
         cli
+    }
+
+    /// Opens the `--progress` stream (when requested) and installs it as
+    /// the process-wide sink every subsequent run reports to. Call once,
+    /// before the sweep starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output file cannot be created.
+    pub fn install_progress(&self) {
+        if let Some(path) = &self.progress {
+            let file = File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            crate::runner::set_progress_sink(Some(Arc::new(ProgressSink::new(Box::new(file)))));
+            eprintln!("[progress] streaming point events to {}", path.display());
+        }
     }
 
     /// Whether any sink was requested.
@@ -266,6 +296,7 @@ mod tests {
             "--metrics-interval=256",
             "--trace-sample=8",
             "--observe=C-HST/sh40",
+            "--progress",
             "--keep-cache",
         ]
         .iter()
@@ -278,6 +309,7 @@ mod tests {
         assert_eq!(cli.metrics.as_deref(), Some(std::path::Path::new("out.csv")));
         assert_eq!(cli.metrics_interval, 256);
         assert_eq!(cli.observe, "C-HST/sh40");
+        assert_eq!(cli.progress.as_deref(), Some(std::path::Path::new(DEFAULT_PROGRESS_PATH)));
         assert!(cli.enabled());
     }
 

@@ -19,9 +19,12 @@
 //! after a kill, and deterministic fault injection ([`set_chaos`]) exists
 //! to prove all of the above actually works.
 
-use dcl1::{Design, GpuConfig, GpuSystem, RunStats, SimError, SimOptions};
+use dcl1::{Design, GpuConfig, GpuSystem, ProgressHook, RunStats, SimError, SimOptions};
 use dcl1_common::{checksum, journal};
+use dcl1_obs::profiler::{Phase, PhaseProfiler};
+use dcl1_obs::progress::{ProgressEvent, ProgressSink, ProgressStage};
 use dcl1_obs::recovery::RecoveryLog;
+use dcl1_obs::registry::{CounterId, Registry};
 use dcl1_resilience::{
     supervise, Chaos, QuarantineRecord, RetryPolicy, SupervisionEvent,
 };
@@ -30,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How much of each wavefront's trace to simulate (CTA grids stay full,
@@ -430,6 +433,8 @@ pub struct PointTiming {
     pub sim_cycles: u64,
     /// Wall-clock seconds the simulation took.
     pub wall_seconds: f64,
+    /// Pipeline-phase wall-time breakdown for this point.
+    pub profile: PhaseProfiler,
 }
 
 impl PointTiming {
@@ -513,6 +518,115 @@ pub fn throughput_summary() -> crate::Table {
 fn timings() -> &'static Mutex<Vec<PointTiming>> {
     static TIMINGS: std::sync::OnceLock<Mutex<Vec<PointTiming>>> = std::sync::OnceLock::new();
     TIMINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-wide registry, phase profile, and progress stream
+// ---------------------------------------------------------------------------
+
+/// The process-wide registry every simulated point's machine registry is
+/// absorbed into, plus the ids of the runner's own `memo.*` namespace
+/// (cache-layer sweep counters, refreshed at snapshot time).
+struct SweepRegistry {
+    reg: Registry,
+    memory_hits: CounterId,
+    disk_hits: CounterId,
+    simulated: CounterId,
+    cache_corruptions: CounterId,
+    retries: CounterId,
+    quarantined_points: CounterId,
+}
+
+fn sweep_registry() -> &'static Mutex<SweepRegistry> {
+    static REG: std::sync::OnceLock<Mutex<SweepRegistry>> = std::sync::OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = Registry::new();
+        Mutex::new(SweepRegistry {
+            memory_hits: reg.counter("memo.memory_hits"),
+            disk_hits: reg.counter("memo.disk_hits"),
+            simulated: reg.counter("memo.simulated"),
+            cache_corruptions: reg.counter("memo.cache_corruptions"),
+            retries: reg.counter("memo.retries"),
+            quarantined_points: reg.counter("memo.quarantined_points"),
+            reg,
+        })
+    })
+}
+
+/// A deterministic snapshot of the sweep-wide counter registry: every
+/// subsystem namespace summed over the points this process actually
+/// simulated (memo hits contribute nothing — their machines never ran),
+/// plus the live `memo.*` cache-layer counters. This is the fragment
+/// `BENCH_sweep.json` embeds.
+#[must_use]
+pub fn sweep_registry_snapshot() -> Registry {
+    let m = memo_stats();
+    let log = recovery_log();
+    let mut state = sweep_registry().lock().expect("sweep registry lock");
+    let ids = (
+        state.memory_hits,
+        state.disk_hits,
+        state.simulated,
+        state.cache_corruptions,
+        state.retries,
+        state.quarantined_points,
+    );
+    state.reg.set_counter(ids.0, m.memory_hits);
+    state.reg.set_counter(ids.1, m.disk_hits);
+    state.reg.set_counter(ids.2, m.simulated);
+    state.reg.set_counter(ids.3, log.cache_corruptions);
+    state.reg.set_counter(ids.4, log.retries);
+    state.reg.set_counter(ids.5, log.quarantines);
+    state.reg.clone()
+}
+
+fn sweep_profiler() -> &'static Mutex<PhaseProfiler> {
+    static PROF: std::sync::OnceLock<Mutex<PhaseProfiler>> = std::sync::OnceLock::new();
+    PROF.get_or_init(|| Mutex::new(PhaseProfiler::new()))
+}
+
+/// The process-wide phase profile: machine pipeline regions summed over
+/// every simulated point, plus the runner's own memo-cache I/O and
+/// journal-write time.
+#[must_use]
+pub fn sweep_phase_profile() -> PhaseProfiler {
+    *sweep_profiler().lock().expect("sweep profiler lock")
+}
+
+fn note_phase(phase: Phase, nanos: u64) {
+    sweep_profiler().lock().expect("sweep profiler lock").add(phase, nanos);
+}
+
+/// Times one runner-side operation into the sweep phase profile.
+fn timed<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    note_phase(phase, u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    out
+}
+
+fn progress_slot() -> &'static Mutex<Option<Arc<ProgressSink>>> {
+    static SINK: std::sync::OnceLock<Mutex<Option<Arc<ProgressSink>>>> = std::sync::OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Attaches (or with `None` detaches) the streaming progress sink every
+/// subsequent run in this process reports lifecycle events to: one JSONL
+/// line per queued/started/progress/retry/quarantined/completed
+/// transition, flushed as it happens. Supervision recovery events share
+/// the same stream.
+pub fn set_progress_sink(sink: Option<Arc<ProgressSink>>) {
+    *progress_slot().lock().expect("progress lock") = sink;
+}
+
+fn active_progress_sink() -> Option<Arc<ProgressSink>> {
+    progress_slot().lock().expect("progress lock").clone()
+}
+
+fn emit_progress(ev: &ProgressEvent<'_>) {
+    if let Some(sink) = active_progress_sink() {
+        sink.emit(ev);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -638,6 +752,11 @@ fn record_supervision_event(point: &str, event: &SupervisionEvent) {
                 _ => {}
             }
             log.note(format!("retry {point} after attempt {attempt}: [{}] {error}", error.class()));
+            drop(log);
+            let detail = format!("[{}] {error}", error.class());
+            let ev =
+                ProgressEvent::new(ProgressStage::Retry, point).attempt(*attempt).detail(&detail);
+            emit_progress(&ev);
         }
         SupervisionEvent::Quarantined(rec) => {
             log.quarantines += 1;
@@ -647,6 +766,10 @@ fn record_supervision_event(point: &str, event: &SupervisionEvent) {
                 log.deadlines += 1;
             }
             log.note(rec.to_string());
+            drop(log);
+            let detail = rec.to_string();
+            let ev = ProgressEvent::new(ProgressStage::Quarantined, point).detail(&detail);
+            emit_progress(&ev);
         }
     }
 }
@@ -779,12 +902,20 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     if !checked {
         if let Some(hit) = cache().lock().expect("memo lock").get(&key) {
             MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+            let done = ProgressEvent::new(ProgressStage::Completed, &point)
+                .source("memo")
+                .cycles(hit.cycles);
+            emit_progress(&done);
             return Ok(hit.clone());
         }
-        match disk_load_checked(key) {
+        match timed(Phase::CacheIo, || disk_load_checked(key)) {
             DiskEntry::Hit(hit) => {
                 DISK_HITS.fetch_add(1, Ordering::Relaxed);
                 cache().lock().expect("memo lock").insert(key, (*hit).clone());
+                let done = ProgressEvent::new(ProgressStage::Completed, &point)
+                    .source("disk")
+                    .cycles(hit.cycles);
+                emit_progress(&done);
                 return Ok(*hit);
             }
             DiskEntry::Corrupt { path, reason } => {
@@ -808,6 +939,26 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     let mut sys = GpuSystem::build(&req.cfg, &req.design, &app, opts)
         .map_err(|e| SimError::Config(format!("{}: {e}", req.design.name())))?;
     sys.set_shards(effective_shards());
+    // Registry and profiler are pull-only diagnostics: statistics are
+    // byte-identical with them on (the determinism suite pins this), so
+    // every supervised run carries them.
+    sys.enable_registry();
+    sys.enable_profiler();
+    if let Some(sink) = active_progress_sink() {
+        let label = point.clone();
+        let total = app.total_instructions().max(1);
+        let hook_start = Instant::now();
+        sys.set_progress_hook(ProgressHook::new(move |cycle, retired| {
+            let secs = hook_start.elapsed().as_secs_f64();
+            let khz = if secs > 0.0 { cycle as f64 / secs / 1e3 } else { 0.0 };
+            let ev = ProgressEvent::new(ProgressStage::Progress, &label)
+                .attempt(attempt)
+                .pct((100 * retired / total).min(100))
+                .cycles(cycle)
+                .khz(khz);
+            sink.emit(&ev);
+        }));
+    }
     if checked {
         sys.enable_check();
     }
@@ -831,19 +982,32 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     let stats = sys.run_result()?;
     let wall = start.elapsed();
     note_shard_report(&sys.shard_report());
+    let profile = sys.take_profiler().unwrap_or_default();
+    if let Some(mm) = sys.take_metrics() {
+        sweep_registry().lock().expect("sweep registry lock").reg.absorb(mm.registry());
+    }
+    sweep_profiler().lock().expect("sweep profiler lock").absorb(&profile);
 
     SIMULATED.fetch_add(1, Ordering::Relaxed);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     WALL_NANOS.fetch_add(u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
-    timings().lock().expect("timings lock").push(PointTiming {
+    let timing = PointTiming {
         app: req.app.name,
         design: stats.design.clone(),
         sim_cycles: stats.cycles,
         wall_seconds: wall.as_secs_f64(),
-    });
+        profile,
+    };
+    let done = ProgressEvent::new(ProgressStage::Completed, &point)
+        .attempt(attempt)
+        .source("simulated")
+        .cycles(stats.cycles)
+        .khz(timing.khz());
+    emit_progress(&done);
+    timings().lock().expect("timings lock").push(timing);
 
     if !checked {
-        disk_store(key, &stats);
+        timed(Phase::CacheIo, || disk_store(key, &stats));
         if let Some(c) = &chaos {
             if c.should_corrupt(&point) {
                 // Damage the entry we just wrote, then read it back: the
@@ -998,6 +1162,9 @@ pub fn run_apps_supervised(reqs: &[RunRequest], scale: Scale, workers: usize) ->
     let results: Vec<Mutex<Option<RunStats>>> = reqs.iter().map(|_| Mutex::new(None)).collect();
     let quarantined: Mutex<Vec<(usize, QuarantineRecord)>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
+    for req in reqs {
+        emit_progress(&ProgressEvent::new(ProgressStage::Queued, &point_label(req)));
+    }
     std::thread::scope(|s| {
         for _ in 0..workers.max(1).min(reqs.len().max(1)) {
             s.spawn(|| loop {
@@ -1007,6 +1174,7 @@ pub fn run_apps_supervised(reqs: &[RunRequest], scale: Scale, workers: usize) ->
                 }
                 let req = &reqs[i];
                 let point = point_label(req);
+                emit_progress(&ProgressEvent::new(ProgressStage::Started, &point));
                 let outcome = supervise(
                     &point,
                     &policy,
@@ -1015,7 +1183,9 @@ pub fn run_apps_supervised(reqs: &[RunRequest], scale: Scale, workers: usize) ->
                 );
                 match outcome {
                     Ok(stats) => {
-                        journal_append(memo_key(req, scale), &point, &stats);
+                        timed(Phase::JournalWrite, || {
+                            journal_append(memo_key(req, scale), &point, &stats);
+                        });
                         *results[i].lock().expect("result lock") = Some(stats);
                     }
                     Err(record) => {

@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 mod geometry;
+pub mod metrics;
 mod mshr;
 mod set_assoc;
 

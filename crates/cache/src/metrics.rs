@@ -1,0 +1,92 @@
+//! `cache.*` registry namespace: tag-array and MSHR activity summed over
+//! every L1/DC-L1 cache instance.
+//!
+//! The caller (the machine) walks cache instances in global node order
+//! and supplies their [`CacheStats`] plus the MSHR alloc/free totals, so
+//! the snapshot is independent of the shard partition.
+
+use crate::CacheStats;
+use dcl1_obs::registry::{CounterId, Registry};
+
+/// Registered ids for every `cache.*` metric.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheMetrics {
+    hits: CounterId,
+    misses: CounterId,
+    evictions: CounterId,
+    fills: CounterId,
+    invalidations: CounterId,
+    mshr_allocs: CounterId,
+    mshr_frees: CounterId,
+}
+
+impl CacheMetrics {
+    /// Registers the `cache.*` namespace.
+    pub fn register(reg: &mut Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: reg.counter("cache.hits"),
+            misses: reg.counter("cache.misses"),
+            evictions: reg.counter("cache.evictions"),
+            fills: reg.counter("cache.fills"),
+            invalidations: reg.counter("cache.invalidations"),
+            mshr_allocs: reg.counter("cache.mshr_allocs"),
+            mshr_frees: reg.counter("cache.mshr_frees"),
+        }
+    }
+
+    /// Snapshots the sums over `caches` plus MSHR alloc/free totals.
+    pub fn record(
+        self,
+        reg: &mut Registry,
+        caches: impl Iterator<Item = CacheStats>,
+        mshr_allocs: u64,
+        mshr_frees: u64,
+    ) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut evictions = 0;
+        let mut fills = 0;
+        let mut invalidations = 0;
+        for c in caches {
+            hits += c.hits.get();
+            misses += c.misses.get();
+            evictions += c.evictions.get();
+            fills += c.fills.get();
+            invalidations += c.invalidations.get();
+        }
+        reg.set_counter(self.hits, hits);
+        reg.set_counter(self.misses, misses);
+        reg.set_counter(self.evictions, evictions);
+        reg.set_counter(self.fills, fills);
+        reg.set_counter(self.invalidations, invalidations);
+        reg.set_counter(self.mshr_allocs, mshr_allocs);
+        reg.set_counter(self.mshr_frees, mshr_frees);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cache_and_mshr_sums() {
+        let mut reg = Registry::new();
+        let ids = CacheMetrics::register(&mut reg);
+        let mut a = CacheStats::default();
+        a.hits.add(9);
+        a.misses.add(1);
+        a.fills.add(1);
+        let mut b = CacheStats::default();
+        b.hits.add(1);
+        b.evictions.add(2);
+        b.invalidations.add(3);
+        ids.record(&mut reg, [a, b].into_iter(), 40, 38);
+        assert_eq!(reg.get("cache.hits"), Some(10));
+        assert_eq!(reg.get("cache.misses"), Some(1));
+        assert_eq!(reg.get("cache.evictions"), Some(2));
+        assert_eq!(reg.get("cache.fills"), Some(1));
+        assert_eq!(reg.get("cache.invalidations"), Some(3));
+        assert_eq!(reg.get("cache.mshr_allocs"), Some(40));
+        assert_eq!(reg.get("cache.mshr_frees"), Some(38));
+    }
+}

@@ -52,6 +52,7 @@ pub mod check;
 pub mod config;
 pub mod design;
 pub mod machine;
+pub mod metrics;
 pub mod node;
 pub mod presence;
 mod shard;
@@ -62,7 +63,10 @@ pub use check::SimChecker;
 pub use config::GpuConfig;
 pub use design::{Attachment, Design, Noc2Kind, Topology};
 pub use dcl1_resilience::SimError;
-pub use machine::{GpuSystem, SimOptions, DEFAULT_WATCHDOG_EPOCH};
+pub use machine::{
+    GpuSystem, ProgressHook, SimOptions, DEFAULT_PROGRESS_EVERY, DEFAULT_WATCHDOG_EPOCH,
+};
+pub use metrics::MachineMetrics;
 pub use node::{Dcl1Node, NodeConfig, NodeStats};
 pub use presence::{PresenceLog, PresenceMap, PresenceSession, PresenceSink};
 pub use shard::ShardReport;

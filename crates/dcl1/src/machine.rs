@@ -47,6 +47,7 @@
 use crate::check::{SimChecker, EPOCH_CYCLES};
 use crate::config::GpuConfig;
 use crate::design::{Attachment, Design, Noc2Kind, Topology};
+use crate::metrics::MachineMetrics;
 use crate::node::{Dcl1Node, NodeConfig};
 use crate::presence::PresenceMap;
 use crate::shard::{
@@ -62,6 +63,8 @@ use dcl1_gpu::{
 use dcl1_mem::{DramAccess, L2Reply, L2Request, L2Slice, MemAccessKind, MemoryController};
 use dcl1_noc::{Crossbar, CrossbarConfig, EpochBatch, Packet};
 use dcl1_obs::metrics::MetricsSample;
+use dcl1_obs::profiler::{Phase, PhaseProfiler};
+use dcl1_obs::registry::Registry;
 use dcl1_obs::Observer;
 use dcl1_resilience::SimError;
 use std::collections::VecDeque;
@@ -76,6 +79,37 @@ use std::time::Instant;
 /// (load RTTs are hundreds of cycles) advances the progress signature many
 /// times over, so a firing is a genuine hang, not a slow point.
 pub const DEFAULT_WATCHDOG_EPOCH: u64 = 1 << 20;
+
+/// Cycles between registry snapshots while a run is in flight (a
+/// multiple of the checker's [`EPOCH_CYCLES`], so snapshots land on
+/// invariant-epoch boundaries). Pull snapshots overwrite — the final
+/// snapshot at drain is what reports read — so this cadence only bounds
+/// how stale a mid-run [`GpuSystem::registry`] view can be.
+pub const REGISTRY_RECORD_CYCLES: u64 = 1 << 16;
+
+/// Cycles between progress-hook callbacks (idle fast-forward clamps to
+/// this boundary so the cadence stays live through quiescent stretches).
+pub const DEFAULT_PROGRESS_EVERY: u64 = 1 << 18;
+
+/// A periodic liveness callback: invoked with `(cycle,
+/// instructions_retired)` every [`DEFAULT_PROGRESS_EVERY`] cycles (see
+/// [`GpuSystem::set_progress_hook`]). Diagnostic only — the machine never
+/// reads anything back through it, so statistics are byte-identical with
+/// or without a hook attached.
+pub struct ProgressHook<'w>(Box<dyn FnMut(u64, u64) + 'w>);
+
+impl<'w> ProgressHook<'w> {
+    /// Wraps a callback.
+    pub fn new(f: impl FnMut(u64, u64) + 'w) -> ProgressHook<'w> {
+        ProgressHook(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for ProgressHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressHook").finish_non_exhaustive()
+    }
+}
 
 /// Run-level options orthogonal to the design (the paper's sensitivity
 /// knobs).
@@ -225,6 +259,19 @@ pub struct GpuSystem<'w> {
     /// Observability sinks (tracing + metrics); `Observer::disabled()` by
     /// default, in which case every hook below is an inlined early return.
     obs: Observer,
+
+    /// Typed counter registry bundle; `None` (the default) skips every
+    /// snapshot. Pull-only: components never see it, so enabling it
+    /// cannot perturb simulation results.
+    metrics: Option<Box<MachineMetrics>>,
+    /// Phase profiler; `None` (the default) skips all lap timing.
+    /// Wall-clock diagnostics only, never fed back into simulation.
+    profiler: Option<Box<PhaseProfiler>>,
+    /// Periodic liveness callback; `None` (the default) is a skipped
+    /// branch per cycle.
+    progress: Option<ProgressHook<'w>>,
+    /// Cycles between progress-hook callbacks.
+    progress_every: u64,
 
     /// Checked-sim harness (`--check`); `None` by default, in which case
     /// every invariant hook is a skipped branch and no epoch sweeps run.
@@ -417,6 +464,10 @@ impl<'w> GpuSystem<'w> {
             cdx_clocks,
             mcs,
             obs: Observer::disabled(),
+            metrics: None,
+            profiler: None,
+            progress: None,
+            progress_every: DEFAULT_PROGRESS_EVERY,
             checker: None,
             watchdog_epoch: None,
             deadline_secs: None,
@@ -647,6 +698,130 @@ impl<'w> GpuSystem<'w> {
     /// The checked-sim harness, when enabled (epoch counts).
     pub fn checker(&self) -> Option<&SimChecker> {
         self.checker.as_deref()
+    }
+
+    /// Turns on the typed counter registry: every subsystem namespace
+    /// (`gpu.*`, `noc.*`, `mem.*`, `cache.*`, `dcl1.*`, `shard.*`) is
+    /// registered once, then snapshotted pull-style every
+    /// [`REGISTRY_RECORD_CYCLES`] and at drain. Snapshots walk components
+    /// in global order, so they are byte-identical across shard counts,
+    /// and never feed back into the simulation.
+    pub fn enable_registry(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::new(MachineMetrics::new()));
+        }
+    }
+
+    /// The counter registry, when enabled (values are as of the most
+    /// recent snapshot; call [`record_registry`](GpuSystem::record_registry)
+    /// first for a live view).
+    pub fn registry(&self) -> Option<&Registry> {
+        self.metrics.as_ref().map(|m| m.registry())
+    }
+
+    /// Takes a fresh registry snapshot now. No-op when the registry is
+    /// disabled.
+    pub fn record_registry(&mut self) {
+        // Take/put-back so `record_into` can borrow `self` shared while
+        // the bundle is borrowed mutably.
+        let Some(mut mm) = self.metrics.take() else { return };
+        self.record_into(&mut mm);
+        self.metrics = Some(mm);
+    }
+
+    /// Detaches the registry bundle after a final snapshot, leaving the
+    /// machine with registry recording disabled. `None` if it was never
+    /// enabled.
+    pub fn take_metrics(&mut self) -> Option<Box<MachineMetrics>> {
+        self.record_registry();
+        self.metrics.take()
+    }
+
+    /// One registry snapshot: sums component statistics in global
+    /// instance order (the same order `collect_stats` uses) and
+    /// overwrites the registry's values.
+    fn record_into(&self, mm: &mut MachineMetrics) {
+        let MachineMetrics { reg, gpu, noc, mem, cache, dcl1, shard } = mm;
+        gpu.record(reg, self.iter_cores().map(|c| *c.stats()));
+        let noc1 = dcl1_noc::metrics::totals(self.iter_noc1().map(Crossbar::stats));
+        let nq2 = |net: &Noc2Net| -> dcl1_noc::metrics::FlitTotals {
+            match net {
+                Noc2Net::Single(x) => dcl1_noc::metrics::totals(std::iter::once(x.stats())),
+                Noc2Net::Sliced(v) => dcl1_noc::metrics::totals(v.iter().map(Crossbar::stats)),
+                Noc2Net::TwoStage { stage1, stage2 } => dcl1_noc::metrics::totals(
+                    stage1.iter().map(Crossbar::stats).chain(std::iter::once(stage2.stats())),
+                ),
+            }
+        };
+        let mut noc2 = nq2(&self.noc2_req);
+        let rep = nq2(&self.noc2_rep);
+        noc2.flits += rep.flits;
+        noc2.packets += rep.packets;
+        noc.record(reg, noc1, noc2);
+        mem.record(
+            reg,
+            self.iter_l2().map(|s| *s.stats()),
+            self.mcs.iter().map(|m| *m.stats()),
+        );
+        cache.record(
+            reg,
+            self.iter_nodes().map(|n| *n.cache().stats()),
+            self.iter_nodes().map(Dcl1Node::mshr_allocs).sum(),
+            self.iter_nodes().map(Dcl1Node::mshr_frees).sum(),
+        );
+        dcl1.record(
+            reg,
+            self.measured_cycles(),
+            self.iter_nodes().map(|n| *n.stats()),
+            self.presence.mean_replicas(),
+        );
+        shard.record(
+            reg,
+            self.shards.iter().map(|d| d.flow.produced()).sum(),
+            self.shards.iter().map(|d| d.flow.consumed()).sum(),
+            self.presence.distinct_lines() as u64,
+        );
+    }
+
+    /// Turns on the hierarchical phase profiler: per-cycle pipeline
+    /// regions (issue, NoC#1, memory, exchange) are lap-timed with the
+    /// wall clock. Diagnostic only — results never reach simulation
+    /// state, so statistics stay byte-identical.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::<PhaseProfiler>::default());
+        }
+    }
+
+    /// Detaches the accumulated phase profile (with the epoch-barrier
+    /// wait folded in as one `barrier_wait` lap), disabling further
+    /// profiling. `None` if the profiler was never enabled.
+    pub fn take_profiler(&mut self) -> Option<PhaseProfiler> {
+        let mut p = *(self.profiler.take()?);
+        if self.barrier_wait_nanos > 0 {
+            p.add(Phase::BarrierWait, self.barrier_wait_nanos);
+        }
+        Some(p)
+    }
+
+    /// Attaches a liveness callback invoked with `(cycle,
+    /// instructions_retired)` every [`DEFAULT_PROGRESS_EVERY`] cycles.
+    /// Idle fast-forward clamps to the callback boundary, so the cadence
+    /// holds even through fully quiescent stretches.
+    pub fn set_progress_hook(&mut self, hook: ProgressHook<'w>) {
+        self.progress = Some(hook);
+    }
+
+    /// Times one pipeline lap when the profiler is enabled, re-basing the
+    /// lap origin so consecutive calls partition the cycle.
+    // simcheck: allow(wall_clock): phase profiler diagnostics only, never feeds stats
+    fn lap(&mut self, phase: Phase, t: &mut Option<Instant>) {
+        if let (Some(p), Some(t0)) = (self.profiler.as_deref_mut(), t.as_mut()) {
+            // simcheck: allow(wall_clock): phase profiler diagnostics only, never feeds stats
+            let now = Instant::now();
+            p.add(phase, u64::try_from(now.duration_since(*t0).as_nanos()).unwrap_or(u64::MAX));
+            *t0 = now;
+        }
     }
 
     /// Arms the cycle-level progress watchdog: every `epoch_cycles`, the
@@ -1643,6 +1818,8 @@ impl<'w> GpuSystem<'w> {
                 eprintln!("warning: failed to flush observability sinks: {e}");
             }
         }
+        // Final pull snapshot at drain — this is the one reports read.
+        self.record_registry();
         Ok(self.collect_stats())
     }
 
@@ -1670,9 +1847,13 @@ impl<'w> GpuSystem<'w> {
             // exactly the no-progress shape the watchdog must catch.
             return Ok(());
         }
+        // simcheck: allow(wall_clock): phase profiler diagnostics only, never feeds stats
+        let mut lap_t = self.profiler.as_deref().map(|_| Instant::now());
         self.dispatch_ctas();
         self.run_region_all(Region::Issue)?;
+        self.lap(Phase::Issue, &mut lap_t);
         self.exchange_outboxes();
+        self.lap(Phase::Exchange, &mut lap_t);
         match self.topo.attachment {
             Attachment::Noc1 { .. } if self.aligned => self.run_region_all(Region::Noc1)?,
             Attachment::Noc1 { .. } => self.tick_noc1_seq(),
@@ -1681,12 +1862,15 @@ impl<'w> GpuSystem<'w> {
         self.inject_noc2_requests();
         self.inject_noc2_replies();
         self.tick_noc2();
+        self.lap(Phase::Noc1, &mut lap_t);
         self.run_region_all(Region::Mem { fuse_drain: self.aligned })?;
+        self.lap(Phase::Mem, &mut lap_t);
         self.apply_presence();
         self.exchange_memory();
         if !self.aligned {
             self.drain_node_replies_seq();
         }
+        self.lap(Phase::Exchange, &mut lap_t);
         if self.now.is_multiple_of(self.opts.replica_sample_interval)
             && self.presence.distinct_lines() > 0
         {
@@ -1696,6 +1880,16 @@ impl<'w> GpuSystem<'w> {
             if self.now.is_multiple_of(ivl) {
                 let sample = self.metrics_sample();
                 self.obs.record_metrics(&sample);
+            }
+        }
+        if self.metrics.is_some() && self.now.is_multiple_of(REGISTRY_RECORD_CYCLES) {
+            self.record_registry();
+        }
+        if self.progress.is_some() && self.now.is_multiple_of(self.progress_every) {
+            let retired: u64 = self.iter_cores().map(|c| c.stats().instructions.get()).sum();
+            let now = self.now;
+            if let Some(h) = &mut self.progress {
+                (h.0)(now, retired);
             }
         }
         if self.checker.is_some() && self.now.is_multiple_of(EPOCH_CYCLES) {
@@ -1796,6 +1990,13 @@ impl<'w> GpuSystem<'w> {
         }
         if !self.warmup_done && self.opts.warmup_instructions > 0 {
             skip = skip.min(63 - self.now % 64);
+        }
+        if self.progress.is_some() {
+            // Keep the liveness callback cadence alive through quiescent
+            // stretches (a skipped cycle does no work, so the snapshot at
+            // the boundary is bit-identical to stepping there).
+            let every = self.progress_every;
+            skip = skip.min(every - 1 - self.now % every);
         }
         if skip == 0 {
             return;

@@ -267,6 +267,16 @@ impl Dcl1Node {
         self.mshr.total_waiters()
     }
 
+    /// Cumulative MSHR entry allocations (registry snapshot source).
+    pub fn mshr_allocs(&self) -> u64 {
+        self.mshr.allocs()
+    }
+
+    /// Cumulative MSHR entry frees (registry snapshot source).
+    pub fn mshr_frees(&self) -> u64 {
+        self.mshr.frees()
+    }
+
     /// Hits in flight waiting out the access latency.
     pub fn hit_pipe_len(&self) -> usize {
         self.hit_pipe.len() + self.reply_stage.len()

@@ -25,6 +25,7 @@ mod coalesce;
 mod core_model;
 mod cta;
 mod instr;
+pub mod metrics;
 mod trace;
 mod wavefront;
 

@@ -1,0 +1,105 @@
+//! `gpu.*` registry namespace: core-side issue and stall counters.
+//!
+//! Pull model: the simulator calls [`GpuMetrics::record`] at epoch
+//! boundaries with the cores' already-maintained [`CoreStats`]; nothing
+//! here touches the issue hot path. Summation walks cores in the order
+//! the caller supplies them — global core order in the machine — so the
+//! snapshot is independent of the shard partition.
+
+use crate::CoreStats;
+use dcl1_obs::registry::{CounterId, Registry};
+
+/// Registered ids for every `gpu.*` metric.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuMetrics {
+    instructions: CounterId,
+    mem_instructions: CounterId,
+    idle_cycles: CounterId,
+    mem_stall_cycles: CounterId,
+    stall_drained: CounterId,
+    stall_alu_busy: CounterId,
+    stall_fill_wait: CounterId,
+    stall_mem_outbox: CounterId,
+    stall_mem_l1_queue: CounterId,
+    stall_mem_noc: CounterId,
+}
+
+impl GpuMetrics {
+    /// Registers the `gpu.*` namespace.
+    pub fn register(reg: &mut Registry) -> GpuMetrics {
+        GpuMetrics {
+            instructions: reg.counter("gpu.instructions"),
+            mem_instructions: reg.counter("gpu.mem_instructions"),
+            idle_cycles: reg.counter("gpu.idle_cycles"),
+            mem_stall_cycles: reg.counter("gpu.mem_stall_cycles"),
+            stall_drained: reg.counter("gpu.stall_drained"),
+            stall_alu_busy: reg.counter("gpu.stall_alu_busy"),
+            stall_fill_wait: reg.counter("gpu.stall_fill_wait"),
+            stall_mem_outbox: reg.counter("gpu.stall_mem_outbox"),
+            stall_mem_l1_queue: reg.counter("gpu.stall_mem_l1_queue"),
+            stall_mem_noc: reg.counter("gpu.stall_mem_noc"),
+        }
+    }
+
+    /// Snapshots the sum over `cores` (callers supply global core order).
+    pub fn record(self, reg: &mut Registry, cores: impl Iterator<Item = CoreStats>) {
+        let mut instructions = 0;
+        let mut mem_instructions = 0;
+        let mut idle = 0;
+        let mut mem_stall = 0;
+        let mut drained = 0;
+        let mut alu_busy = 0;
+        let mut fill_wait = 0;
+        let mut mem_outbox = 0;
+        let mut mem_l1_queue = 0;
+        let mut mem_noc = 0;
+        for c in cores {
+            instructions += c.instructions.get();
+            mem_instructions += c.mem_instructions.get();
+            idle += c.idle_cycles.get();
+            mem_stall += c.mem_stall_cycles.get();
+            drained += c.stall.drained.get();
+            alu_busy += c.stall.alu_busy.get();
+            fill_wait += c.stall.fill_wait.get();
+            mem_outbox += c.stall.mem_outbox.get();
+            mem_l1_queue += c.stall.mem_l1_queue.get();
+            mem_noc += c.stall.mem_noc.get();
+        }
+        reg.set_counter(self.instructions, instructions);
+        reg.set_counter(self.mem_instructions, mem_instructions);
+        reg.set_counter(self.idle_cycles, idle);
+        reg.set_counter(self.mem_stall_cycles, mem_stall);
+        reg.set_counter(self.stall_drained, drained);
+        reg.set_counter(self.stall_alu_busy, alu_busy);
+        reg.set_counter(self.stall_fill_wait, fill_wait);
+        reg.set_counter(self.stall_mem_outbox, mem_outbox);
+        reg.set_counter(self.stall_mem_l1_queue, mem_l1_queue);
+        reg.set_counter(self.stall_mem_noc, mem_noc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_summed_core_stats() {
+        let mut reg = Registry::new();
+        let ids = GpuMetrics::register(&mut reg);
+        let mut a = CoreStats::default();
+        a.instructions.add(10);
+        a.idle_cycles.add(3);
+        a.stall.fill_wait.add(2);
+        let mut b = CoreStats::default();
+        b.instructions.add(5);
+        b.mem_instructions.add(4);
+        ids.record(&mut reg, [a, b].into_iter());
+        assert_eq!(reg.get("gpu.instructions"), Some(15));
+        assert_eq!(reg.get("gpu.mem_instructions"), Some(4));
+        assert_eq!(reg.get("gpu.idle_cycles"), Some(3));
+        assert_eq!(reg.get("gpu.stall_fill_wait"), Some(2));
+        // Re-recording overwrites (snapshot semantics, not accumulation).
+        ids.record(&mut reg, [a].into_iter());
+        assert_eq!(reg.get("gpu.instructions"), Some(10));
+    }
+}

@@ -21,6 +21,7 @@
 
 mod dram;
 mod l2;
+pub mod metrics;
 
 pub use dram::{DramConfig, DramStats, MemoryController};
 pub use l2::{DramAccess, L2Config, L2Reply, L2Request, L2Slice, L2Stats, MemAccessKind};

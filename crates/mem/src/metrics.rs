@@ -1,0 +1,100 @@
+//! `mem.*` registry namespace: L2 service and DRAM channel counters.
+//!
+//! Snapshot semantics match the other subsystem namespaces: the machine
+//! supplies per-instance statistics in global slice/channel order and the
+//! sums land in the registry, so merged snapshots are independent of the
+//! shard partition.
+
+use crate::{DramStats, L2Stats};
+use dcl1_obs::registry::{CounterId, Registry};
+
+/// Registered ids for every `mem.*` metric.
+#[derive(Debug, Clone, Copy)]
+pub struct MemMetrics {
+    l2_accesses: CounterId,
+    l2_hits: CounterId,
+    l2_misses: CounterId,
+    dram_reads: CounterId,
+    dram_writes: CounterId,
+    dram_row_hits: CounterId,
+    dram_bus_busy_ticks: CounterId,
+}
+
+impl MemMetrics {
+    /// Registers the `mem.*` namespace.
+    pub fn register(reg: &mut Registry) -> MemMetrics {
+        MemMetrics {
+            l2_accesses: reg.counter("mem.l2_accesses"),
+            l2_hits: reg.counter("mem.l2_hits"),
+            l2_misses: reg.counter("mem.l2_misses"),
+            dram_reads: reg.counter("mem.dram_reads"),
+            dram_writes: reg.counter("mem.dram_writes"),
+            dram_row_hits: reg.counter("mem.dram_row_hits"),
+            dram_bus_busy_ticks: reg.counter("mem.dram_bus_busy_ticks"),
+        }
+    }
+
+    /// Snapshots the sums over all L2 slices and DRAM channels.
+    pub fn record(
+        self,
+        reg: &mut Registry,
+        l2: impl Iterator<Item = L2Stats>,
+        dram: impl Iterator<Item = DramStats>,
+    ) {
+        let mut accesses = 0;
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in l2 {
+            accesses += s.accesses.get();
+            hits += s.hits.get();
+            misses += s.misses.get();
+        }
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut row_hits = 0;
+        let mut bus_busy = 0;
+        for d in dram {
+            reads += d.reads.get();
+            writes += d.writes.get();
+            row_hits += d.row_hits.get();
+            bus_busy += d.bus_busy_ticks.get();
+        }
+        reg.set_counter(self.l2_accesses, accesses);
+        reg.set_counter(self.l2_hits, hits);
+        reg.set_counter(self.l2_misses, misses);
+        reg.set_counter(self.dram_reads, reads);
+        reg.set_counter(self.dram_writes, writes);
+        reg.set_counter(self.dram_row_hits, row_hits);
+        reg.set_counter(self.dram_bus_busy_ticks, bus_busy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_l2_and_dram_sums() {
+        let mut reg = Registry::new();
+        let ids = MemMetrics::register(&mut reg);
+        let mut l2a = L2Stats::default();
+        l2a.accesses.add(8);
+        l2a.hits.add(6);
+        l2a.misses.add(2);
+        let mut l2b = L2Stats::default();
+        l2b.accesses.add(2);
+        l2b.misses.add(2);
+        let mut d = DramStats::default();
+        d.reads.add(4);
+        d.writes.add(1);
+        d.row_hits.add(3);
+        d.bus_busy_ticks.add(20);
+        ids.record(&mut reg, [l2a, l2b].into_iter(), [d].into_iter());
+        assert_eq!(reg.get("mem.l2_accesses"), Some(10));
+        assert_eq!(reg.get("mem.l2_hits"), Some(6));
+        assert_eq!(reg.get("mem.l2_misses"), Some(4));
+        assert_eq!(reg.get("mem.dram_reads"), Some(4));
+        assert_eq!(reg.get("mem.dram_row_hits"), Some(3));
+        assert_eq!(reg.get("mem.dram_bus_busy_ticks"), Some(20));
+    }
+}

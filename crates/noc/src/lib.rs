@@ -28,6 +28,7 @@
 
 mod crossbar;
 mod epoch;
+pub mod metrics;
 mod packet;
 
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};

@@ -1,0 +1,95 @@
+//! `noc.*` registry namespace: flit and packet traffic per network level.
+//!
+//! The machine sums [`CrossbarStats`] over each level's crossbars (in
+//! global instance order, so the totals are partition-independent) and
+//! hands the [`FlitTotals`] here; these counters are the registry face of
+//! the paper's NoC-traversal figures.
+
+use crate::CrossbarStats;
+use dcl1_obs::registry::{CounterId, Registry};
+
+/// Flit/packet totals for one network level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlitTotals {
+    /// Flits moved through the switches (sum of output-link counts).
+    pub flits: u64,
+    /// Packets delivered.
+    pub packets: u64,
+}
+
+/// Sums one network level's crossbar statistics.
+pub fn totals<'a>(stats: impl Iterator<Item = &'a CrossbarStats>) -> FlitTotals {
+    let mut t = FlitTotals::default();
+    for s in stats {
+        t.flits += s.total_flits();
+        t.packets += s.packets;
+    }
+    t
+}
+
+/// Registered ids for every `noc.*` metric.
+#[derive(Debug, Clone, Copy)]
+pub struct NocMetrics {
+    noc1_flits: CounterId,
+    noc1_packets: CounterId,
+    noc2_flits: CounterId,
+    noc2_packets: CounterId,
+}
+
+impl NocMetrics {
+    /// Registers the `noc.*` namespace.
+    pub fn register(reg: &mut Registry) -> NocMetrics {
+        NocMetrics {
+            noc1_flits: reg.counter("noc.noc1_flits"),
+            noc1_packets: reg.counter("noc.noc1_packets"),
+            noc2_flits: reg.counter("noc.noc2_flits"),
+            noc2_packets: reg.counter("noc.noc2_packets"),
+        }
+    }
+
+    /// Snapshots both levels' totals.
+    pub fn record(self, reg: &mut Registry, noc1: FlitTotals, noc2: FlitTotals) {
+        reg.set_counter(self.noc1_flits, noc1.flits);
+        reg.set_counter(self.noc1_packets, noc1.packets);
+        reg.set_counter(self.noc2_flits, noc2.flits);
+        reg.set_counter(self.noc2_packets, noc2.packets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_output_links_and_packets() {
+        let a = CrossbarStats {
+            ticks: 10,
+            output_flits: vec![3, 4],
+            input_flits: vec![7, 0],
+            packets: 2,
+        };
+        let b = CrossbarStats {
+            ticks: 10,
+            output_flits: vec![5],
+            input_flits: vec![5],
+            packets: 1,
+        };
+        let t = totals([&a, &b].into_iter());
+        assert_eq!(t, FlitTotals { flits: 12, packets: 3 });
+    }
+
+    #[test]
+    fn records_both_levels() {
+        let mut reg = Registry::new();
+        let ids = NocMetrics::register(&mut reg);
+        ids.record(
+            &mut reg,
+            FlitTotals { flits: 100, packets: 25 },
+            FlitTotals { flits: 40, packets: 10 },
+        );
+        assert_eq!(reg.get("noc.noc1_flits"), Some(100));
+        assert_eq!(reg.get("noc.noc1_packets"), Some(25));
+        assert_eq!(reg.get("noc.noc2_flits"), Some(40));
+        assert_eq!(reg.get("noc.noc2_packets"), Some(10));
+    }
+}

@@ -14,6 +14,15 @@
 //! 4. **Recovery telemetry** ([`recovery::RecoveryLog`]) — the supervision
 //!    layer's ledger of retries, quarantines, watchdog firings, cache
 //!    corruptions, and journal resumes, embedded in sweep reports.
+//! 5. **Counter registry** ([`registry::Registry`]) — zero-alloc typed
+//!    counters/gauges/histograms under `subsystem.name` namespaces,
+//!    pull-snapshotted at epoch barriers and merged partition-independently.
+//! 6. **Phase profiler** ([`profiler::PhaseProfiler`]) — wall-time
+//!    attribution across Issue/NoC/Mem regions, barrier waits, and
+//!    memo-cache / journal IO.
+//! 7. **Progress stream** ([`progress::ProgressSink`]) — JSONL lifecycle
+//!    events per sweep point (queued/started/progress/retry/quarantined/
+//!    completed, live KHz), the substrate for `dcl1d`.
 //!
 //! The disabled observer is two `None` options: every hook is an `#[inline]`
 //! early return, so a machine built without observability runs the same hot
@@ -32,7 +41,10 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profiler;
+pub mod progress;
 pub mod recovery;
+pub mod registry;
 pub mod trace;
 
 use metrics::{MetricsFormat, MetricsSample, MetricsWriter};

@@ -7,8 +7,9 @@
 //! enforces, lexically and dependency-free:
 //!
 //! * [`rules`] — `hash_order`, `wall_clock`, `truncating_cast`,
-//!   `float_accum`, each suppressible per line with
-//!   `// simcheck: allow(rule): reason`;
+//!   `float_accum`, `bare_catch_unwind`, `metric_names` (registry metric
+//!   names must be unique snake_case `subsystem.name`), each suppressible
+//!   per line with `// simcheck: allow(rule): reason`;
 //! * [`schema`] — `stats_schema`: `RunStats` fields, the runner's
 //!   `CACHE_SCHEMA_VERSION`, and the deserializer's field-count guard
 //!   must move together, pinned by the committed `simcheck.lock`.
@@ -46,6 +47,7 @@ pub struct LintReport {
 /// inputs cannot be resolved.
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
     let mut report = LintReport::default();
+    let mut metric_sites = Vec::new();
     for path in workspace::source_files(root) {
         let file = source::SourceFile::load(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
@@ -54,7 +56,9 @@ pub fn run_lint(root: &Path) -> Result<LintReport, String> {
         report.findings.append(&mut r.findings);
         report.suppressed += r.suppressed;
         report.files += 1;
+        metric_sites.extend(rules::metric_sites(&rel));
     }
+    report.findings.extend(rules::check_metric_duplicates(&metric_sites));
     let state = schema::read_state(root)?;
     let lock = std::fs::read_to_string(root.join(schema::LOCK_PATH))
         .ok()

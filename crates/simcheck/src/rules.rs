@@ -12,13 +12,14 @@ use crate::source::{Allow, SourceFile};
 use std::path::PathBuf;
 
 /// Every rule name, as used in annotations and reports.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "hash_order",
     "wall_clock",
     "truncating_cast",
     "float_accum",
     "stats_schema",
     "bare_catch_unwind",
+    "metric_names",
 ];
 
 /// Crates whose hot paths must stay free of wall-clock/environment reads.
@@ -72,6 +73,7 @@ pub fn lint_file(file: &SourceFile) -> FileReport {
     truncating_cast(file, &mut raw);
     float_accum(file, &mut raw);
     bare_catch_unwind(file, &mut raw);
+    metric_names(file, &mut raw);
 
     let mut report = FileReport::default();
     for f in raw {
@@ -386,6 +388,126 @@ fn bare_catch_unwind(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// The registration methods whose string-literal argument is a metric
+/// name: `reg.counter("…")`, `reg.gauge("…")`, `reg.histogram("…")`.
+const METRIC_METHODS: [&str; 3] = [".counter(\"", ".gauge(\"", ".histogram(\""];
+
+/// One metric-name registration site found in production code.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    /// The literal metric name as registered.
+    pub name: String,
+    /// File the registration is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Whether the site carries a reasoned `allow(metric_names)`
+    /// annotation (such sites are exempt from the uniqueness check).
+    pub allowed: bool,
+}
+
+/// Every metric name registered with a string literal in this file's
+/// production code. The scanner blanks literal contents in `Line::code`,
+/// so the call shape is confirmed there (comments are stripped from it)
+/// and the name itself is read back out of `Line::raw`.
+pub fn metric_sites(file: &SourceFile) -> Vec<MetricSite> {
+    let mut out = Vec::new();
+    for line in file.lines.iter().filter(|l| !l.in_test) {
+        for method in METRIC_METHODS {
+            if !line.code.contains(method) {
+                continue; // only a comment (or nothing) mentions it
+            }
+            let mut search = 0;
+            while let Some(rel) = line.raw[search..].find(method) {
+                let at = search + rel + method.len();
+                search = at;
+                let Some(end) = line.raw[at..].find('"') else { break };
+                let name = &line.raw[at..at + end];
+                if name.contains('\\') {
+                    continue; // escapes — not a plain metric-name literal
+                }
+                out.push(MetricSite {
+                    name: name.to_string(),
+                    path: file.path.clone(),
+                    line: line.number,
+                    allowed: allow_for(file, line.number, "metric_names")
+                        .is_some_and(|a| a.has_reason),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True for the enforced metric-name shape: `subsystem.name`, both
+/// segments snake_case (lowercase letter first, then `[a-z0-9_]`).
+fn valid_metric_name(name: &str) -> bool {
+    let mut parts = name.split('.');
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    [a, b].iter().all(|seg| {
+        seg.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && seg.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// `metric_names` (per-file half): every registry metric registered from
+/// production code must be named `subsystem.name` in snake_case —
+/// rendered snapshots are sorted byte-comparable artifacts, and the
+/// `perf_sweep --compare` gate diffs them across commits, so ad-hoc
+/// names fragment the namespace the baseline pins. The workspace-wide
+/// uniqueness half lives in [`check_metric_duplicates`].
+fn metric_names(file: &SourceFile, out: &mut Vec<Finding>) {
+    for site in metric_sites(file) {
+        if !valid_metric_name(&site.name) {
+            out.push(Finding {
+                rule: "metric_names",
+                path: site.path,
+                line: site.line,
+                message: format!(
+                    "metric name `{}` must be snake_case `subsystem.name` (exactly one dot, \
+                     lowercase-letter-led segments) so registry snapshots stay a stable, \
+                     mergeable namespace",
+                    site.name
+                ),
+            });
+        }
+    }
+}
+
+/// `metric_names` (workspace half): a metric name registered at two or
+/// more production sites is two subsystems fighting over one counter —
+/// the registry would silently hand both the same slot and the merged
+/// snapshot could not be attributed. Reasoned
+/// `allow(metric_names)`-annotated sites are exempt.
+pub fn check_metric_duplicates(sites: &[MetricSite]) -> Vec<Finding> {
+    let mut by_name: std::collections::BTreeMap<&str, Vec<&MetricSite>> =
+        std::collections::BTreeMap::new();
+    for site in sites.iter().filter(|s| !s.allowed) {
+        by_name.entry(&site.name).or_default().push(site);
+    }
+    let mut out = Vec::new();
+    for (name, sites) in by_name {
+        let [first, rest @ ..] = sites.as_slice() else { continue };
+        for dup in rest {
+            out.push(Finding {
+                rule: "metric_names",
+                path: dup.path.clone(),
+                line: dup.line,
+                message: format!(
+                    "metric `{name}` is already registered at {}:{} — every metric name must \
+                     be registered exactly once workspace-wide (or carry a reasoned \
+                     `allow(metric_names)` annotation)",
+                    first.path.display(),
+                    first.line
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Position of `word` in `code` with identifier boundaries on both sides.
 /// `::`-qualified patterns (e.g. `std::env`) match on substring with a
 /// boundary check only at the ends.
@@ -474,6 +596,71 @@ mod tests {
         let similar = "fn my_catch_unwinder() {}\n";
         let r = lint("crates/bench/src/x.rs", similar);
         assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn metric_names_fires_on_malformed_names() {
+        for bad in ["NotSnake", "gpu", "gpu.Instr", "gpu.a.b", "gpu.", "1gpu.x", "gpu.foo-bar"] {
+            let src = format!("let c = reg.counter(\"{bad}\");\n");
+            let r = lint("crates/gpu/src/metrics.rs", &src);
+            assert_eq!(r.findings.len(), 1, "`{bad}`: {:?}", r.findings);
+            assert_eq!(r.findings[0].rule, "metric_names");
+        }
+        for ok in ["gpu.instructions", "dcl1.l1_q3_stall_cycles", "memo.disk_hits"] {
+            let src = format!("let c = reg.counter(\"{ok}\");\n");
+            let r = lint("crates/gpu/src/metrics.rs", &src);
+            assert!(r.findings.is_empty(), "`{ok}`: {:?}", r.findings);
+        }
+    }
+
+    #[test]
+    fn metric_names_skips_tests_comments_and_non_literals() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { r.counter(\"BadName\"); }\n}\n";
+        assert!(lint("crates/obs/src/registry.rs", in_test).findings.is_empty());
+
+        let comment_only = "// e.g. reg.counter(\"BadName\") would be wrong\nfn f() {}\n";
+        assert!(lint("crates/gpu/src/x.rs", comment_only).findings.is_empty());
+
+        let non_literal = "let c = reg.counter(name);\n";
+        assert!(lint("crates/gpu/src/x.rs", non_literal).findings.is_empty());
+    }
+
+    #[test]
+    fn metric_sites_collects_all_three_kinds() {
+        let src = "let c = reg.counter(\"a.c\");\n\
+                   let g = reg.gauge(\"a.g\");\n\
+                   let h = reg.histogram(\"a.h\");\n";
+        let file = SourceFile::from_source("crates/gpu/src/m.rs", src);
+        let names: Vec<String> = metric_sites(&file).into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["a.c", "a.g", "a.h"]);
+    }
+
+    #[test]
+    fn duplicate_registration_across_files_is_reported_once_per_extra_site() {
+        let a = SourceFile::from_source(
+            "crates/gpu/src/metrics.rs",
+            "let c = reg.counter(\"gpu.cycles\");\n",
+        );
+        let b = SourceFile::from_source(
+            "crates/noc/src/metrics.rs",
+            "let c = reg.counter(\"gpu.cycles\");\nlet d = reg.counter(\"noc.flits\");\n",
+        );
+        let mut sites = metric_sites(&a);
+        sites.extend(metric_sites(&b));
+        let findings = check_metric_duplicates(&sites);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "metric_names");
+        assert!(findings[0].message.contains("gpu/src/metrics.rs:1"), "{}", findings[0].message);
+
+        // A reasoned annotation on the second site exempts it.
+        let annotated = SourceFile::from_source(
+            "crates/noc/src/metrics.rs",
+            "// simcheck: allow(metric_names): intentional alias during migration\n\
+             let c = reg.counter(\"gpu.cycles\");\n",
+        );
+        let mut sites = metric_sites(&a);
+        sites.extend(metric_sites(&annotated));
+        assert!(check_metric_duplicates(&sites).is_empty());
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct Line {
     /// The line with comments removed and string/char-literal contents
     /// blanked to spaces (quotes kept, so code structure survives).
     pub code: String,
+    /// The original line, verbatim — rules that inspect string-literal
+    /// *contents* (e.g. `metric_names`) read this after confirming the
+    /// call shape in `code`.
+    pub raw: String,
     /// Concatenated comment text on this line (for annotations).
     pub comment: String,
     /// Whether the line sits inside a `#[cfg(test)]`-gated block.
@@ -44,12 +48,14 @@ impl SourceFile {
     pub fn from_source(path: impl Into<PathBuf>, text: &str) -> SourceFile {
         let (scrubbed, comments) = scrub(text);
         let in_test = test_lines(&scrubbed);
+        let raw_lines: Vec<&str> = text.lines().collect();
         let lines = scrubbed
             .lines()
             .enumerate()
             .map(|(i, code)| Line {
                 number: i + 1,
                 code: code.to_string(),
+                raw: raw_lines.get(i).map(|s| (*s).to_string()).unwrap_or_default(),
                 comment: comments.get(i).cloned().unwrap_or_default(),
                 in_test: in_test.get(i).copied().unwrap_or(false),
             })

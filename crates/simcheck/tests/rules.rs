@@ -166,6 +166,54 @@ fn shard_wall_clock_exceptions_are_annotated_with_reasons() {
     assert!(fires("crates/dcl1/src/shard.rs", unsanctioned, "wall_clock"));
 }
 
+/// A seeded metric-registration fixture: deterministically generate a
+/// metrics module with well-formed registrations, then plant one
+/// malformed name and one cross-file duplicate — the per-file half must
+/// flag exactly the malformed site and the workspace half exactly the
+/// duplicated one.
+#[test]
+fn metric_names_seeded_fixture_fires_on_plants() {
+    let mut rng = dcl1_common::SplitMix64::new(0x5EED_3E7A);
+    for round in 0..8 {
+        let n = 4 + usize::try_from(rng.next_below(12)).expect("small");
+        let bad_at = usize::try_from(rng.next_below(n as u64)).expect("small");
+        let dup_at = usize::try_from(rng.next_below(n as u64)).expect("small");
+        let kinds = ["counter", "gauge", "histogram"];
+        let mut src = String::new();
+        for i in 0..n {
+            let kind = kinds[usize::try_from(rng.next_below(3)).expect("small")];
+            let name = if i == bad_at {
+                format!("fix{round}.CamelCase_{i}")
+            } else {
+                format!("fix{round}.metric_{i}")
+            };
+            src.push_str(&format!("    let m{i} = reg.{kind}(\"{name}\");\n"));
+        }
+        let per_file = findings("crates/gpu/src/planted.rs", &src);
+        assert_eq!(per_file.len(), 1, "round {round}: {per_file:?}");
+        assert_eq!(per_file[0].rule, "metric_names");
+        assert_eq!(per_file[0].line, bad_at + 1);
+
+        // The same (well-formed) name registered again from another file.
+        let other = format!("    let d = reg.counter(\"fix{round}.metric_{dup_at}\");\n");
+        let mut sites =
+            simcheck::rules::metric_sites(&SourceFile::from_source("crates/gpu/src/planted.rs", &src));
+        sites.extend(simcheck::rules::metric_sites(&SourceFile::from_source(
+            "crates/noc/src/planted.rs",
+            &other,
+        )));
+        let dups = simcheck::rules::check_metric_duplicates(&sites);
+        if dup_at == bad_at {
+            // The duplicate of the malformed name still collides lexically.
+            assert_eq!(dups.len(), 1, "round {round}: {dups:?}");
+        } else {
+            assert_eq!(dups.len(), 1, "round {round}: {dups:?}");
+            assert!(dups[0].message.contains(&format!("fix{round}.metric_{dup_at}")));
+        }
+        assert_eq!(dups[0].path.to_string_lossy().replace('\\', "/"), "crates/noc/src/planted.rs");
+    }
+}
+
 /// The acceptance criterion: the real workspace lints clean.
 #[test]
 fn workspace_is_simcheck_clean() {
