@@ -101,6 +101,16 @@ fn sweep_json(
         Some(frag) => out.push_str(frag.trim_end()),
         None => out.push_str("null"),
     }
+    out.push_str(",\n  \"simcheck\": ");
+    match simcheck_provenance() {
+        Some((rules, findings, suppressed)) => {
+            let _ = write!(
+                out,
+                "{{\"rules\": {rules}, \"findings\": {findings}, \"suppressed\": {suppressed}}}"
+            );
+        }
+        None => out.push_str("null"),
+    }
     out.push_str(",\n  \"points\": [");
     for (i, t) in timings.iter().enumerate() {
         let _ = write!(
@@ -118,6 +128,16 @@ fn sweep_json(
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// The sweep's lint pedigree: rule census size, finding count (0 on a
+/// healthy tree — the simcheck-clean gate), and suppression count, from
+/// a fresh lint of the enclosing workspace. `None` when the sweep runs
+/// outside a workspace checkout (e.g. a deployed binary).
+fn simcheck_provenance() -> Option<(usize, usize, usize)> {
+    let root = simcheck::workspace::find_root(None).ok()?;
+    let report = simcheck::run_lint(&root).ok()?;
+    Some((report.rules, report.findings.len(), report.suppressed))
 }
 
 fn main() {

@@ -1,0 +1,536 @@
+//! Pass 1 of the cross-file analysis: a lightweight item index over the
+//! scanned workspace — structs with their fields, functions with their
+//! enclosing impl type and by-name call edges.
+//!
+//! Like the scanner in [`crate::source`], this is deliberately a lexer,
+//! not a parser: items are recovered from scrubbed lines with a
+//! brace-depth scope stack, and call edges are resolved *by name only*.
+//! That over-approximates the real call graph (every `fn tick` is one
+//! node family), which is exactly the right bias for the safety rules in
+//! [`crate::crossfile`] — a rule that walks an over-approximated graph
+//! can miss nothing, and the mandatory-reason allow mechanism absorbs the
+//! rare false positive.
+
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One field of an indexed struct.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// The declared type, as source text (trailing comma stripped).
+    pub ty: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// One struct definition.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// File the struct is defined in (workspace-relative).
+    pub path: PathBuf,
+    /// Crate label (`crates/<name>/…` → `name`, root `src/` → `root`).
+    pub krate: String,
+    /// 1-based line of the `struct` header.
+    pub line: usize,
+    /// Named fields, in declaration order (empty for tuple/unit structs).
+    pub fields: Vec<FieldItem>,
+    /// Whether the definition sits inside a `#[cfg(test)]` block.
+    pub in_test: bool,
+}
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// The `impl` type the function belongs to, if any (`impl Trait for
+    /// T` resolves to `T`).
+    pub impl_type: Option<String>,
+    /// File the function is defined in (workspace-relative).
+    pub path: PathBuf,
+    /// Crate label.
+    pub krate: String,
+    /// 1-based first line of the body (the line carrying the opening
+    /// brace).
+    pub start_line: usize,
+    /// 1-based last line of the body.
+    pub end_line: usize,
+    /// Callee names referenced in the body, deduplicated, in first-use
+    /// order. Names only: `self.tick()` and `Crossbar::tick(x)` both
+    /// contribute `tick`.
+    pub calls: Vec<String>,
+    /// Whether the definition sits inside a `#[cfg(test)]` block.
+    pub in_test: bool,
+}
+
+/// The workspace item index.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// Every indexed function.
+    pub fns: Vec<FnItem>,
+    /// Every indexed struct.
+    pub structs: Vec<StructItem>,
+    by_fn_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl ItemIndex {
+    /// Builds the index over a set of scanned files.
+    pub fn build(files: &[SourceFile]) -> ItemIndex {
+        let mut idx = ItemIndex::default();
+        for file in files {
+            index_file(file, &mut idx);
+        }
+        for (i, f) in idx.fns.iter().enumerate() {
+            idx.by_fn_name.entry(f.name.clone()).or_default().push(i);
+        }
+        idx
+    }
+
+    /// Indices of every function named `name`, across all files.
+    pub fn fns_named(&self, name: &str) -> &[usize] {
+        self.by_fn_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The struct named `name`, preferring a definition in `krate` when
+    /// several crates define the name.
+    pub fn struct_named(&self, name: &str, krate: &str) -> Option<&StructItem> {
+        let mut fallback = None;
+        for s in &self.structs {
+            if s.name == name {
+                if s.krate == krate {
+                    return Some(s);
+                }
+                fallback.get_or_insert(s);
+            }
+        }
+        fallback
+    }
+}
+
+/// Crate label for a workspace-relative path.
+pub fn crate_of(path: &std::path::Path) -> String {
+    let p = path.to_string_lossy().replace('\\', "/");
+    if let Some(rest) = p.split("crates/").nth(1) {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// What kind of item an opening brace introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    /// `impl … {` — carries an index into a side table of impl types.
+    Impl,
+    /// `fn … {` — carries the index into `idx.fns`.
+    Fn,
+    /// `struct … {` — carries the index into `idx.structs`.
+    Struct,
+    /// Anything else: blocks, match arms, struct literals, enums, mods.
+    Other,
+}
+
+#[derive(Debug)]
+struct Scope {
+    kind: ScopeKind,
+    /// Index into the side table matching `kind` (unused for `Other`).
+    item: usize,
+    /// Brace depth *after* this scope opened.
+    depth: usize,
+}
+
+/// Keywords that look like calls lexically but are not.
+const CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "let", "else", "move", "in", "as",
+    "unsafe", "async", "fn",
+];
+
+fn index_file(file: &SourceFile, idx: &mut ItemIndex) {
+    let krate = crate_of(&file.path);
+    let mut depth = 0usize;
+    let mut header = String::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut impl_types: Vec<Option<String>> = Vec::new();
+
+    for line in &file.lines {
+        // Attribute lines never open item scopes and often contain
+        // brackets that confuse header classification; skip them whole.
+        let trimmed = line.code.trim_start();
+        if trimmed.starts_with("#[") || trimmed.starts_with("#!") {
+            continue;
+        }
+        // A fn whose scope closes on this line (single-line bodies, or
+        // trailing expressions on the `}` line) — its text still belongs
+        // to that fn even though the scope is popped before attribution.
+        let mut popped_fn: Option<usize> = None;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    let scope = classify_header(&header, line, file, &krate, &scopes, idx,
+                        &mut impl_types, depth);
+                    scopes.push(scope);
+                    header.clear();
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while scopes.last().is_some_and(|s| s.depth > depth) {
+                        let s = scopes.pop().expect("checked last");
+                        if s.kind == ScopeKind::Fn {
+                            idx.fns[s.item].end_line = line.number;
+                            popped_fn = Some(s.item);
+                        }
+                    }
+                    header.clear();
+                }
+                ';' => header.clear(),
+                _ => header.push(c),
+            }
+        }
+        header.push(' ');
+
+        // Attribute body lines to the innermost enclosing item.
+        match innermost_item(&scopes) {
+            Some((ScopeKind::Fn, item)) => {
+                collect_calls(&line.code, &mut idx.fns[item].calls);
+            }
+            Some((ScopeKind::Struct, item)) => {
+                if let Some(field) = parse_field(&line.code, line.number) {
+                    idx.structs[item].fields.push(field);
+                }
+            }
+            _ => {
+                if let Some(item) = popped_fn {
+                    collect_calls(&line.code, &mut idx.fns[item].calls);
+                }
+            }
+        }
+    }
+    // Unterminated scopes (truncated fixture text): close at EOF.
+    let last = file.lines.last().map_or(0, |l| l.number);
+    for s in scopes {
+        if s.kind == ScopeKind::Fn {
+            idx.fns[s.item].end_line = last;
+        }
+    }
+}
+
+/// The innermost `Fn` or `Struct` scope, if any (a `fn` nested in a `fn`
+/// attributes to the inner one; struct literals inside fns are `Other`
+/// and fall through to the fn).
+fn innermost_item(scopes: &[Scope]) -> Option<(ScopeKind, usize)> {
+    scopes
+        .iter()
+        .rev()
+        .find(|s| matches!(s.kind, ScopeKind::Fn | ScopeKind::Struct))
+        .map(|s| (s.kind, s.item))
+}
+
+#[expect(clippy::too_many_arguments)] // one-shot helper for index_file only
+fn classify_header(
+    header: &str,
+    line: &crate::source::Line,
+    file: &SourceFile,
+    krate: &str,
+    scopes: &[Scope],
+    idx: &mut ItemIndex,
+    impl_types: &mut Vec<Option<String>>,
+    depth: usize,
+) -> Scope {
+    // `fn` first: signatures like `fn f(x: impl FnMut(…))` contain both
+    // keywords, and the `fn` is the item being declared.
+    if let Some(name) = ident_after_keyword(header, "fn") {
+        let impl_type = scopes
+            .iter()
+            .rev()
+            .find(|s| s.kind == ScopeKind::Impl)
+            .and_then(|s| impl_types[s.item].clone());
+        idx.fns.push(FnItem {
+            name,
+            impl_type,
+            path: file.path.clone(),
+            krate: krate.to_string(),
+            start_line: line.number,
+            end_line: line.number,
+            calls: Vec::new(),
+            in_test: line.in_test,
+        });
+        return Scope { kind: ScopeKind::Fn, item: idx.fns.len() - 1, depth };
+    }
+    if has_keyword(header, "impl") {
+        impl_types.push(parse_impl_type(header));
+        return Scope { kind: ScopeKind::Impl, item: impl_types.len() - 1, depth };
+    }
+    if let Some(name) = ident_after_keyword(header, "struct") {
+        idx.structs.push(StructItem {
+            name,
+            path: file.path.clone(),
+            krate: krate.to_string(),
+            line: line.number,
+            fields: Vec::new(),
+            in_test: line.in_test,
+        });
+        return Scope { kind: ScopeKind::Struct, item: idx.structs.len() - 1, depth };
+    }
+    Scope { kind: ScopeKind::Other, item: 0, depth }
+}
+
+/// Whether `header` contains `word` with identifier boundaries.
+fn has_keyword(header: &str, word: &str) -> bool {
+    let mut search = 0;
+    while let Some(rel) = header[search..].find(word) {
+        let at = search + rel;
+        search = at + word.len();
+        let before_ok = at == 0
+            || !header[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !header[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// The identifier following the first boundary-matched `word` in
+/// `header`, e.g. `pub fn tick(` with `fn` → `tick`.
+fn ident_after_keyword(header: &str, word: &str) -> Option<String> {
+    let mut search = 0;
+    while let Some(rel) = header[search..].find(word) {
+        let at = search + rel;
+        search = at + word.len();
+        let before_ok = at == 0
+            || !header[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let rest = &header[at + word.len()..];
+        if !before_ok || rest.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let rest = rest.trim_start();
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            return Some(ident);
+        }
+    }
+    None
+}
+
+/// The self type of an `impl` header: the path segment after `for` when
+/// present (`impl Debug for Job` → `Job`), else after `impl` and its
+/// generics (`impl<'w> GpuSystem<'w>` → `GpuSystem`).
+fn parse_impl_type(header: &str) -> Option<String> {
+    let at = find_keyword_at(header, "impl")?;
+    let mut rest = &header[at + 4..];
+    // Skip the generic parameter list, if any.
+    let trimmed = rest.trim_start();
+    if let Some(stripped) = trimmed.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut end = 0;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &stripped[end..];
+    } else {
+        rest = trimmed;
+    }
+    // `Trait for Type` → keep the Type side.
+    if let Some(at) = find_keyword_at(rest, "for") {
+        rest = &rest[at + 3..];
+    }
+    // Last `::` segment's leading identifier.
+    let head: &str = rest.trim_start();
+    let path_end = head
+        .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(head.len());
+    let path = &head[..path_end];
+    let seg = path.rsplit("::").next().unwrap_or(path);
+    let ident: String = seg.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+fn find_keyword_at(text: &str, word: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(rel) = text[search..].find(word) {
+        let at = search + rel;
+        search = at + word.len();
+        let before_ok = at == 0
+            || !text[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !text[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// Parses one struct-body field line: `pub name: Type,`.
+fn parse_field(code: &str, line: usize) -> Option<FieldItem> {
+    let t = code.trim();
+    let t = t.strip_prefix("pub(crate) ").or_else(|| t.strip_prefix("pub ")).unwrap_or(t);
+    let (name, ty) = t.split_once(':')?;
+    let name = name.trim();
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
+        return None;
+    }
+    let ty = ty.trim().trim_end_matches(',').trim();
+    if ty.is_empty() {
+        return None;
+    }
+    Some(FieldItem { name: name.to_string(), ty: ty.to_string(), line })
+}
+
+/// Appends callee names found in one body line to `calls` (deduplicated
+/// against the existing list).
+fn collect_calls(code: &str, calls: &mut Vec<String>) {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            // A call is `ident(`; `ident!(` is a macro, `fn ident(` is a
+            // declaration fragment spilled into a body line.
+            let next = chars.get(i).copied();
+            if next == Some('(')
+                && !CALL_KEYWORDS.contains(&ident.as_str())
+                && !preceded_by_fn(&chars, start)
+                && !calls.iter().any(|c| c == &ident)
+            {
+                calls.push(ident);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether the identifier starting at `start` is directly preceded by the
+/// keyword `fn` (a declaration, not a call).
+fn preceded_by_fn(chars: &[char], start: usize) -> bool {
+    let mut i = start;
+    while i > 0 && chars[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    i >= 2 && chars[i - 2] == 'f' && chars[i - 1] == 'n' && (i == 2 || !chars[i - 3].is_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(src: &str) -> ItemIndex {
+        ItemIndex::build(&[SourceFile::from_source("crates/dcl1/src/x.rs", src)])
+    }
+
+    #[test]
+    fn fns_structs_and_impls_are_attributed() {
+        let src = "pub struct Pool {\n    pub slots: Vec<Slot>,\n    count: u64,\n}\n\
+                   impl Pool {\n    pub fn tick(&mut self) {\n        self.step();\n    }\n}\n\
+                   fn free() { helper(); }\n";
+        let idx = index(src);
+        assert_eq!(idx.structs.len(), 1);
+        let s = &idx.structs[0];
+        assert_eq!(s.name, "Pool");
+        assert_eq!(s.krate, "dcl1");
+        let fields: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, ["slots", "count"]);
+        assert_eq!(s.fields[0].ty, "Vec<Slot>");
+
+        assert_eq!(idx.fns.len(), 2);
+        let tick = &idx.fns[0];
+        assert_eq!(tick.name, "tick");
+        assert_eq!(tick.impl_type.as_deref(), Some("Pool"));
+        assert_eq!(tick.calls, ["step"]);
+        let free = &idx.fns[1];
+        assert_eq!(free.impl_type, None);
+        assert_eq!(free.calls, ["helper"]);
+    }
+
+    #[test]
+    fn impl_type_resolution() {
+        assert_eq!(parse_impl_type("impl Pool ").as_deref(), Some("Pool"));
+        assert_eq!(parse_impl_type("impl<'w> GpuSystem<'w> ").as_deref(), Some("GpuSystem"));
+        assert_eq!(parse_impl_type("impl std::fmt::Debug for Job ").as_deref(), Some("Job"));
+        assert_eq!(parse_impl_type("impl<T: Copy> Crossbar<T> ").as_deref(), Some("Crossbar"));
+        assert_eq!(parse_impl_type("impl Drop for ShardPool ").as_deref(), Some("ShardPool"));
+    }
+
+    #[test]
+    fn call_edges_skip_macros_keywords_and_declarations() {
+        let src = "fn f() {\n    if ready(x) { go(); }\n    panic!(\"no\");\n    let v = y.map(g);\n    h(1)(2);\n}\n";
+        let idx = index(src);
+        assert_eq!(idx.fns[0].calls, ["ready", "go", "map", "h"]);
+    }
+
+    #[test]
+    fn fn_body_spans_and_nested_scopes() {
+        let src = "impl A {\n    fn outer(&self) {\n        let c = Cfg { x: 1 };\n        inner();\n    }\n}\n\
+                   struct B {\n    field: u8,\n}\n";
+        let idx = index(src);
+        let outer = &idx.fns[0];
+        assert_eq!(outer.start_line, 2);
+        assert_eq!(outer.end_line, 5);
+        assert_eq!(outer.calls, ["inner"]);
+        // The struct literal's `x: 1` must not leak into struct B's fields.
+        assert_eq!(idx.structs[0].name, "B");
+        let fields: Vec<&str> = idx.structs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(fields, ["field"]);
+    }
+
+    #[test]
+    fn test_gated_items_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { helper(); }\n}\n";
+        let idx = index(src);
+        assert!(!idx.fns[0].in_test);
+        assert!(idx.fns[1].in_test, "{:?}", idx.fns[1]);
+    }
+
+    #[test]
+    fn cross_file_lookup_by_name() {
+        let a = SourceFile::from_source("crates/gpu/src/a.rs", "pub fn tick() { helper(); }\n");
+        let b = SourceFile::from_source("crates/mem/src/b.rs", "pub fn tick() {}\npub fn only() {}\n");
+        let idx = ItemIndex::build(&[a, b]);
+        assert_eq!(idx.fns_named("tick").len(), 2);
+        assert_eq!(idx.fns_named("only").len(), 1);
+        assert_eq!(idx.fns_named("absent").len(), 0);
+    }
+
+    #[test]
+    fn crate_labels() {
+        assert_eq!(crate_of(std::path::Path::new("crates/noc/src/epoch.rs")), "noc");
+        assert_eq!(crate_of(std::path::Path::new("src/lib.rs")), "root");
+    }
+}

@@ -6,21 +6,31 @@
 //! float accumulation order) is a correctness bug here. `simcheck lint`
 //! enforces, lexically and dependency-free:
 //!
-//! * [`rules`] — `hash_order`, `wall_clock`, `truncating_cast`,
-//!   `float_accum`, `bare_catch_unwind`, `metric_names` (registry metric
-//!   names must be unique snake_case `subsystem.name`), each suppressible
-//!   per line with `// simcheck: allow(rule): reason`;
+//! * [`rules`] — the per-line rules: `hash_order`, `wall_clock`,
+//!   `truncating_cast`, `float_accum`, `bare_catch_unwind`,
+//!   `metric_names` (registry metric names must be unique snake_case
+//!   `subsystem.name`), plus `allow_hygiene` for malformed annotations;
+//! * [`index`] + [`crossfile`] — the two-pass cross-file rules guarding
+//!   the epoch-barrier sharded machine: `shard_shared_state`,
+//!   `merge_commutative`, `epoch_order`, `unsorted_iteration`,
+//!   `rng_source`;
 //! * [`schema`] — `stats_schema`: `RunStats` fields, the runner's
-//!   `CACHE_SCHEMA_VERSION`, and the deserializer's field-count guard
-//!   must move together, pinned by the committed `simcheck.lock`.
+//!   `CACHE_SCHEMA_VERSION`, the deserializer's field-count guard, and
+//!   the enabled-rule census must move together, pinned by the committed
+//!   `simcheck.lock`.
 //!
-//! The runtime half of the correctness tooling — the `--check`
-//! conservation harness — lives in the simulator itself
-//! (`dcl1::check`); this crate only checks source text.
+//! Every rule is suppressible per line with
+//! `// simcheck: allow(rule): reason`. The runtime half of the
+//! correctness tooling — the `--check` conservation harness and the
+//! 1-vs-N-shard byte-identity tests — lives in the simulator itself
+//! (`dcl1::check`, `dcl1::shard`); this crate only checks source text.
 
 #![warn(missing_docs)]
 
+pub mod crossfile;
+pub mod index;
 pub mod rules;
+pub mod sarif;
 pub mod schema;
 pub mod source;
 pub mod workspace;
@@ -31,40 +41,51 @@ use std::path::Path;
 /// Aggregate result of a full lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// Findings across all files and the schema rule.
+    /// Findings across all files, the cross-file pass, and the schema rule.
     pub findings: Vec<Finding>,
     /// Findings suppressed by well-formed annotations.
     pub suppressed: usize,
     /// Files scanned.
     pub files: usize,
+    /// Rules enabled (the census size).
+    pub rules: usize,
 }
 
-/// Lints the whole workspace under `root`.
+/// Lints the whole workspace under `root`: per-file rules, the two-pass
+/// cross-file analysis, and the schema/census lock check.
 ///
 /// # Errors
 ///
 /// Returns a message when a source file cannot be read or the schema
 /// inputs cannot be resolved.
 pub fn run_lint(root: &Path) -> Result<LintReport, String> {
-    let mut report = LintReport::default();
-    let mut metric_sites = Vec::new();
+    let mut report = LintReport { rules: rules::RULES.len(), ..LintReport::default() };
+    let mut files = Vec::new();
     for path in workspace::source_files(root) {
         let file = source::SourceFile::load(&path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        let rel = rel_label(root, &file);
-        let mut r = rules::lint_file(&rel);
+        files.push(rel_label(root, &file));
+    }
+    let mut metric_sites = Vec::new();
+    for file in &files {
+        let mut r = rules::lint_file(file);
         report.findings.append(&mut r.findings);
         report.suppressed += r.suppressed;
         report.files += 1;
-        metric_sites.extend(rules::metric_sites(&rel));
+        metric_sites.extend(rules::metric_sites(file));
     }
     report.findings.extend(rules::check_metric_duplicates(&metric_sites));
+
+    let item_index = index::ItemIndex::build(&files);
+    let mut cross = crossfile::lint_crossfile(&files, &item_index);
+    report.findings.append(&mut cross.findings);
+    report.suppressed += cross.suppressed;
+
     let state = schema::read_state(root)?;
-    let lock = std::fs::read_to_string(root.join(schema::LOCK_PATH))
-        .ok()
-        .as_deref()
-        .and_then(schema::parse_lock);
+    let lock_text = std::fs::read_to_string(root.join(schema::LOCK_PATH)).ok();
+    let lock = lock_text.as_deref().and_then(schema::parse_lock);
     report.findings.extend(schema::check_schema(&state, lock.as_ref()));
+    report.findings.extend(schema::check_rule_census(lock_text.as_deref()));
     Ok(report)
 }
 

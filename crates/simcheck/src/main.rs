@@ -1,12 +1,13 @@
 //! Thin CLI over the `simcheck` library.
 //!
 //! ```text
-//! cargo run -p simcheck -- lint [--root=PATH] [--report=PATH]
+//! cargo run -p simcheck -- lint [--root=PATH] [--report=PATH] [--sarif=PATH]
 //! cargo run -p simcheck -- schema [--root=PATH] [--update]
 //! ```
 //!
 //! `lint` exits non-zero when any unannotated finding remains; `schema
-//! --update` rewrites `simcheck.lock` after a reviewed stats change.
+//! --update` rewrites `simcheck.lock` (fingerprint + rule census) after a
+//! reviewed stats or rule change.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -16,6 +17,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut update = false;
     args.retain(|arg| {
         let (flag, value) = match arg.split_once('=') {
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
         match flag {
             "--root" => root = Some(PathBuf::from(value.unwrap_or("."))),
             "--report" => report_path = Some(PathBuf::from(value.unwrap_or("simcheck-report.txt"))),
+            "--sarif" => sarif_path = Some(PathBuf::from(value.unwrap_or("simcheck.sarif"))),
             "--update" => update = true,
             _ => return true,
         }
@@ -39,7 +42,7 @@ fn main() -> ExitCode {
         }
     };
     match command {
-        "lint" => lint(&root, report_path.as_deref()),
+        "lint" => lint(&root, report_path.as_deref(), sarif_path.as_deref()),
         "schema" => schema(&root, update),
         other => {
             eprintln!("simcheck: unknown command {other:?} (expected `lint` or `schema`)");
@@ -48,7 +51,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn lint(root: &std::path::Path, report_path: Option<&std::path::Path>) -> ExitCode {
+fn lint(
+    root: &std::path::Path,
+    report_path: Option<&std::path::Path>,
+    sarif_path: Option<&std::path::Path>,
+) -> ExitCode {
     let report = match simcheck::run_lint(root) {
         Ok(r) => r,
         Err(e) => {
@@ -62,15 +69,23 @@ fn lint(root: &std::path::Path, report_path: Option<&std::path::Path>) -> ExitCo
     }
     let _ = writeln!(
         text,
-        "simcheck: {} finding(s) across {} files ({} suppressed by annotations)",
+        "simcheck: {} finding(s) across {} files, {} rules ({} suppressed by annotations)",
         report.findings.len(),
         report.files,
+        report.rules,
         report.suppressed
     );
     print!("{text}");
     if let Some(path) = report_path {
         if let Err(e) = std::fs::write(path, &text) {
             eprintln!("simcheck: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = sarif_path {
+        let sarif = simcheck::sarif::render(&report.findings);
+        if let Err(e) = std::fs::write(path, sarif) {
+            eprintln!("simcheck: cannot write SARIF log {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
@@ -97,23 +112,26 @@ fn schema(root: &std::path::Path, update: bool) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "simcheck: lock updated ({} fields, cache v{})",
-            state.field_count, state.cache_version
+            "simcheck: lock updated ({} fields, cache v{}, {} rules)",
+            state.field_count,
+            state.cache_version,
+            simcheck::rules::RULES.len()
         );
         return ExitCode::SUCCESS;
     }
-    let lock = std::fs::read_to_string(&lock_path)
-        .ok()
-        .as_deref()
-        .and_then(simcheck::schema::parse_lock);
-    let findings = simcheck::schema::check_schema(&state, lock.as_ref());
+    let lock_text = std::fs::read_to_string(&lock_path).ok();
+    let lock = lock_text.as_deref().and_then(simcheck::schema::parse_lock);
+    let mut findings = simcheck::schema::check_schema(&state, lock.as_ref());
+    findings.extend(simcheck::schema::check_rule_census(lock_text.as_deref()));
     for f in &findings {
         println!("{f}");
     }
     if findings.is_empty() {
         println!(
-            "simcheck: stats schema locked ({} fields, cache v{})",
-            state.field_count, state.cache_version
+            "simcheck: stats schema locked ({} fields, cache v{}, {} rules)",
+            state.field_count,
+            state.cache_version,
+            simcheck::rules::RULES.len()
         );
         ExitCode::SUCCESS
     } else {

@@ -11,8 +11,10 @@
 use crate::source::{Allow, SourceFile};
 use std::path::PathBuf;
 
-/// Every rule name, as used in annotations and reports.
-pub const RULES: [&str; 7] = [
+/// Every rule name, as used in annotations, reports, and the lock file's
+/// rule census. The first seven are per-line lexical rules; the last five
+/// are the cross-file shard-safety rules (see [`crate::crossfile`]).
+pub const RULES: [&str; 12] = [
     "hash_order",
     "wall_clock",
     "truncating_cast",
@@ -20,7 +22,17 @@ pub const RULES: [&str; 7] = [
     "stats_schema",
     "bare_catch_unwind",
     "metric_names",
+    "shard_shared_state",
+    "merge_commutative",
+    "epoch_order",
+    "unsorted_iteration",
+    "rng_source",
 ];
+
+/// The meta-rule for malformed/unknown `simcheck: allow(...)` annotations.
+/// Not part of [`RULES`] (there is nothing to allow-list it *against* in
+/// the census), but a first-class name in reports and annotations.
+pub const ALLOW_HYGIENE: &str = "allow_hygiene";
 
 /// Crates whose hot paths must stay free of wall-clock/environment reads.
 const HOT_CRATES: [&str; 5] = ["gpu", "dcl1", "noc", "mem", "cache"];
@@ -75,6 +87,8 @@ pub fn lint_file(file: &SourceFile) -> FileReport {
     bare_catch_unwind(file, &mut raw);
     metric_names(file, &mut raw);
 
+    annotation_hygiene(file, &mut raw);
+
     let mut report = FileReport::default();
     for f in raw {
         match allow_for(file, f.line, f.rule) {
@@ -92,13 +106,12 @@ pub fn lint_file(file: &SourceFile) -> FileReport {
             None => report.findings.push(f),
         }
     }
-    annotation_hygiene(file, &mut report.findings);
     report
 }
 
 /// The annotation covering (`line`, `rule`), if any: same line or the
 /// line directly above.
-fn allow_for(file: &SourceFile, line: usize, rule: &str) -> Option<Allow> {
+pub(crate) fn allow_for(file: &SourceFile, line: usize, rule: &str) -> Option<Allow> {
     for probe in [line, line.saturating_sub(1)] {
         if probe == 0 {
             continue;
@@ -110,14 +123,16 @@ fn allow_for(file: &SourceFile, line: usize, rule: &str) -> Option<Allow> {
     None
 }
 
-/// Reports annotations naming rules that do not exist (typos silently
-/// suppress nothing — surface them).
+/// `allow_hygiene`: annotations naming rules that do not exist (typos
+/// silently suppress nothing — surface them). Runs before annotation
+/// filtering, so a deliberate forward-reference can itself carry a
+/// reasoned `allow(allow_hygiene)`.
 fn annotation_hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
     for line in &file.lines {
         for a in crate::source::parse_allows(&line.comment) {
-            if !RULES.contains(&a.rule.as_str()) {
+            if !RULES.contains(&a.rule.as_str()) && a.rule != ALLOW_HYGIENE {
                 out.push(Finding {
-                    rule: "hash_order", // rule slot unused for hygiene; keep a stable name
+                    rule: ALLOW_HYGIENE,
                     path: file.path.clone(),
                     line: line.number,
                     message: format!("annotation names unknown rule `{}`", a.rule),
@@ -320,7 +335,7 @@ fn float_accum(file: &SourceFile, out: &mut Vec<Finding>) {
 /// anywhere in the file (fields, lets, params — scope-insensitive on
 /// purpose: a false candidate only matters if it is also accumulated
 /// into, which is exactly what the rule questions).
-fn declared_floats(file: &SourceFile) -> Vec<String> {
+pub(crate) fn declared_floats(file: &SourceFile) -> Vec<String> {
     let mut names = Vec::new();
     for line in file.lines.iter().filter(|l| !l.in_test) {
         let code = &line.code;
@@ -511,7 +526,7 @@ pub fn check_metric_duplicates(sites: &[MetricSite]) -> Vec<Finding> {
 /// Position of `word` in `code` with identifier boundaries on both sides.
 /// `::`-qualified patterns (e.g. `std::env`) match on substring with a
 /// boundary check only at the ends.
-fn find_word(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_word(code: &str, word: &str) -> Option<usize> {
     let mut search = 0;
     while let Some(rel) = code[search..].find(word) {
         let at = search + rel;

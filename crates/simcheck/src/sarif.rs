@@ -1,0 +1,100 @@
+//! Minimal SARIF 2.1.0 rendering of a lint run — enough for GitHub code
+//! scanning to annotate PRs: tool + rule ids, and one result per finding
+//! with file, line, and message. Hand-rolled JSON, same zero-dependency
+//! rule as the rest of the crate.
+
+use crate::rules::Finding;
+
+/// Renders `findings` as a single-run SARIF 2.1.0 log.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"simcheck\",\n");
+    out.push_str("          \"informationUri\": \"README.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    let all_rules: Vec<&str> = crate::rules::RULES
+        .iter()
+        .copied()
+        .chain(std::iter::once(crate::rules::ALLOW_HYGIENE))
+        .collect();
+    for (i, rule) in all_rules.iter().enumerate() {
+        out.push_str("            {\"id\": ");
+        push_json_string(&mut out, rule);
+        out.push('}');
+        out.push_str(if i + 1 < all_rules.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("        {\n          \"ruleId\": ");
+        push_json_string(&mut out, f.rule);
+        out.push_str(",\n          \"level\": \"error\",\n          \"message\": {\"text\": ");
+        push_json_string(&mut out, &f.message);
+        out.push_str("},\n          \"locations\": [\n            {\"physicalLocation\": {");
+        out.push_str("\"artifactLocation\": {\"uri\": ");
+        push_json_string(&mut out, &f.path.to_string_lossy().replace('\\', "/"));
+        out.push_str("}, \"region\": {\"startLine\": ");
+        out.push_str(&f.line.max(1).to_string());
+        out.push_str("}}}\n          ]\n        }");
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn empty_run_is_well_formed() {
+        let s = render(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"simcheck\""));
+        assert!(s.contains("\"results\": [\n      ]"), "{s}");
+        // Every enabled rule (and the hygiene meta-rule) is declared.
+        for rule in crate::rules::RULES {
+            assert!(s.contains(&format!("{{\"id\": \"{rule}\"}}")), "{rule} missing");
+        }
+        assert!(s.contains("allow_hygiene"));
+    }
+
+    #[test]
+    fn findings_render_with_location_and_escaping() {
+        let f = Finding {
+            rule: "hash_order",
+            path: PathBuf::from("crates/gpu/src/x.rs"),
+            line: 7,
+            message: "uses `HashMap` with \"random\" state\nbadly".to_string(),
+        };
+        let s = render(&[f]);
+        assert!(s.contains("\"ruleId\": \"hash_order\""));
+        assert!(s.contains("\"uri\": \"crates/gpu/src/x.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\\\"random\\\" state\\nbadly"));
+    }
+}

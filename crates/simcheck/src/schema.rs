@@ -148,17 +148,73 @@ pub fn parse_lock(text: &str) -> Option<Lock> {
     })
 }
 
-/// Renders the lock for the given state.
+/// Renders the lock for the given state, including the rule census: the
+/// enabled rule set is part of the reviewed surface, so a rule silently
+/// dropped (or added without review) shows up as a lock diff.
 pub fn render_lock(state: &SchemaState) -> String {
     format!(
         "# simcheck stats-schema lock — do not edit by hand.\n\
-         # Regenerate after a reviewed RunStats/cache change with:\n\
+         # Regenerate after a reviewed RunStats/cache/rule change with:\n\
          #   cargo run -p simcheck -- schema --update\n\
          run_stats_fingerprint = {:#018x}\n\
          run_stats_fields = {}\n\
-         cache_schema_version = {}\n",
-        state.fingerprint, state.field_count, state.cache_version
+         cache_schema_version = {}\n\
+         rule_census = {}\n\
+         rules = {}\n",
+        state.fingerprint,
+        state.field_count,
+        state.cache_version,
+        crate::rules::RULES.len(),
+        crate::rules::RULES.join(",")
     )
+}
+
+/// Parses the `rules = a,b,c` census line from lock text.
+pub fn parse_rule_census(text: &str) -> Option<Vec<String>> {
+    for line in text.lines() {
+        if let Some(v) = line.trim().strip_prefix("rules = ") {
+            return Some(v.split(',').map(|r| r.trim().to_string()).collect());
+        }
+    }
+    None
+}
+
+/// Compares the compiled-in rule set against the lock's census. A lock
+/// predating the census (or missing entirely) asks for a regeneration;
+/// a mismatching census names the drift. Reported under `stats_schema`
+/// — the census lives in the same reviewed lock file.
+pub fn check_rule_census(lock_text: Option<&str>) -> Vec<Finding> {
+    let finding = |message: String| Finding {
+        rule: "stats_schema",
+        path: PathBuf::from(LOCK_PATH),
+        line: 1,
+        message,
+    };
+    let Some(census) = lock_text.and_then(parse_rule_census) else {
+        return vec![finding(
+            "simcheck.lock carries no rule census; run `cargo run -p simcheck -- schema \
+             --update` to pin the reviewed rule set"
+                .into(),
+        )];
+    };
+    let mut out = Vec::new();
+    for rule in crate::rules::RULES {
+        if !census.iter().any(|c| c == rule) {
+            out.push(finding(format!(
+                "rule `{rule}` is compiled in but absent from the lock's census; review the \
+                 rule, then run `cargo run -p simcheck -- schema --update`"
+            )));
+        }
+    }
+    for rule in &census {
+        if !crate::rules::RULES.contains(&rule.as_str()) {
+            out.push(finding(format!(
+                "lock census names rule `{rule}` which no longer exists; a rule was dropped \
+                 without review — restore it or run `cargo run -p simcheck -- schema --update`"
+            )));
+        }
+    }
+    out
 }
 
 /// The rule proper: compares the working tree against the lock.
