@@ -237,6 +237,51 @@ fn probe_registry(report: &mut Report) {
     expect_zero("registry", "counter registry (add/set/observe/render)", allocs, bytes, report);
 }
 
+fn probe_store_mem_hit(report: &mut Report) {
+    use dcl1_store::{Codec, ResultStore, StoreConfig};
+    struct NumCodec;
+    impl Codec<u64> for NumCodec {
+        fn encode(&self, v: &u64) -> String {
+            v.to_string()
+        }
+        fn decode(&self, body: &str) -> Option<u64> {
+            body.parse().ok()
+        }
+    }
+    // Memory-only store: the probe drives the production lookup path that
+    // serves every warm-sweep point — shard lock, FlatMap probe, full-key
+    // verify, LRU relink, Arc clone. The tiered-store contract is that
+    // this path is allocation-free in steady state.
+    let store: ResultStore<u64> = ResultStore::open(
+        &StoreConfig {
+            mem_budget_bytes: 1 << 20,
+            mem_shards: 8,
+            disk: None,
+            shared: None,
+            shared_writeback: false,
+        },
+        NumCodec,
+    );
+    const KEYS: u64 = 512;
+    for k in 0..KEYS {
+        // Spread the leading byte so every shard participates.
+        let key = (u128::from(k) << 120) | u128::from(k);
+        store.insert_mem_only(key, &k);
+    }
+    let mut corruptions = Vec::new();
+    let drive = |store: &ResultStore<u64>, corr: &mut Vec<dcl1_store::Corruption>, iters: u64| {
+        for i in 0..iters {
+            let k = i % KEYS;
+            let key = (u128::from(k) << 120) | u128::from(k);
+            let l = store.lookup(key, corr);
+            assert!(l.hit.is_some(), "probe key must stay resident");
+        }
+    };
+    drive(&store, &mut corruptions, 10_000);
+    let (allocs, bytes, ()) = count(|| drive(&store, &mut corruptions, STEADY_OPS));
+    expect_zero("store_mem_hit", "result store (mem-tier lookup hit)", allocs, bytes, report);
+}
+
 fn probe_system(report: &mut Report) {
     // Generous tripwire, not a zero-alloc claim: trace generation
     // legitimately allocates (one access `Vec` per memory instruction,
@@ -315,6 +360,7 @@ fn main() {
     probe_flatmap(&mut report);
     probe_epoch_exchange(&mut report);
     probe_registry(&mut report);
+    probe_store_mem_hit(&mut report);
     probe_system(&mut report);
     probe_sharded_system(&mut report);
     if let Some(path) = json_path {

@@ -76,7 +76,7 @@ fn sweep_json(
         sh.barrier_wait_nanos as f64 / 1e9,
         chaos_seed.map_or("null".to_string(), |s| s.to_string()),
         m.simulated,
-        m.memory_hits + m.disk_hits,
+        m.total_hits(),
         recovery.json_fields(),
     );
     for (i, q) in outcome.quarantined.iter().enumerate() {

@@ -203,6 +203,48 @@ fn compare_allocs(cur: &Json, base: &Json, threshold: f64, report: &mut CompareR
     }
 }
 
+/// The memo-tier registry counters every sweep report must carry; the
+/// gate fails when one disappears (a silent telemetry regression).
+const MEMO_FIELDS: [&str; 5] =
+    ["memo.mem_hits", "memo.disk_hits", "memo.shared_hits", "memo.misses", "memo.simulated"];
+
+fn compare_memo(cur: &Json, report: &mut CompareReport) {
+    let Some(reg) = cur.get("registry") else {
+        report.notes.push("registry missing in current report — memo schema skipped".to_string());
+        return;
+    };
+    let mut vals = [0.0; MEMO_FIELDS.len()];
+    for (i, field) in MEMO_FIELDS.iter().enumerate() {
+        match reg.get(field).and_then(Json::as_f64) {
+            Some(v) => vals[i] = v,
+            None => {
+                report
+                    .failures
+                    .push(format!("registry lost `{field}` — memo telemetry regressed"));
+                return;
+            }
+        }
+    }
+    // Every sweep point must be accounted for: served by a tier, actually
+    // simulated, or quarantined by the supervisor. An undercount means a
+    // tier stopped reporting. (`totals.points` is the planned grid size;
+    // the `points` array lists only the simulated ones.)
+    let points = num_field(cur, &["totals", "points"]).unwrap_or(0.0);
+    let quarantined = reg.get("memo.quarantined_points").and_then(Json::as_f64).unwrap_or(0.0);
+    let served = vals[0] + vals[1] + vals[2] + vals[4] + quarantined;
+    if points > 0.0 && served < points {
+        report.failures.push(format!(
+            "memo accounting undercounts: {served} hits+simulated+quarantined \
+             for {points} point(s)"
+        ));
+    } else {
+        report.notes.push(format!(
+            "memo telemetry intact ({} field(s); {served} served for {points} point(s))",
+            MEMO_FIELDS.len()
+        ));
+    }
+}
+
 /// Diffs two `BENCH_sweep.json` documents (current vs committed baseline).
 ///
 /// # Errors
@@ -220,6 +262,7 @@ pub fn compare_reports(
     compare_throughput(&cur, &base, threshold, &mut report);
     compare_phases(&cur, &base, &mut report);
     compare_allocs(&cur, &base, threshold, &mut report);
+    compare_memo(&cur, &mut report);
     Ok(report)
 }
 
@@ -299,6 +342,45 @@ mod tests {
         let r = compare_reports(&cur, &base, 0.5).unwrap();
         assert!(r.failures.iter().any(|f| f.contains("probe `mshr` now allocates")), "{r}");
         assert!(r.failures.iter().any(|f| f.contains("allocs/step grew")), "{r}");
+    }
+
+    #[test]
+    fn missing_memo_field_fails_the_schema_leg() {
+        let base = doc("d", 500.0, 60.0, 40.0);
+        let mut cur = base.clone();
+        // Registry present but memo.shared_hits dropped.
+        cur.insert_str(
+            cur.len() - 1,
+            ", \"registry\": {\"memo.mem_hits\": 1, \"memo.disk_hits\": 2, \
+             \"memo.misses\": 0, \"memo.simulated\": 3}, \"points\": []",
+        );
+        let r = compare_reports(&cur, &base, 0.5).unwrap();
+        assert!(
+            r.failures.iter().any(|f| f.contains("registry lost `memo.shared_hits`")),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn memo_undercount_fails_and_full_accounting_passes() {
+        let base = doc("d", 500.0, 60.0, 40.0);
+        let with_reg = |mem: u64, sim: u64| {
+            let mut s = base.clone().replace("\"totals\": {", "\"totals\": {\"points\": 2, ");
+            s.insert_str(
+                s.len() - 1,
+                &format!(
+                    ", \"registry\": {{\"memo.mem_hits\": {mem}, \"memo.disk_hits\": 0, \
+                     \"memo.shared_hits\": 0, \"memo.misses\": {sim}, \
+                     \"memo.simulated\": {sim}}}"
+                ),
+            );
+            s
+        };
+        let r = compare_reports(&with_reg(0, 1), &base, 0.5).unwrap();
+        assert!(r.failures.iter().any(|f| f.contains("memo accounting undercounts")), "{r}");
+        let r = compare_reports(&with_reg(1, 1), &base, 0.5).unwrap();
+        assert!(r.passed(), "{r}");
+        assert!(r.notes.iter().any(|n| n.contains("memo telemetry intact")));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! binary: a killed sweep resumes from its checkpoint journal to
 //! byte-identical statistics, a chaos-riddled sweep converges to the
 //! fault-free bytes, and with chaos off the whole layer is a no-op
-//! (clean recovery counters, unchanged v2 cache schema).
+//! (clean recovery counters, unchanged on-disk cache schema).
 //!
 //! Each test spawns the binary with its own `DCL1_CACHE_DIR` and scratch
 //! directory, so nothing here races the in-process runner tests or a
@@ -186,6 +186,70 @@ fn chaos_sweep_converges_to_fault_free_bytes() {
 }
 
 #[test]
+fn flat_cache_entries_migrate_into_fanout_on_reopen() {
+    let dir = scratch("migrate");
+    let args = |json: &Path| {
+        vec![
+            "--only=C-BLK".to_string(),
+            "--design=pr4".to_string(),
+            format!("--json={}", json.display()),
+        ]
+    };
+    let (ok, _, err) = run(sweep_cmd(&dir, &args(&dir.join("cold.json"))));
+    assert!(ok, "cold sweep failed:\n{err}");
+
+    // Rewind the layout to the legacy flat v3 scheme: hoist the entry out
+    // of its fan-out bucket and plant stale schema dirs beside v3.
+    let v3 = dir.join("cache").join("v3");
+    let mut hoisted = 0;
+    for bucket in std::fs::read_dir(&v3).expect("v3 exists").map(|e| e.expect("dir entry").path())
+    {
+        if bucket.is_dir() && bucket.file_name().is_some_and(|n| n.len() == 2) {
+            for entry in
+                std::fs::read_dir(&bucket).expect("bucket").map(|e| e.expect("bucket entry").path())
+            {
+                std::fs::rename(&entry, v3.join(entry.file_name().expect("entry name")))
+                    .expect("hoist entry to flat layout");
+                hoisted += 1;
+            }
+            std::fs::remove_dir(&bucket).expect("remove emptied bucket");
+        }
+    }
+    assert_eq!(hoisted, 1, "the one-point sweep must have cached exactly one entry");
+    for stale in ["v1", "v2"] {
+        let d = dir.join("cache").join(stale);
+        std::fs::create_dir_all(&d).expect("stale schema dir");
+        std::fs::write(d.join("junk.stats"), "junk").expect("stale entry");
+    }
+
+    // Reopening migrates (renames) the flat entry into its bucket, purges
+    // the stale schema dirs, and serves the point from disk — zero
+    // resimulation. (`--keep-cache` skips the sweep's default cache clear.)
+    let json = dir.join("warm.json");
+    let mut warm_args = args(&json);
+    warm_args.push("--keep-cache".to_string());
+    let (ok, _, err) = run(sweep_cmd(&dir, &warm_args));
+    assert!(ok, "warm sweep failed:\n{err}");
+    let report = read(&json);
+    for needle in
+        ["\"memo.migrated_entries\": 1", "\"memo.disk_hits\": 1", "\"memo.simulated\": 0"]
+    {
+        assert!(report.contains(needle), "{needle} missing from warm report:\n{report}");
+    }
+    let flat_leftovers = std::fs::read_dir(&v3)
+        .expect("v3 exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.is_file())
+        .count();
+    assert_eq!(flat_leftovers, 0, "flat entries must be renamed away, not copied");
+    assert!(
+        !dir.join("cache").join("v1").exists() && !dir.join("cache").join("v2").exists(),
+        "stale schema dirs must be purged on open"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn chaos_off_supervision_is_a_no_op() {
     let dir = scratch("noop");
     let json = dir.join("sweep.json");
@@ -209,15 +273,26 @@ fn chaos_off_supervision_is_a_no_op() {
     }
     assert!(report.contains("\"quarantined\": [\n  ]"), "quarantine list not empty");
 
-    // Entries live under the current schema-version directory, and the
-    // (optional) integrity header is the only addition.
-    let v2 = dir.join("cache").join("v3");
-    let entries: Vec<PathBuf> = std::fs::read_dir(&v2)
+    // Entries live under the current schema-version directory, fanned out
+    // into two-hex-digit buckets, and the integrity header is the only
+    // addition to the body.
+    let v3 = dir.join("cache").join("v3");
+    let entries: Vec<PathBuf> = std::fs::read_dir(&v3)
         .expect("v3 cache dir exists")
-        .map(|e| e.expect("dir entry").path())
+        .flat_map(|e| {
+            let p = e.expect("dir entry").path();
+            if p.is_dir() {
+                std::fs::read_dir(&p)
+                    .expect("bucket dir")
+                    .map(|e| e.expect("bucket entry").path())
+                    .collect::<Vec<_>>()
+            } else {
+                vec![p]
+            }
+        })
         .filter(|p| p.extension().is_some_and(|x| x == "stats"))
         .collect();
-    assert_eq!(entries.len(), 1, "expected exactly one cached point in {}", v2.display());
+    assert_eq!(entries.len(), 1, "expected exactly one cached point in {}", v3.display());
     let entry = read(&entries[0]);
     let first = entry.lines().next().unwrap_or_default();
     assert!(

@@ -25,14 +25,18 @@ pub enum Phase {
     Exchange,
     /// Time shard workers spent blocked on the epoch barrier.
     BarrierWait,
-    /// Memo-cache disk IO (load, store, checksum verification).
+    /// Memo-cache local-disk IO (load, store, checksum verification).
     CacheIo,
+    /// Memo-cache shared-tier IO (read-through probes and write-back) —
+    /// split from [`Phase::CacheIo`] because a shared tier usually sits
+    /// on a network mount whose latency must be attributable on its own.
+    SharedIo,
     /// Checkpoint-journal appends.
     JournalWrite,
 }
 
 /// Number of [`Phase`] variants (array dimension for the accumulator).
-pub const PHASE_COUNT: usize = 7;
+pub const PHASE_COUNT: usize = 8;
 
 impl Phase {
     /// Every phase, in rendering order.
@@ -43,6 +47,7 @@ impl Phase {
         Phase::Exchange,
         Phase::BarrierWait,
         Phase::CacheIo,
+        Phase::SharedIo,
         Phase::JournalWrite,
     ];
 
@@ -56,6 +61,7 @@ impl Phase {
             Phase::Exchange => "exchange",
             Phase::BarrierWait => "barrier_wait",
             Phase::CacheIo => "cache_io",
+            Phase::SharedIo => "shared_io",
             Phase::JournalWrite => "journal_write",
         }
     }
@@ -69,7 +75,8 @@ impl Phase {
             Phase::Exchange => 3,
             Phase::BarrierWait => 4,
             Phase::CacheIo => 5,
-            Phase::JournalWrite => 6,
+            Phase::SharedIo => 6,
+            Phase::JournalWrite => 7,
         }
     }
 }
