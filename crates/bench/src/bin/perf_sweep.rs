@@ -39,12 +39,11 @@
 //!                           # committed baseline report; exit 1 on any
 //!                           # digest/throughput/phase/alloc regression
 
-use dcl1::{Design, GpuConfig, SimOptions};
+use dcl1::{GpuConfig, SimOptions};
 use dcl1_bench::compare::{compare_reports, DEFAULT_THROUGHPUT_THRESHOLD};
-use dcl1_bench::runner::{self, RunRequest, SweepOutcome};
-use dcl1_bench::{ObsCli, ResCli, Scale, Table};
+use dcl1_bench::runner::{self, SweepOutcome};
+use dcl1_bench::{grid, ObsCli, ResCli, Scale, Table};
 use dcl1_obs::json::escape;
-use dcl1_workloads::all_apps;
 use std::fmt::Write as _;
 
 /// Renders the sweep report as a JSON document.
@@ -172,7 +171,8 @@ fn main() {
                 std::process::exit(2);
             })
         });
-    let only: Vec<&str> = args.iter().filter_map(|a| a.strip_prefix("--only=")).collect();
+    let only: Vec<String> =
+        args.iter().filter_map(|a| a.strip_prefix("--only=")).map(String::from).collect();
     if let Some(w) = args.iter().find_map(|a| a.strip_prefix("--workers=")) {
         match w.parse::<usize>() {
             Ok(n) if n > 0 => {
@@ -199,39 +199,14 @@ fn main() {
     eprintln!("[perf_sweep] {}", res.banner());
     obs.install_progress();
     let cfg = GpuConfig::default();
-    let designs: Vec<Design> = {
-        let named: Vec<Design> = args
-            .iter()
-            .filter_map(|a| a.strip_prefix("--design="))
-            .map(|name| {
-                name.parse().unwrap_or_else(|e| {
-                    eprintln!("perf_sweep: bad --design={name}: {e}");
-                    std::process::exit(2);
-                })
-            })
-            .collect();
-        if named.is_empty() {
-            vec![
-                Design::Baseline,
-                Design::Private { nodes: 40 },
-                Design::Shared { nodes: 40 },
-                Design::flagship(&cfg),
-            ]
-        } else {
-            named
-        }
-    };
+    let design_names: Vec<String> =
+        args.iter().filter_map(|a| a.strip_prefix("--design=")).map(String::from).collect();
+    let designs = grid::parse_designs(&design_names, &cfg).unwrap_or_else(|e| {
+        eprintln!("perf_sweep: {e}");
+        std::process::exit(2);
+    });
     let opts = SimOptions { fast_forward, ..SimOptions::default() };
-    let mut reqs: Vec<RunRequest> = Vec::new();
-    for app in all_apps() {
-        for &design in &designs {
-            let req = RunRequest { app, design, cfg: cfg.clone(), opts };
-            let name = format!("{}/{}", req.app.name, req.design.name());
-            if only.is_empty() || only.iter().any(|o| name.contains(o)) {
-                reqs.push(req);
-            }
-        }
-    }
+    let reqs = grid::build_grid(&designs, &only, &cfg, opts);
 
     let t0 = std::time::Instant::now();
     let outcome = runner::run_apps_supervised(&reqs, scale, runner::effective_workers());

@@ -1,0 +1,89 @@
+//! Shared sweep-grid construction.
+//!
+//! The `perf_sweep` CLI and the `dcl1d` daemon must agree byte-for-byte
+//! on what "the smoke grid filtered by `--only`" means — the daemon's
+//! isolation proof compares a tenant's digest against the CLI's
+//! fault-free reference, so both sides build their point sets here.
+
+use crate::runner::RunRequest;
+use dcl1::{Design, GpuConfig, SimOptions};
+use dcl1_workloads::all_apps;
+
+/// The default four-design sweep: the paper's baseline, the private and
+/// shared decoupled geometries at 40 nodes, and the flagship design.
+#[must_use]
+pub fn default_designs(cfg: &GpuConfig) -> Vec<Design> {
+    vec![
+        Design::Baseline,
+        Design::Private { nodes: 40 },
+        Design::Shared { nodes: 40 },
+        Design::flagship(cfg),
+    ]
+}
+
+/// Parses design names (per `Design::from_str`, e.g. `pr4`, `sh16`,
+/// `sh16+c8+boost`); an empty list yields [`default_designs`].
+pub fn parse_designs(names: &[String], cfg: &GpuConfig) -> Result<Vec<Design>, String> {
+    if names.is_empty() {
+        return Ok(default_designs(cfg));
+    }
+    names
+        .iter()
+        .map(|name| name.parse().map_err(|e| format!("bad design {name:?}: {e}")))
+        .collect()
+}
+
+/// Builds the all-apps × `designs` grid, keeping only points whose
+/// `"APP/DESIGN"` label contains at least one `only` substring (an empty
+/// `only` keeps everything). Point order is the canonical sweep order:
+/// apps outermost, designs innermost.
+#[must_use]
+pub fn build_grid(
+    designs: &[Design],
+    only: &[String],
+    cfg: &GpuConfig,
+    opts: SimOptions,
+) -> Vec<RunRequest> {
+    let mut reqs = Vec::new();
+    for app in all_apps() {
+        for &design in designs {
+            let req = RunRequest { app, design, cfg: cfg.clone(), opts };
+            let name = format!("{}/{}", req.app.name, req.design.name());
+            if only.is_empty() || only.iter().any(|o| name.contains(o.as_str())) {
+                reqs.push(req);
+            }
+        }
+    }
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_is_the_112_point_smoke_grid() {
+        let cfg = GpuConfig::default();
+        let reqs =
+            build_grid(&default_designs(&cfg), &[], &cfg, SimOptions::default());
+        assert_eq!(reqs.len(), all_apps().len() * 4);
+    }
+
+    #[test]
+    fn only_filters_by_label_substring() {
+        let cfg = GpuConfig::default();
+        let only = vec!["C-BLK".to_string()];
+        let reqs =
+            build_grid(&default_designs(&cfg), &only, &cfg, SimOptions::default());
+        assert_eq!(reqs.len(), 4);
+        assert!(reqs.iter().all(|r| r.app.name == "C-BLK"));
+    }
+
+    #[test]
+    fn empty_design_list_falls_back_to_defaults() {
+        let cfg = GpuConfig::default();
+        let parsed = parse_designs(&[], &cfg).expect("defaults parse");
+        assert_eq!(parsed.len(), 4);
+        assert!(parse_designs(&["no-such-design".to_string()], &cfg).is_err());
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod grid;
 pub mod obscli;
 pub mod rescli;
 pub mod runner;

@@ -756,11 +756,52 @@ fn chaos_slot() -> &'static Mutex<Option<Chaos>> {
     CHAOS.get_or_init(|| Mutex::new(None))
 }
 
+thread_local! {
+    /// Per-thread chaos override — `dcl1d` scopes fault injection to one
+    /// tenant by arming it only on the worker thread running that
+    /// tenant's job, leaving every other tenant's runs fault-free.
+    static THREAD_CHAOS: std::cell::Cell<Option<Chaos>> = const { std::cell::Cell::new(None) };
+    /// Per-thread deadline override (per-job deadlines in `dcl1d`).
+    static THREAD_DEADLINE: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+    /// Tier that served the last completed point on this thread.
+    static LAST_SOURCE: std::cell::Cell<Option<&'static str>> = const { std::cell::Cell::new(None) };
+}
+
 /// Arms (or with `None` disarms) deterministic fault injection for every
 /// subsequent supervised run in this process. See [`dcl1_resilience::Chaos`]
 /// for the fault classes; the same seed faults the same points every run.
 pub fn set_chaos(seed: Option<u64>) {
     *chaos_slot().lock().expect("chaos lock") = seed.map(Chaos::new);
+}
+
+/// Arms (or with `None` disarms) fault injection for runs on *this thread
+/// only*, overriding the process-wide engine. `dcl1d` uses this to scope a
+/// tenant's requested chaos seed to that tenant's jobs: a worker thread
+/// arms the seed before the job and disarms it after, so concurrent jobs
+/// from other tenants — even ones sharing the same memo key — never see
+/// an injected fault.
+pub fn set_thread_chaos(seed: Option<u64>) {
+    THREAD_CHAOS.with(|c| c.set(seed.map(Chaos::new)));
+}
+
+/// Sets (or with `None` clears) a per-thread wall-clock deadline override
+/// for subsequent runs on this thread, taking precedence over
+/// [`set_point_deadline_secs`]. `dcl1d` maps per-job deadlines onto this.
+pub fn set_thread_deadline_secs(secs: Option<u64>) {
+    THREAD_DEADLINE.with(|d| d.set(secs));
+}
+
+/// The tier that served the most recent completed point on this thread
+/// (`"simulated"`, `"memo"`, `"disk"`, or `"shared"`), clearing the slot.
+/// Worker loops that attribute tier traffic per tenant (the `dcl1d`
+/// scheduler) read this right after each job; it is thread-local, so
+/// concurrent workers never see each other's attribution.
+pub fn take_last_source() -> Option<&'static str> {
+    LAST_SOURCE.with(std::cell::Cell::take)
+}
+
+fn note_source(source: &'static str) {
+    LAST_SOURCE.with(|s| s.set(Some(source)));
 }
 
 /// Serializes tests that mutate process-global supervision state (chaos,
@@ -772,19 +813,30 @@ pub(crate) fn test_env_lock() -> std::sync::MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// The currently armed chaos engine, if any.
+/// The currently armed chaos engine, if any: the thread-scoped override
+/// first (see [`set_thread_chaos`]), then the process-wide engine.
 pub fn active_chaos() -> Option<Chaos> {
+    if let Some(c) = THREAD_CHAOS.with(std::cell::Cell::get) {
+        return Some(c);
+    }
     *chaos_slot().lock().expect("chaos lock")
 }
 
-/// Damages the on-disk cache entry for `key` the way `chaos` dictates for
-/// `point` — called right after a store so the corruption-recovery path
-/// (checksum reject → quarantine → recompute/re-store) runs in-sweep.
+/// Damages the on-disk cache entries for `key` the way `chaos` dictates
+/// for `point` — called right after a store so the corruption-recovery
+/// path (checksum reject → quarantine → recompute/re-store) runs
+/// in-sweep. Aimed at the v3 fan-out layout: the entry lives in its
+/// two-hex-digit bucket under the local tier, and, when a shared tier is
+/// configured, the write-back copy there is damaged too, so the shared
+/// tier's independent checksum rejection is exercised alongside the local
+/// one.
 fn chaos_corrupt_disk_entry(chaos: &Chaos, point: &str, key: u128) {
-    let Some(path) = store().disk_entry_path(key) else { return };
-    let Ok(mut bytes) = std::fs::read(&path) else { return };
-    chaos.corrupt(point, &mut bytes);
-    let _ = std::fs::write(&path, bytes);
+    let targets = [store().disk_entry_path(key), store().shared_entry_path(key)];
+    for path in targets.into_iter().flatten() {
+        let Ok(mut bytes) = std::fs::read(&path) else { continue };
+        chaos.corrupt(point, &mut bytes);
+        let _ = std::fs::write(&path, bytes);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1034,7 +1086,9 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
     if epoch > 0 {
         sys.set_watchdog(epoch);
     }
-    let deadline = DEADLINE_SECS.load(Ordering::Relaxed);
+    let deadline = THREAD_DEADLINE
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(|| DEADLINE_SECS.load(Ordering::Relaxed));
     if deadline > 0 {
         sys.set_deadline_secs(deadline);
     }
@@ -1066,6 +1120,7 @@ pub fn run_app_result(req: &RunRequest, scale: Scale, attempt: u32) -> Result<Ru
         wall_seconds: wall.as_secs_f64(),
         profile,
     };
+    note_source("simulated");
     let done = ProgressEvent::new(ProgressStage::Completed, &point)
         .attempt(attempt)
         .source("simulated")
@@ -1126,6 +1181,7 @@ fn store_lookup(point: &str, key: u128) -> Option<RunStats> {
         note_phase(Phase::SharedIo, n);
     }
     let (stats, tier) = lookup.hit?;
+    note_source(tier.name());
     let done = ProgressEvent::new(ProgressStage::Completed, point)
         .source(tier.name())
         .cycles(stats.cycles);
@@ -1251,6 +1307,43 @@ impl SweepOutcome {
     }
 }
 
+/// Shared per-point supervision wiring: started event, retry/quarantine
+/// via [`supervise`], recovery-log accounting, and the checkpoint-journal
+/// append on success.
+fn supervise_point(
+    req: &RunRequest,
+    scale: Scale,
+    policy: &RetryPolicy,
+) -> Result<RunStats, QuarantineRecord> {
+    let point = point_label(req);
+    emit_progress(&ProgressEvent::new(ProgressStage::Started, &point));
+    let outcome = supervise(
+        &point,
+        policy,
+        |attempt| run_app_result(req, scale, attempt),
+        |event| record_supervision_event(&point, event),
+    );
+    if let Ok(stats) = &outcome {
+        timed(Phase::JournalWrite, || {
+            journal_append(memo_key(req, scale), &point, stats);
+        });
+    }
+    outcome
+}
+
+/// Runs one point under full supervision on the *current* thread. The
+/// `dcl1d` scheduler calls this from its own worker pool so the
+/// thread-scoped chaos and deadline overrides ([`set_thread_chaos`],
+/// [`set_thread_deadline_secs`]) armed for the owning tenant apply to the
+/// run — [`run_apps_supervised`] would move the work onto fresh threads
+/// and out of the tenant's fault scope.
+pub fn run_point_supervised(
+    req: &RunRequest,
+    scale: Scale,
+) -> Result<RunStats, QuarantineRecord> {
+    supervise_point(req, scale, &retry_policy())
+}
+
 /// Runs many simulation points across `workers` threads under full
 /// supervision: each point executes behind panic containment, transient
 /// failures (panics, watchdog livelocks/deadlines, I/O) are retried with
@@ -1273,19 +1366,8 @@ pub fn run_apps_supervised(reqs: &[RunRequest], scale: Scale, workers: usize) ->
                     break;
                 }
                 let req = &reqs[i];
-                let point = point_label(req);
-                emit_progress(&ProgressEvent::new(ProgressStage::Started, &point));
-                let outcome = supervise(
-                    &point,
-                    &policy,
-                    |attempt| run_app_result(req, scale, attempt),
-                    |event| record_supervision_event(&point, event),
-                );
-                match outcome {
+                match supervise_point(req, scale, &policy) {
                     Ok(stats) => {
-                        timed(Phase::JournalWrite, || {
-                            journal_append(memo_key(req, scale), &point, &stats);
-                        });
                         *results[i].lock().expect("result lock") = Some(stats);
                     }
                     Err(record) => {

@@ -1,0 +1,82 @@
+//! The `dcl1d` daemon binary.
+//!
+//! ```text
+//! dcl1d [--addr=HOST:PORT] [--port-file=PATH] [--workers=N]
+//!       [--journal=PATH] [--resume]
+//!       [--max-queued=N] [--tenant-queued=N] [--tenant-inflight=N]
+//! ```
+//!
+//! `--addr=127.0.0.1:0` binds an ephemeral port; `--port-file` writes
+//! the bound address for scripts to discover. `--journal` enables the
+//! crash-safe queue journal, and `--resume` replays it at startup,
+//! re-enqueueing every accepted-but-unfinished job. Scale and cache
+//! placement come from the usual `DCL1_SCALE` / `DCL1_CACHE_DIR`
+//! environment, read inside the library layers.
+
+use dcl1d::queue::Quotas;
+use dcl1d::scheduler::DaemonConfig;
+use dcl1d::server::Server;
+use std::path::PathBuf;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let tag = format!("--{name}=");
+    args.iter().find_map(|a| a.strip_prefix(&tag)).map(String::from)
+}
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
+    flag_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    // simcheck: allow(wall_clock): CLI argument parsing, not sim state
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "dcl1d [--addr=HOST:PORT] [--port-file=PATH] [--workers=N] \
+             [--journal=PATH] [--resume] [--max-queued=N] [--tenant-queued=N] \
+             [--tenant-inflight=N]"
+        );
+        return;
+    }
+
+    let defaults = Quotas::default();
+    let cfg = DaemonConfig {
+        workers: usize_flag(&args, "workers", 2).max(1),
+        quotas: Quotas {
+            max_queued: usize_flag(&args, "max-queued", defaults.max_queued),
+            tenant_queued: usize_flag(&args, "tenant-queued", defaults.tenant_queued),
+            tenant_inflight: usize_flag(&args, "tenant-inflight", defaults.tenant_inflight).max(1),
+        },
+        journal: flag_value(&args, "journal").map(PathBuf::from),
+        resume: args.iter().any(|a| a == "--resume"),
+        ..DaemonConfig::default()
+    };
+
+    let addr = flag_value(&args, "addr").unwrap_or_else(|| "127.0.0.1:4411".to_string());
+    let server = match Server::launch(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcl1d: failed to launch on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match server.local_addr() {
+        Ok(bound) => {
+            if let Some(path) = flag_value(&args, "port-file") {
+                if let Err(e) = std::fs::write(&path, bound.to_string()) {
+                    eprintln!("dcl1d: cannot write port file {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!("dcl1d: listening on {bound}");
+        }
+        Err(e) => {
+            eprintln!("dcl1d: listener lost: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    server.serve();
+    eprintln!("dcl1d: drained, shutting down");
+}

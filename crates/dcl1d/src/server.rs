@@ -1,0 +1,225 @@
+//! TCP front end: line-delimited JSON over per-connection threads.
+//!
+//! Each connection gets its own thread; a wedged or malicious client
+//! therefore blocks only itself, and the daemon core (behind its own
+//! mutex) keeps answering everyone else — `status` stays responsive even
+//! under full queue overload. `subscribe` upgrades a connection into a
+//! live JSONL progress stream fed by a fan-out writer shared with the
+//! sweep runner's progress sink, so point-level runner events and the
+//! daemon's own tenant-level job events interleave on one channel.
+
+use crate::proto::{self, Request};
+use crate::scheduler::{Daemon, DaemonConfig};
+use dcl1_bench::runner;
+use dcl1_obs::json::escape;
+use dcl1_obs::progress::ProgressSink;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// The shared subscriber list: progress lines fan out to every stream.
+type SubscriberList = Arc<Mutex<Vec<TcpStream>>>;
+
+/// An `io::Write` that duplicates every buffer to all live subscribers
+/// and silently drops the dead ones. `ProgressSink` writes one complete
+/// JSON line per call, so each subscriber sees whole lines.
+pub struct FanoutWriter {
+    // simcheck: allow(shard_shared_state): subscriber list is connection state, never simulator state
+    subs: SubscriberList,
+}
+
+impl Write for FanoutWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Ok(mut subs) = self.subs.lock() {
+            subs.retain_mut(|s| s.write_all(buf).is_ok());
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Ok(mut subs) = self.subs.lock() {
+            subs.retain_mut(|s| s.flush().is_ok());
+        }
+        Ok(())
+    }
+}
+
+/// A bound, running daemon front end.
+pub struct Server {
+    listener: TcpListener,
+    daemon: Arc<Daemon>,
+    // simcheck: allow(shard_shared_state): subscriber list is connection state, never simulator state
+    subs: SubscriberList,
+}
+
+impl Server {
+    /// Builds the full daemon stack: fan-out progress sink (installed as
+    /// the sweep runner's sink so point events share the stream), the
+    /// scheduler with its worker pool, and the TCP listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be bound
+    /// or the queue journal cannot be opened.
+    pub fn launch(addr: &str, cfg: DaemonConfig) -> io::Result<Server> {
+        let subs: SubscriberList = Arc::new(Mutex::new(Vec::new()));
+        let sink =
+            Arc::new(ProgressSink::new(Box::new(FanoutWriter { subs: Arc::clone(&subs) })));
+        runner::set_progress_sink(Some(Arc::clone(&sink)));
+        let daemon = Daemon::launch(cfg, Some(sink))?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, daemon, subs })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the socket is gone.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a `drain` completes. Each connection is
+    /// served on its own thread.
+    pub fn serve(&self) {
+        let addr = self.local_addr().ok();
+        for conn in self.listener.incoming() {
+            if self.daemon.is_shutdown() {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let daemon = Arc::clone(&self.daemon);
+            let subs = Arc::clone(&self.subs);
+            let _ = std::thread::Builder::new()
+                .name("dcl1d-conn".to_string())
+                .spawn(move || serve_connection(stream, &daemon, &subs, addr));
+        }
+    }
+}
+
+/// One reply line for an error.
+fn error_reply(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}\n", escape(msg))
+}
+
+fn handle_request(
+    req: Request,
+    daemon: &Daemon,
+    stream: &TcpStream,
+    subs: &SubscriberList,
+    addr: Option<SocketAddr>,
+) -> Option<String> {
+    match req {
+        Request::Submit(sub) => Some(match proto::expand_submit(&sub) {
+            Ok(specs) => render_verdicts(&daemon.submit_jobs(specs)),
+            Err(e) => error_reply(&e),
+        }),
+        Request::Status { tenant } => {
+            let mut line = daemon.status_json(tenant.as_deref());
+            line.push('\n');
+            Some(line)
+        }
+        Request::Cancel { tenant, job } => {
+            let n = daemon.cancel_tenant(&tenant, job);
+            Some(format!("{{\"ok\":true,\"cancelled\":{n}}}\n"))
+        }
+        Request::Subscribe => {
+            if let (Ok(clone), Ok(mut subs)) = (stream.try_clone(), subs.lock()) {
+                subs.push(clone);
+                Some("{\"ok\":true,\"subscribed\":true}\n".to_string())
+            } else {
+                Some(error_reply("subscribe failed"))
+            }
+        }
+        Request::Drain => {
+            let mut line = daemon.handle_drain();
+            line.push('\n');
+            // Deliver the summary BEFORE poking the accept loop awake:
+            // the poke lets `serve()` observe shutdown and the process
+            // exit, which would race the reply onto a dying socket.
+            let mut w = stream;
+            let _ = w.write_all(line.as_bytes()).and_then(|()| w.flush());
+            if let Some(a) = addr {
+                let _ = TcpStream::connect(a);
+            }
+            None
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    daemon: &Daemon,
+    subs: &SubscriberList,
+    addr: Option<SocketAddr>,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = &stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match proto::parse_request(line.trim_end()) {
+            Ok(req) => handle_request(req, daemon, &stream, subs, addr),
+            Err(e) => Some(error_reply(&e)),
+        };
+        if let Some(reply) = reply {
+            if writer.write_all(reply.as_bytes()).is_err() || writer.flush().is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Renders the submit reply: per-batch verdict counts, the accepted job
+/// ids, and the largest retry-after hint among any rejections.
+fn render_verdicts(verdicts: &[crate::queue::Verdict]) -> String {
+    use crate::queue::Verdict;
+    let mut ids = Vec::new();
+    let (mut shed, mut rejected) = (0usize, 0usize);
+    let mut retry_after_ms = 0u64;
+    let mut reason = String::new();
+    for v in verdicts {
+        match v {
+            Verdict::Accepted { id } => ids.push(*id),
+            Verdict::Shed { id, .. } => {
+                ids.push(*id);
+                shed += 1;
+            }
+            Verdict::Rejected { retry_after_ms: r, reason: why } => {
+                rejected += 1;
+                if *r >= retry_after_ms {
+                    retry_after_ms = *r;
+                    reason.clone_from(why);
+                }
+            }
+        }
+    }
+    let mut out = format!(
+        "{{\"ok\":true,\"accepted\":{},\"shed\":{shed},\"rejected\":{rejected}",
+        ids.len()
+    );
+    if rejected > 0 {
+        out.push_str(&format!(
+            ",\"retry_after_ms\":{retry_after_ms},\"reason\":\"{}\"",
+            escape(&reason)
+        ));
+    }
+    out.push_str(",\"ids\":[");
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out.push_str("]}\n");
+    out
+}

@@ -1,0 +1,277 @@
+//! End-to-end daemon acceptance against the real `dcl1d` binary.
+//!
+//! Two service guarantees are proven here at smoke scale:
+//!
+//! 1. **Tenant isolation under chaos**: three tenants sweep the same
+//!    point subset concurrently, one of them with fault injection armed.
+//!    The chaotic tenant's persistent panics end in quarantine records
+//!    scoped to that tenant; the other two complete fully and produce
+//!    byte-identical digests.
+//! 2. **Crash-safe queueing**: `kill -9` mid-sweep, restart with
+//!    `--resume`, and every accepted job is completed exactly once —
+//!    with the resumed work served from the warm result cache, not
+//!    recomputed (`memo.simulated == 0` in the restarted process).
+
+use dcl1_bench::{grid, runner};
+use dcl1_obs::json::Json;
+use dcl1_resilience::Chaos;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcl1d-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Spawns the daemon on an ephemeral port and waits for its port file.
+fn start_daemon(dir: &Path, tag: &str, extra: &[String]) -> (Child, String) {
+    let port_file = dir.join(format!("port-{tag}"));
+    let _ = std::fs::remove_file(&port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcl1d"));
+    cmd.arg("--addr=127.0.0.1:0")
+        .arg(format!("--port-file={}", port_file.display()))
+        .args(extra)
+        .env("DCL1_SCALE", "smoke")
+        .env("DCL1_CACHE_DIR", dir.join("cache"))
+        .current_dir(dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn dcl1d");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote its port file");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    (child, addr)
+}
+
+/// Sends one request line and reads one reply line.
+fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).expect("send request");
+    stream.write_all(b"\n").expect("send newline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(!reply.is_empty(), "daemon closed the connection on: {line}");
+    reply.trim_end().to_string()
+}
+
+fn connect(addr: &str) -> TcpStream {
+    TcpStream::connect(addr).expect("connect to daemon")
+}
+
+/// The `--only` subset both tests sweep: 2 apps × 4 default designs.
+const ONLY: [&str; 2] = ["C-BLK", "C-RAY"];
+
+/// The point labels the subset produces, exactly as the runner (and
+/// therefore the chaos engine) names them.
+fn subset_labels() -> Vec<String> {
+    let cfg = dcl1::GpuConfig::default();
+    let only: Vec<String> = ONLY.iter().map(|s| (*s).to_string()).collect();
+    grid::build_grid(&grid::default_designs(&cfg), &only, &cfg, dcl1::SimOptions::default())
+        .iter()
+        .map(runner::point_label)
+        .collect()
+}
+
+fn submit_line(tenant: &str, chaos: Option<u64>) -> String {
+    let chaos = chaos.map_or(String::new(), |s| format!(",\"chaos\":{s}"));
+    format!(
+        "{{\"cmd\":\"submit\",\"tenant\":\"{tenant}\",\"grid\":true,\
+         \"only\":[\"C-BLK\",\"C-RAY\"]{chaos}}}"
+    )
+}
+
+fn tenant_field<'a>(status: &'a Json, tenant: &str, field: &str) -> &'a Json {
+    status
+        .get("tenants")
+        .and_then(|t| t.get(tenant))
+        .and_then(|t| t.get(field))
+        .unwrap_or_else(|| panic!("status missing tenants.{tenant}.{field}"))
+}
+
+fn count(status: &Json, tenant: &str, field: &str) -> u64 {
+    let v = tenant_field(status, tenant, field)
+        .as_f64()
+        .unwrap_or_else(|| panic!("tenants.{tenant}.{field} is not a number"));
+    #[expect(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // small counts
+    {
+        v as u64
+    }
+}
+
+#[test]
+fn tenants_are_isolated_under_chaos() {
+    let labels = subset_labels();
+    assert_eq!(labels.len(), 8, "subset is 2 apps x 4 default designs");
+    // A seed whose persistent panics hit at least one point of the
+    // subset: the chaotic tenant must visibly quarantine work while the
+    // others stay untouched.
+    let seed = (0..300_000u64)
+        .find(|&s| Chaos::new(s).census(&labels).persistent_panics >= 1)
+        .expect("no persistent-panic seed in range");
+    let expected_quarantines = Chaos::new(seed).census(&labels).persistent_panics;
+
+    let dir = scratch("isolation");
+    let (mut child, addr) = start_daemon(&dir, "iso", &["--workers=3".to_string()]);
+
+    let mut ctl = connect(&addr);
+    for (tenant, chaos) in [("alice", None), ("bob", None), ("mallory", Some(seed))] {
+        let reply = roundtrip(&mut ctl, &submit_line(tenant, chaos));
+        assert!(
+            reply.contains("\"accepted\":8"),
+            "{tenant} submit not fully accepted: {reply}"
+        );
+    }
+
+    // `status` must answer while the sweep runs (graceful-degradation
+    // contract: status is never starved by load).
+    let live = roundtrip(&mut ctl, "{\"cmd\":\"status\"}");
+    assert!(live.contains("\"ok\":true"), "status wedged during sweep: {live}");
+
+    // Drain blocks until every queued and in-flight job resolves.
+    let final_status = roundtrip(&mut ctl, "{\"cmd\":\"drain\"}");
+    let doc = Json::parse(&final_status).expect("final status parses");
+
+    for tenant in ["alice", "bob"] {
+        assert_eq!(count(&doc, tenant, "completed"), 8, "{tenant} lost work:\n{final_status}");
+        let quarantined = tenant_field(&doc, tenant, "quarantined")
+            .as_arr()
+            .expect("quarantined is a list");
+        assert!(
+            quarantined.is_empty(),
+            "{tenant} caught mallory's faults:\n{final_status}"
+        );
+    }
+    let alice = tenant_field(&doc, "alice", "digest").as_str().expect("alice digest");
+    let bob = tenant_field(&doc, "bob", "digest").as_str().expect("bob digest");
+    assert_eq!(alice, bob, "fault-free tenants diverged:\n{final_status}");
+
+    let mallory_q = tenant_field(&doc, "mallory", "quarantined")
+        .as_arr()
+        .expect("mallory quarantined list");
+    assert_eq!(
+        mallory_q.len(),
+        expected_quarantines,
+        "seed {seed}: quarantine count off:\n{final_status}"
+    );
+    assert_eq!(
+        usize::try_from(count(&doc, "mallory", "completed")).expect("count fits usize"),
+        8 - expected_quarantines,
+        "mallory's recoverable faults did not recover:\n{final_status}"
+    );
+
+    child.wait().expect("daemon exits after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill9_resume_completes_exactly_once_from_cache() {
+    let dir = scratch("resume");
+    let journal = dir.join("queue.jsonl");
+
+    // Phase 1: warm the result cache — a tenant completes the whole
+    // subset, then the daemon drains cleanly.
+    let (mut warm, addr) = start_daemon(
+        &dir,
+        "warm",
+        &["--workers=2".to_string(), format!("--journal={}", dir.join("warm.jsonl").display())],
+    );
+    let mut ctl = connect(&addr);
+    let reply = roundtrip(&mut ctl, &submit_line("warmup", None));
+    assert!(reply.contains("\"accepted\":8"), "warmup submit failed: {reply}");
+    let status = roundtrip(&mut ctl, "{\"cmd\":\"drain\"}");
+    assert!(status.contains("\"completed\":8"), "warmup incomplete: {status}");
+    warm.wait().expect("warm daemon exits");
+
+    // Phase 2: same cache, fresh journal. Kill -9 as soon as the journal
+    // shows the first completion, leaving accepted-but-unfinished jobs
+    // behind. (If the daemon finishes everything before the kill lands,
+    // the resume set is empty and the contract below still holds.)
+    let (mut victim, addr) = start_daemon(
+        &dir,
+        "victim",
+        &["--workers=1".to_string(), format!("--journal={}", journal.display())],
+    );
+    let mut ctl = connect(&addr);
+    let reply = roundtrip(&mut ctl, &submit_line("dora", None));
+    assert!(reply.contains("\"accepted\":8"), "victim submit failed: {reply}");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (records, _) = dcl1d::qjournal::read_records(&journal);
+        let done = records.iter().filter(|r| r.op == dcl1d::qjournal::QueueOp::Done).count();
+        if done >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim never completed a job");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    victim.kill().expect("kill -9 the victim");
+    victim.wait().expect("reap the victim");
+
+    let (records, _) = dcl1d::qjournal::read_records(&journal);
+    let done_before = records
+        .iter()
+        .filter(|r| r.op == dcl1d::qjournal::QueueOp::Done)
+        .count() as u64;
+    assert!(done_before >= 1, "journal lost the completion that triggered the kill");
+
+    // Phase 3: restart with --resume. Exactly the unfinished jobs run
+    // again, all served from the warm cache: zero recomputation.
+    let (mut revived, addr) = start_daemon(
+        &dir,
+        "revived",
+        &[
+            "--workers=2".to_string(),
+            format!("--journal={}", journal.display()),
+            "--resume".to_string(),
+        ],
+    );
+    let mut ctl = connect(&addr);
+    let final_status = roundtrip(&mut ctl, "{\"cmd\":\"drain\"}");
+    let doc = Json::parse(&final_status).expect("final status parses");
+
+    let resume = doc
+        .get("daemon")
+        .and_then(|d| d.get("resume"))
+        .expect("resume summary present");
+    let pending = resume.get("pending").and_then(Json::as_f64).expect("pending count");
+    assert_eq!(
+        resume.get("done").and_then(Json::as_f64),
+        Some(done_before as f64),
+        "resume summary disagrees with the journal:\n{final_status}"
+    );
+
+    // Exactly-once: jobs finished before the kill are not re-enqueued,
+    // jobs accepted but unfinished all complete now.
+    let completed_after = if pending > 0.0 { count(&doc, "dora", "completed") } else { 0 };
+    assert_eq!(
+        done_before + completed_after,
+        8,
+        "accepted jobs not completed exactly once:\n{final_status}"
+    );
+
+    // No duplicate compute: every resumed job is a cache hit (the cache
+    // was fully warmed in phase 1), so the revived process simulated
+    // nothing.
+    let simulated = doc
+        .get("daemon")
+        .and_then(|d| d.get("memo"))
+        .and_then(|m| m.get("memo.simulated"))
+        .and_then(Json::as_f64)
+        .expect("memo.simulated counter");
+    assert_eq!(simulated, 0.0, "resume recomputed cached work:\n{final_status}");
+
+    revived.wait().expect("revived daemon exits after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

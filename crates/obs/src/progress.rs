@@ -18,7 +18,7 @@
 //! `seq` increases strictly within one sink; `t_ms` is Unix wall time in
 //! milliseconds (diagnostic only — never fed back into simulation);
 //! optional fields (`attempt`, `pct`, `khz`, `cycles`, `source`,
-//! `detail`) appear only when meaningful for the event.
+//! `detail`, `tenant`) appear only when meaningful for the event.
 
 use crate::json;
 use std::fmt::Write as _;
@@ -78,6 +78,8 @@ pub struct ProgressEvent<'a> {
     pub source: Option<&'a str>,
     /// Free-form context (error class, quarantine reason).
     pub detail: Option<&'a str>,
+    /// Owning tenant in multi-tenant streams (`dcl1d` job events).
+    pub tenant: Option<&'a str>,
 }
 
 impl<'a> ProgressEvent<'a> {
@@ -93,6 +95,7 @@ impl<'a> ProgressEvent<'a> {
             cycles: None,
             source: None,
             detail: None,
+            tenant: None,
         }
     }
 
@@ -135,6 +138,13 @@ impl<'a> ProgressEvent<'a> {
     #[must_use]
     pub fn detail(mut self, detail: &'a str) -> ProgressEvent<'a> {
         self.detail = Some(detail);
+        self
+    }
+
+    /// Sets the owning tenant (multi-tenant daemon streams).
+    #[must_use]
+    pub fn tenant(mut self, tenant: &'a str) -> ProgressEvent<'a> {
+        self.tenant = Some(tenant);
         self
     }
 }
@@ -207,6 +217,9 @@ impl ProgressSink {
         }
         if let Some(d) = ev.detail {
             let _ = write!(buf, ", \"detail\": \"{}\"", json::escape(d));
+        }
+        if let Some(t) = ev.tenant {
+            let _ = write!(buf, ", \"tenant\": \"{}\"", json::escape(t));
         }
         buf.push_str("}\n");
         let _ = inner.out.write_all(buf.as_bytes());
@@ -290,9 +303,19 @@ mod tests {
         let sink = ProgressSink::new(Box::new(buf.clone()));
         sink.emit(&ProgressEvent::new(ProgressStage::Queued, "p/d"));
         let line = lines(&buf).pop().unwrap();
-        for absent in ["attempt", "pct", "khz", "cycles", "source", "detail"] {
+        for absent in ["attempt", "pct", "khz", "cycles", "source", "detail", "tenant"] {
             assert!(!line.contains(absent), "{absent} must be absent: {line}");
         }
+    }
+
+    #[test]
+    fn tenant_field_round_trips() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::new(Box::new(buf.clone()));
+        sink.emit(&ProgressEvent::new(ProgressStage::Queued, "p/d").tenant("team-a"));
+        let line = lines(&buf).pop().unwrap();
+        let doc = Json::parse(&line).expect("tenant line parses");
+        assert_eq!(doc.get("tenant").unwrap().as_str(), Some("team-a"));
     }
 
     #[test]

@@ -301,6 +301,15 @@ impl Registry {
         }
     }
 
+    /// Renders the snapshot as a complete JSON object — braces included —
+    /// for embedding as a member value (`dcl1d` per-tenant counter
+    /// fragments in status replies).
+    pub fn render_json_object_into(&self, out: &mut String) {
+        out.push('{');
+        self.render_json_into(out);
+        out.push('}');
+    }
+
     /// Merges `other` into `self` by name with commutative semantics:
     /// counters and histogram buckets sum, gauges take the maximum. Names
     /// absent from `self` are registered with `other`'s kind; a name

@@ -139,6 +139,14 @@ impl Chaos {
         }
     }
 
+    /// The subset of `points` assigned [`Fault::CorruptCache`] — the
+    /// corruption-census helper: tests resolve these to their fan-out
+    /// cache paths and assert the injections landed on real v3 entries.
+    #[must_use]
+    pub fn corruption_points(&self, points: &[String]) -> Vec<String> {
+        points.iter().filter(|p| self.should_corrupt(p)).cloned().collect()
+    }
+
     /// Counts the faulted points in `points` per class — used by reports
     /// and by tests picking a seed that exercises every class.
     #[must_use]

@@ -16,8 +16,10 @@ use crate::source::SourceFile;
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Crates whose step paths run inside shard domains.
-const SHARD_CRATES: [&str; 5] = ["gpu", "dcl1", "noc", "mem", "cache"];
+/// Crates whose step paths run inside shard domains. `dcl1d` qualifies
+/// because its worker threads run points in-process: shared mutable state
+/// there is one call away from a shard domain.
+const SHARD_CRATES: [&str; 6] = ["gpu", "dcl1", "noc", "mem", "cache", "dcl1d"];
 
 /// Crates covered by the `rng_source` rule (the sim crates plus the
 /// trace generator; `common` hosts the sanctioned seeded entry points).

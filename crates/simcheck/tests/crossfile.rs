@@ -74,6 +74,42 @@ fn shard_shared_state_seeded_fixture() {
     }
 }
 
+/// `shard_shared_state` covers the daemon crate: its worker threads run
+/// simulation points in-process, so an un-sanctioned lock planted in a
+/// `crates/dcl1d` struct (at a seed-derived field position) must fire —
+/// and must not be masked by the `dcl1` crate-name prefix.
+#[test]
+fn shard_shared_state_covers_the_daemon_crate() {
+    let mut rng = dcl1_common::SplitMix64::new(0xDC1D);
+    for round in 0..6 {
+        let fields = 2 + usize::try_from(rng.next_below(8)).expect("small");
+        let plant = usize::try_from(rng.next_below(fields as u64)).expect("small");
+        let mut src = String::from("pub struct Hub {\n");
+        for i in 0..fields {
+            if i == plant {
+                src.push_str("    subs: Mutex<Vec<u64>>,\n");
+            } else {
+                src.push_str(&format!("    slot_{i}: u64,\n"));
+            }
+        }
+        src.push_str("}\n");
+        let tree = [("crates/dcl1d/src/hub.rs".to_string(), src.clone())];
+        let hits = rule_hits(&cross(&tree), "shard_shared_state");
+        assert_eq!(hits, [("crates/dcl1d/src/hub.rs".to_string(), plant + 2)], "round {round}");
+
+        // The daemon's sanctioned control-plane locks carry this exact
+        // annotation shape; the fixture proves it suppresses.
+        let annotated = src.replace(
+            "    subs: Mutex<Vec<u64>>,\n",
+            "    // simcheck: allow(shard_shared_state): connection state, never simulator state\n    \
+             subs: Mutex<Vec<u64>>,\n",
+        );
+        let r = cross(&[("crates/dcl1d/src/hub.rs".to_string(), annotated)]);
+        assert!(rule_hits(&r, "shard_shared_state").is_empty(), "round {round}: {:?}", r.findings);
+        assert_eq!(r.suppressed, 1, "round {round}");
+    }
+}
+
 /// `merge_commutative`: a merge fn folding per-shard floats with a
 /// planted subtraction.
 #[test]

@@ -44,13 +44,29 @@ fn hash_order_accepts_btree_explicit_hasher_and_tests() {
 #[test]
 fn wall_clock_fires_only_in_hot_crates() {
     let bad = "fn f() { let t = std::time::Instant::now(); }\n";
-    for krate in ["gpu", "dcl1", "noc", "mem", "cache"] {
+    for krate in ["gpu", "dcl1", "noc", "mem", "cache", "dcl1d"] {
         assert!(fires(&format!("crates/{krate}/src/bad.rs"), bad, "wall_clock"), "{krate}");
     }
     // The bench runner legitimately measures wall time.
     assert!(!fires("crates/bench/src/runner.rs", bad, "wall_clock"));
     let env = "fn f() { let v = std::env::var(\"DCL1_SCALE\"); }\n";
     assert!(fires("crates/gpu/src/bad.rs", env, "wall_clock"));
+}
+
+#[test]
+fn wall_clock_covers_the_daemon_crate() {
+    // Daemon I/O timing is diagnostic-only and must stay out of sim
+    // state: an un-annotated clock read anywhere in `crates/dcl1d/src`
+    // is a finding, and `dcl1d` is not masked by the `dcl1` prefix.
+    let bad = "fn accept_loop() { let t0 = std::time::Instant::now(); }\n";
+    assert!(fires("crates/dcl1d/src/server.rs", bad, "wall_clock"));
+    let env = "fn cfg() { let v = std::env::var(\"DCL1D_ADDR\"); }\n";
+    assert!(fires("crates/dcl1d/src/scheduler.rs", env, "wall_clock"));
+    let allowed = "// simcheck: allow(wall_clock): CLI argument parsing, not sim state\n\
+                   fn main() { let a: Vec<String> = std::env::args().collect(); }\n";
+    let r = lint_file(&SourceFile::from_source("crates/dcl1d/src/bin/dcl1d.rs", allowed));
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
 }
 
 #[test]

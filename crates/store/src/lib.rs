@@ -314,6 +314,13 @@ impl<V: Clone + Send + Sync + 'static> ResultStore<V> {
         self.disk.as_ref().map(|d| d.entry_path(key))
     }
 
+    /// The canonical shared-tier path for `key` — `None` when no shared
+    /// tier is configured. Chaos targets this alongside the local path so
+    /// corruption drills cover the cross-host read path too.
+    pub fn shared_entry_path(&self, key: u128) -> Option<std::path::PathBuf> {
+        self.shared.as_ref().map(|d| d.entry_path(key))
+    }
+
     /// Claims `key` for computation or waits for the current leader; see
     /// [`SingleFlight::begin`].
     pub fn begin_flight(&self, key: u128) -> Flight<'_> {
